@@ -1,0 +1,58 @@
+// Command tcrowd-bench regenerates the paper's evaluation tables and
+// figures on the simulated stand-ins.
+//
+// Usage:
+//
+//	tcrowd-bench -exp table7           # one experiment
+//	tcrowd-bench -exp fig2,fig5        # several
+//	tcrowd-bench -exp all -trials 3    # everything, 3 trials per sweep
+//	tcrowd-bench -list                 # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tcrowd/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trials = flag.Int("trials", 0, "trials per sweep point (0 = default)")
+		quick  = flag.Bool("quick", false, "shrunken workloads (smoke mode)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		if err := experiments.Run(id, os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "tcrowd-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

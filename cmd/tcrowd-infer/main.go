@@ -1,0 +1,140 @@
+// Command tcrowd-infer runs T-Crowd truth inference over a collected
+// answer log and prints the estimated table plus worker qualities.
+//
+// Usage:
+//
+//	tcrowd-infer -schema schema.json -answers answers.json
+//	tcrowd-infer -schema schema.json -answers answers.csv -rows 174
+//
+// The schema file holds a JSON schema object ({"key": ..., "columns":
+// [...]}); the answer log is either the JSON array or the CSV format
+// produced by this repository (worker,row,column,value).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tcrowd/internal/core"
+	"tcrowd/internal/tabular"
+)
+
+func main() {
+	var (
+		schemaPath  = flag.String("schema", "", "path to schema JSON (required)")
+		answersPath = flag.String("answers", "", "path to answers JSON or CSV (required)")
+		rows        = flag.Int("rows", 0, "number of rows (0 = infer from max answered row)")
+		eps         = flag.Float64("eps", 0, "quality window eps (0 = default 0.5)")
+		showQuality = flag.Bool("quality", true, "print per-worker quality")
+	)
+	flag.Parse()
+	if *schemaPath == "" || *answersPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	schema, err := readSchema(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	log, err := readAnswers(*answersPath, schema)
+	if err != nil {
+		fatal(err)
+	}
+	if log.Len() == 0 {
+		fatal(fmt.Errorf("no answers in %s", *answersPath))
+	}
+
+	n := *rows
+	if n <= 0 {
+		for _, a := range log.All() {
+			if a.Cell.Row+1 > n {
+				n = a.Cell.Row + 1
+			}
+		}
+	}
+	tbl := tabular.NewTable(schema, n)
+	if err := log.Validate(tbl); err != nil {
+		fatal(err)
+	}
+
+	m, err := core.Infer(tbl, log, core.Options{Eps: *eps})
+	if err != nil {
+		fatal(err)
+	}
+	est := m.Estimates()
+
+	fmt.Printf("# %d answers from %d workers over %d cells; EM: %d iterations (converged=%v)\n",
+		log.Len(), log.NumWorkers(), tbl.NumCells(), m.Iterations, m.Converged)
+
+	// Estimated table as CSV.
+	header := []string{schema.Key}
+	for _, c := range schema.Columns {
+		header = append(header, c.Name)
+	}
+	fmt.Println(strings.Join(header, ","))
+	for i := 0; i < n; i++ {
+		rec := []string{tbl.Entities[i]}
+		for j, col := range schema.Columns {
+			v := est[i][j]
+			switch {
+			case v.IsNone():
+				rec = append(rec, "")
+			case v.Kind == tabular.Label:
+				rec = append(rec, col.Labels[v.L])
+			default:
+				rec = append(rec, fmt.Sprintf("%g", v.X))
+			}
+		}
+		fmt.Println(strings.Join(rec, ","))
+	}
+
+	if *showQuality {
+		fmt.Println("\n# worker quality (q_u, higher is better)")
+		type wq struct {
+			u tabular.WorkerID
+			q float64
+		}
+		var ws []wq
+		for _, u := range m.WorkerIDs {
+			ws = append(ws, wq{u, m.WorkerQuality(u)})
+		}
+		sort.Slice(ws, func(a, b int) bool { return ws[a].q > ws[b].q })
+		for _, w := range ws {
+			fmt.Printf("%s,%.4f\n", w.u, w.q)
+		}
+	}
+}
+
+func readSchema(path string) (tabular.Schema, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return tabular.Schema{}, err
+	}
+	var s tabular.Schema
+	if err := json.Unmarshal(b, &s); err != nil {
+		return tabular.Schema{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return s, s.Validate()
+}
+
+func readAnswers(path string, s tabular.Schema) (*tabular.AnswerLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		return tabular.ReadAnswersCSV(f, s)
+	}
+	return tabular.DecodeAnswers(f, s)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tcrowd-infer: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command tcrowd-server runs the AMT-like crowdsourcing platform over HTTP
+// (the system architecture of the paper's Fig. 1).
+//
+// Usage:
+//
+//	tcrowd-server -addr :8080
+//	tcrowd-server -addr :8080 -state platform.json   # load + persist state
+//
+// Endpoints:
+//
+//	POST /projects                  register a schema
+//	GET  /projects/{id}/tasks       dynamic task assignment (external-HIT)
+//	POST /projects/{id}/answers     submit a worker answer
+//	GET  /projects/{id}/estimates   run truth inference
+//	GET  /projects/{id}/stats       collection progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tcrowd/internal/platform"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
+		state = flag.String("state", "", "optional JSON state file (loaded at start, saved on SIGINT/SIGTERM)")
+		seed  = flag.Int64("seed", 1, "assignment tie-breaking seed")
+	)
+	flag.Parse()
+
+	p := platform.New(*seed)
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			loaded, err := platform.Load(f, *seed)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("loading %s: %w", *state, err))
+			}
+			p = loaded
+			fmt.Printf("loaded state from %s (%d projects)\n", *state, len(p.ProjectIDs()))
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: platform.NewServer(p)}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		if *state != "" {
+			f, err := os.Create(*state)
+			if err == nil {
+				err = p.Save(f)
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tcrowd-server: saving state: %v\n", err)
+			} else {
+				fmt.Printf("state saved to %s\n", *state)
+			}
+		}
+		srv.Close()
+	}()
+
+	fmt.Printf("tcrowd-server listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tcrowd-server: %v\n", err)
+	os.Exit(1)
+}

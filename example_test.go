@@ -1,0 +1,77 @@
+package tcrowd_test
+
+import (
+	"fmt"
+
+	"tcrowd"
+)
+
+// ExampleInfer runs truth inference over a tiny hand-built answer log.
+func ExampleInfer() {
+	schema := tcrowd.Schema{
+		Key: "Picture",
+		Columns: []tcrowd.Column{
+			{Name: "Nationality", Type: tcrowd.Categorical, Labels: []string{"US", "CN", "GB"}},
+			{Name: "Age", Type: tcrowd.Continuous, Min: 0, Max: 120},
+		},
+	}
+	table := tcrowd.NewTable(schema, 1)
+
+	log := tcrowd.NewAnswerLog()
+	for _, w := range []tcrowd.WorkerID{"w1", "w2", "w3"} {
+		log.Add(tcrowd.Answer{Worker: w, Cell: tcrowd.Cell{Row: 0, Col: 0}, Value: tcrowd.LabelValue(1)})
+	}
+	for i, age := range []float64{44, 45, 46} {
+		w := tcrowd.WorkerID(fmt.Sprintf("w%d", i+1))
+		log.Add(tcrowd.Answer{Worker: w, Cell: tcrowd.Cell{Row: 0, Col: 1}, Value: tcrowd.NumberValue(age)})
+	}
+
+	res, err := tcrowd.Infer(table, log, tcrowd.InferOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	nat := res.EstimateAt(tcrowd.Cell{Row: 0, Col: 0})
+	age := res.EstimateAt(tcrowd.Cell{Row: 0, Col: 1})
+	fmt.Printf("nationality=%s age=%.0f\n", schema.Columns[0].Labels[nat.L], age.X)
+	// Output: nationality=CN age=45
+}
+
+// ExampleNewAssigner drives one round of online task assignment on a
+// simulated workload.
+func ExampleNewAssigner() {
+	sim, err := tcrowd.StandInDataset("Restaurant", 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	log := sim.Collect(1) // seed every task with one answer
+
+	a := tcrowd.NewAssigner(sim.Table(), tcrowd.AssignOptions{Policy: tcrowd.PolicyStructureAware, Seed: 2})
+	if err := a.Observe(log); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cells, err := a.Next(sim.Workers()[0], 5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("assigned %d tasks\n", len(cells))
+	// Output: assigned 5 tasks
+}
+
+// ExampleErrorRate scores estimates against the planted ground truth of a
+// simulated workload.
+func ExampleErrorRate() {
+	sim := tcrowd.SyntheticDataset(tcrowd.SyntheticConfig{Rows: 20, Cols: 4, CatRatio: 0.5, Workers: 15}, 3)
+	log := sim.Collect(5)
+	res, err := tcrowd.Infer(sim.Table(), log, tcrowd.InferOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	er := tcrowd.ErrorRate(sim.Table(), res.Estimates, log)
+	fmt.Printf("error rate below one in three: %v\n", er < 1.0/3)
+	// Output: error rate below one in three: true
+}

@@ -1,0 +1,138 @@
+// Platform: drives the AMT-like HTTP platform end-to-end (the system
+// architecture of the paper's Fig. 1): a requester registers a schema,
+// simulated workers pull dynamically assigned tasks and submit answers
+// over HTTP, and the requester fetches inferred truth plus worker
+// qualities.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"tcrowd/internal/platform"
+)
+
+func main() {
+	// Start the platform on an ephemeral local port.
+	p := platform.New(1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, platform.NewServer(p)) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("platform listening on", base)
+
+	// The requester registers a project.
+	projectReq := map[string]any{
+		"id":   "books",
+		"rows": 5,
+		"schema": map[string]any{
+			"key": "ISBN",
+			"columns": []map[string]any{
+				{"name": "Genre", "type": "categorical", "labels": []string{"fiction", "nonfiction", "poetry"}},
+				{"name": "Pages", "type": "continuous", "min": 20, "max": 2000},
+			},
+		},
+	}
+	mustPost(base+"/projects", projectReq)
+	fmt.Println("registered project 'books' (5 rows x 2 attributes)")
+
+	// Ground truth known only to this simulation.
+	genres := []int{0, 1, 0, 2, 1}
+	pages := []float64{320, 540, 210, 96, 780}
+	labels := []string{"fiction", "nonfiction", "poetry"}
+
+	// Simulated workers pull tasks and answer: w1/w2 are reliable, w3 is
+	// sloppy.
+	noise := map[string]float64{"w1": 10, "w2": 15, "w3": 150}
+	wrong := map[string]int{"w1": 0, "w2": 0, "w3": 2}
+	for round := 0; round < 3; round++ {
+		for _, w := range []string{"w1", "w2", "w3"} {
+			var tasks []platform.Task
+			mustGet(fmt.Sprintf("%s/projects/books/tasks?worker=%s&count=4", base, w), &tasks)
+			for _, task := range tasks {
+				ans := map[string]any{"worker": w, "row": task.Row, "column": task.Column}
+				if task.Column == "Genre" {
+					g := genres[task.Row]
+					if wrong[w] > 0 {
+						wrong[w]--
+						g = (g + 1) % 3
+					}
+					ans["label"] = labels[g]
+				} else {
+					ans["number"] = pages[task.Row] + noise[w]*float64(task.Row%3-1)
+				}
+				mustPost(base+"/projects/books/answers", ans)
+			}
+		}
+	}
+
+	var st struct {
+		Answers        int     `json:"answers"`
+		Workers        int     `json:"workers"`
+		AnswersPerTask float64 `json:"answers_per_task"`
+	}
+	mustGet(base+"/projects/books/stats", &st)
+	fmt.Printf("collected %d answers from %d workers (%.1f per task)\n",
+		st.Answers, st.Workers, st.AnswersPerTask)
+
+	// The requester fetches the inferred truth.
+	var est struct {
+		Estimates []struct {
+			Entity string   `json:"entity"`
+			Column string   `json:"column"`
+			Label  *string  `json:"label"`
+			Number *float64 `json:"number"`
+		} `json:"estimates"`
+		WorkerQuality map[string]float64 `json:"worker_quality"`
+	}
+	mustGet(base+"/projects/books/estimates", &est)
+
+	fmt.Println("\ninferred values:")
+	for _, e := range est.Estimates {
+		if e.Label != nil {
+			fmt.Printf("  %-8s %-7s = %s\n", e.Entity, e.Column, *e.Label)
+		} else {
+			fmt.Printf("  %-8s %-7s = %.0f\n", e.Entity, e.Column, *e.Number)
+		}
+	}
+	fmt.Println("\nworker quality:")
+	for _, w := range []string{"w1", "w2", "w3"} {
+		fmt.Printf("  %s: %.3f\n", w, est.WorkerQuality[w])
+	}
+	fmt.Println("\n(the platform and its API are importable as tcrowd/internal/platform;")
+	fmt.Printf(" the public inference API is package %q)\n", "tcrowd")
+}
+
+func mustPost(url string, body any) {
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %d %v", url, resp.StatusCode, e)
+	}
+}
+
+func mustGet(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

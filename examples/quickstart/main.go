@@ -1,0 +1,94 @@
+// Quickstart: define a tiny celebrity table (the paper's running example,
+// Tables 1-2), feed in a handful of worker answers, and run T-Crowd truth
+// inference to recover the values and the workers' qualities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcrowd"
+)
+
+func main() {
+	schema := tcrowd.Schema{
+		Key: "Picture",
+		Columns: []tcrowd.Column{
+			{Name: "Name", Type: tcrowd.Categorical, Labels: []string{
+				"Gwyneth Paltrow", "Jet Li", "James Purefoy", "Ciaran Hinds"}},
+			{Name: "Nationality", Type: tcrowd.Categorical, Labels: []string{
+				"United States", "China", "Great Britain", "Canada"}},
+			{Name: "Age", Type: tcrowd.Continuous, Min: 0, Max: 120},
+			{Name: "Height", Type: tcrowd.Continuous, Min: 140, Max: 210},
+		},
+	}
+	table := tcrowd.NewTable(schema, 3)
+
+	// The answers of Table 2 of the paper (heights in cm).
+	answers := tcrowd.NewAnswerLog()
+	add := func(w string, row, col int, v tcrowd.Value) {
+		answers.Add(tcrowd.Answer{Worker: tcrowd.WorkerID(w), Cell: tcrowd.Cell{Row: row, Col: col}, Value: v})
+	}
+	// u1: good worker.
+	add("u1", 0, 0, tcrowd.LabelValue(0)) // Gwyneth Paltrow
+	add("u1", 0, 1, tcrowd.LabelValue(0)) // United States
+	add("u1", 0, 2, tcrowd.NumberValue(39))
+	add("u1", 0, 3, tcrowd.NumberValue(175))
+	add("u1", 1, 0, tcrowd.LabelValue(1)) // Jet Li
+	add("u1", 1, 1, tcrowd.LabelValue(1)) // China
+	add("u1", 1, 2, tcrowd.NumberValue(47))
+	add("u1", 1, 3, tcrowd.NumberValue(168))
+	// u2: shaky worker.
+	add("u2", 0, 0, tcrowd.LabelValue(0))
+	add("u2", 0, 1, tcrowd.LabelValue(3)) // Canada (wrong)
+	add("u2", 0, 2, tcrowd.NumberValue(45))
+	add("u2", 0, 3, tcrowd.NumberValue(180))
+	add("u2", 2, 0, tcrowd.LabelValue(2)) // James Purefoy
+	add("u2", 2, 1, tcrowd.LabelValue(2)) // Great Britain
+	add("u2", 2, 2, tcrowd.NumberValue(51))
+	add("u2", 2, 3, tcrowd.NumberValue(183))
+	// u3: knows Jet Li, not James Purefoy.
+	add("u3", 1, 0, tcrowd.LabelValue(1))
+	add("u3", 1, 1, tcrowd.LabelValue(1))
+	add("u3", 1, 2, tcrowd.NumberValue(45))
+	add("u3", 1, 3, tcrowd.NumberValue(168))
+	add("u3", 2, 0, tcrowd.LabelValue(3)) // Ciaran Hinds (wrong)
+	add("u3", 2, 1, tcrowd.LabelValue(0)) // United States (wrong)
+	add("u3", 2, 2, tcrowd.NumberValue(35))
+	add("u3", 2, 3, tcrowd.NumberValue(180))
+	// u4: agrees with u1 on picture 1, breaks ties elsewhere.
+	add("u4", 0, 0, tcrowd.LabelValue(0))
+	add("u4", 0, 1, tcrowd.LabelValue(0))
+	add("u4", 0, 2, tcrowd.NumberValue(41))
+	add("u4", 2, 0, tcrowd.LabelValue(2))
+	add("u4", 2, 1, tcrowd.LabelValue(2))
+	add("u4", 2, 2, tcrowd.NumberValue(49))
+
+	res, err := tcrowd.Infer(table, answers, tcrowd.InferOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("EM converged after %d iterations\n\n", res.Iterations)
+	fmt.Println("Estimated table:")
+	for i := 0; i < table.NumRows(); i++ {
+		fmt.Printf("  %s:", table.Entities[i])
+		for j, col := range schema.Columns {
+			v := res.Estimates[i][j]
+			switch {
+			case v.IsNone():
+				fmt.Printf("  %s=?", col.Name)
+			case col.Type == tcrowd.Categorical:
+				fmt.Printf("  %s=%s", col.Name, col.Labels[v.L])
+			default:
+				fmt.Printf("  %s=%.1f", col.Name, v.X)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nWorker quality (unified across datatypes):")
+	for _, u := range []tcrowd.WorkerID{"u1", "u2", "u3", "u4"} {
+		fmt.Printf("  %s: q=%.3f\n", u, res.WorkerQuality[u])
+	}
+}

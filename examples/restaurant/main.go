@@ -1,0 +1,95 @@
+// Restaurant: demonstrates the structural machinery of Sec. 5 — attribute
+// error correlations (Fig. 6) and online task assignment with the
+// structure-aware information-gain Assigner, tracking how fast the
+// estimates converge as the budget grows (Fig. 5's best curve).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcrowd"
+)
+
+func main() {
+	sim, err := tcrowd.StandInDataset("Restaurant", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := sim.Table()
+
+	// Phase 1: seed every task with one answer (Algorithm 2, line 1).
+	answers := sim.Collect(1)
+	fmt.Printf("seeded %d answers across %d cells\n", answers.Len(), table.NumCells())
+
+	// Phase 2: online assignment with the structure-aware engine.
+	assigner := tcrowd.NewAssigner(table, tcrowd.AssignOptions{
+		Policy: tcrowd.PolicyStructureAware,
+		Seed:   8,
+	})
+	if err := assigner.Observe(answers); err != nil {
+		log.Fatal(err)
+	}
+
+	workers := sim.Workers()
+	batch := table.NumCols() // one row-sized HIT per arrival
+	target := 3 * table.NumCells()
+	arrival := 0
+	fmt.Printf("\n%-10s %12s %12s\n", "Ans/Task", "Error Rate", "MNAD")
+	for answers.Len() < target {
+		u := workers[arrival%len(workers)]
+		arrival++
+		cells, err := assigner.Next(u, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(cells) == 0 {
+			continue
+		}
+		for _, c := range cells {
+			if a, ok := sim.Answer(u, c); ok {
+				answers.Add(a)
+			}
+		}
+		if arrival%10 == 0 {
+			if err := assigner.Observe(answers); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Report at each half-answer-per-task milestone.
+		apt := float64(answers.Len()) / float64(table.NumCells())
+		if arrival%25 == 0 {
+			if err := assigner.Observe(answers); err != nil {
+				log.Fatal(err)
+			}
+			est := assigner.EstimatedTruth()
+			fmt.Printf("%-10.2f %12.4f %12.4f\n",
+				apt,
+				tcrowd.ErrorRate(table, est, answers),
+				tcrowd.MNAD(table, est, answers))
+		}
+	}
+
+	// Phase 3: inspect the attribute correlations the assigner exploited.
+	res, err := tcrowd.Infer(table, answers, tcrowd.InferOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := res.Correlations()
+	fmt.Println("\nAttribute error correlations W_jk (Eq. 8):")
+	fmt.Printf("%-12s", "")
+	for _, c := range table.Schema.Columns {
+		fmt.Printf(" %11s", c.Name)
+	}
+	fmt.Println()
+	for j, cj := range table.Schema.Columns {
+		fmt.Printf("%-12s", cj.Name)
+		for k := range table.Schema.Columns {
+			fmt.Printf(" %11.3f", w[j][k])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nStartTarget/EndTarget errors correlate because a worker who")
+	fmt.Println("misreads the review span gets both endpoints wrong together —")
+	fmt.Println("exactly the signal structure-aware assignment exploits.")
+}

@@ -1,0 +1,385 @@
+package assign
+
+import (
+	"math"
+
+	"tcrowd/internal/core"
+	"tcrowd/internal/metrics"
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// ErrorModel is the attribute-correlation model of Sec. 5.2: marginal error
+// distributions per column (Table 4), conditional error distributions per
+// ordered column pair (Table 5, four datatype cases), and the correlation
+// coefficients W_jk (Eq. 8) that weight the per-attribute conditionals in
+// the linear combination of Eq. 7.
+//
+// An "error" is defined against the current estimated truth: for a
+// categorical answer e = 1{a != T-hat}; for a continuous answer
+// e = z(a) - z(T-hat) in standardized units.
+type ErrorModel struct {
+	m *core.Model
+	// isCat[j] marks categorical columns.
+	isCat []bool
+	// margCat[j] is the marginal P(e_j = 1) for categorical columns.
+	margCat []stats.Bernoulli
+	// margCont[j] is the marginal N(mean, var) of continuous errors.
+	margCont []stats.Normal
+	// pair[j][k] is the fitted conditional of e_j given e_k (nil when too
+	// few paired samples).
+	pair [][]*pairModel
+	// w[j][k] is the correlation coefficient W_jk.
+	w [][]float64
+	// minPairs is the sample-size floor below which a pair falls back to
+	// the marginal.
+	minPairs int
+	// boundLo/boundHi winsorize continuous errors per column at 3 robust
+	// sigmas: crowd error is long-tailed (a spammer's wild answers would
+	// otherwise dominate every second-moment estimate below).
+	boundLo, boundHi []float64
+}
+
+// pairModel holds the conditional distribution P(e_j | e_k) in the four
+// datatype cases of Table 5.
+type pairModel struct {
+	jCat, kCat bool
+	// catCat: P(e_j = 1 | e_k = 0) and P(e_j = 1 | e_k = 1).
+	pGivenRight, pGivenWrong float64
+	// contCont: joint bivariate normal of (e_j, e_k); conditional comes
+	// from ConditionalY with the roles swapped accordingly.
+	joint stats.BivariateNormal
+	// contGivenCat (j continuous, k categorical): N when e_k = 0 / 1.
+	contRight, contWrong stats.Normal
+	// catGivenCont (j categorical, k continuous): per-class normals of e_k
+	// given e_j plus the marginal P(e_j = 1), combined by Bayes.
+	ekGivenRight, ekGivenWrong stats.Normal
+	pj                         float64
+}
+
+// BuildErrorModel fits the marginal and pairwise error distributions from
+// the model's answers and current estimates.
+func BuildErrorModel(m *core.Model) *ErrorModel {
+	tbl := m.Table
+	nCols := tbl.NumCols()
+	em := &ErrorModel{
+		m:        m,
+		isCat:    make([]bool, nCols),
+		margCat:  make([]stats.Bernoulli, nCols),
+		margCont: make([]stats.Normal, nCols),
+		pair:     make([][]*pairModel, nCols),
+		w:        make([][]float64, nCols),
+		minPairs: 8,
+	}
+	est := m.Estimates()
+	em.boundLo = make([]float64, nCols)
+	em.boundHi = make([]float64, nCols)
+	for j := 0; j < nCols; j++ {
+		em.isCat[j] = tbl.Schema.Columns[j].Type == tabular.Categorical
+		em.pair[j] = make([]*pairModel, nCols)
+		em.w[j] = make([]float64, nCols)
+	}
+
+	// Per (worker,row) error vectors: errs[u][i][j] present if u answered
+	// cell (i,j) and the cell has an estimate.
+	type key struct {
+		u tabular.WorkerID
+		i int
+	}
+	rowErrs := map[key]map[int]float64{}
+	perCol := make([][]float64, nCols)
+	for _, a := range m.Log.All() {
+		i, j := a.Cell.Row, a.Cell.Col
+		guess := est[i][j]
+		if guess.IsNone() {
+			continue
+		}
+		var e float64
+		if a.Value.Kind == tabular.Label {
+			if !a.Value.Equal(guess) {
+				e = 1
+			}
+		} else {
+			e = m.ToZ(j, a.Value.X) - m.ToZ(j, guess.X)
+		}
+		k := key{a.Worker, i}
+		if rowErrs[k] == nil {
+			rowErrs[k] = map[int]float64{}
+		}
+		rowErrs[k][j] = e
+		perCol[j] = append(perCol[j], e)
+	}
+
+	// Robust winsorization bounds per continuous column, applied to both
+	// the fitting samples and (via addError) query-time row errors.
+	for j := 0; j < nCols; j++ {
+		if !em.isCat[j] && len(perCol[j]) > 0 {
+			em.boundLo[j], em.boundHi[j] = stats.RobustBounds(perCol[j], 3)
+			perCol[j] = stats.Winsorize(perCol[j], em.boundLo[j], em.boundHi[j])
+		}
+	}
+	for _, errs := range rowErrs {
+		for j, e := range errs {
+			if !em.isCat[j] && em.boundHi[j] > em.boundLo[j] {
+				errs[j] = stats.Clamp(e, em.boundLo[j], em.boundHi[j])
+			}
+		}
+	}
+
+	// Marginals (Table 4).
+	for j := 0; j < nCols; j++ {
+		if em.isCat[j] {
+			em.margCat[j] = stats.FitBernoulli(perCol[j])
+		} else {
+			em.margCont[j] = stats.FitNormal(perCol[j], 1e-6)
+		}
+	}
+
+	// Pairwise samples.
+	type pairKey struct{ j, k int }
+	pairSamples := map[pairKey][][2]float64{}
+	for _, errs := range rowErrs {
+		for j, ej := range errs {
+			for k, ek := range errs {
+				if j == k {
+					continue
+				}
+				pk := pairKey{j, k}
+				pairSamples[pk] = append(pairSamples[pk], [2]float64{ej, ek})
+			}
+		}
+	}
+	for pk, samples := range pairSamples {
+		if len(samples) < em.minPairs {
+			continue
+		}
+		ejs := make([]float64, len(samples))
+		eks := make([]float64, len(samples))
+		for i, s := range samples {
+			ejs[i] = s[0]
+			eks[i] = s[1]
+		}
+		em.w[pk.j][pk.k] = stats.Pearson(ejs, eks)
+		em.pair[pk.j][pk.k] = fitPair(em.isCat[pk.j], em.isCat[pk.k], ejs, eks, em.margCat[pk.j])
+	}
+	return em
+}
+
+// fitPair fits one Table 5 conditional: e_j given e_k.
+func fitPair(jCat, kCat bool, ejs, eks []float64, margJ stats.Bernoulli) *pairModel {
+	pm := &pairModel{jCat: jCat, kCat: kCat}
+	switch {
+	case jCat && kCat:
+		var right, wrong []float64
+		for i := range ejs {
+			if eks[i] != 0 {
+				wrong = append(wrong, ejs[i])
+			} else {
+				right = append(right, ejs[i])
+			}
+		}
+		pm.pGivenRight = stats.FitBernoulli(right).P
+		pm.pGivenWrong = stats.FitBernoulli(wrong).P
+	case !jCat && !kCat:
+		pm.joint = stats.FitBivariateNormal(ejs, eks, 1e-6)
+	case !jCat && kCat:
+		var right, wrong []float64
+		for i := range ejs {
+			if eks[i] != 0 {
+				wrong = append(wrong, ejs[i])
+			} else {
+				right = append(right, ejs[i])
+			}
+		}
+		pm.contRight = fitNormalOrDefault(right)
+		pm.contWrong = fitNormalOrDefault(wrong)
+	default: // jCat && !kCat
+		var right, wrong []float64
+		for i := range ejs {
+			if ejs[i] != 0 {
+				wrong = append(wrong, eks[i])
+			} else {
+				right = append(right, eks[i])
+			}
+		}
+		pm.ekGivenRight = fitNormalOrDefault(right)
+		pm.ekGivenWrong = fitNormalOrDefault(wrong)
+		pm.pj = margJ.P
+	}
+	return pm
+}
+
+func fitNormalOrDefault(xs []float64) stats.Normal {
+	if len(xs) < 2 {
+		return stats.Normal{Mu: 0, Var: 1}
+	}
+	return stats.FitNormal(xs, 1e-6)
+}
+
+// condCatWrong returns P(e_j = 1 | e_k = ek) for a categorical target j.
+func (pm *pairModel) condCatWrong(ek float64) float64 {
+	if pm.kCat {
+		if ek != 0 {
+			return pm.pGivenWrong
+		}
+		return pm.pGivenRight
+	}
+	// Bayes over the continuous conditioner (case d of Sec. 5.2).
+	pw := pm.pj
+	likWrong := pm.ekGivenWrong.PDF(ek) * pw
+	likRight := pm.ekGivenRight.PDF(ek) * (1 - pw)
+	den := likWrong + likRight
+	if den <= 0 {
+		return pw
+	}
+	return likWrong / den
+}
+
+// condContNormal returns the conditional N(mu, var) of a continuous target
+// e_j given e_k = ek.
+func (pm *pairModel) condContNormal(ek float64) stats.Normal {
+	if pm.kCat {
+		if ek != 0 {
+			return pm.contWrong
+		}
+		return pm.contRight
+	}
+	// contCont: joint holds (e_j, e_k) as (X, Y); we need X | Y = ek, which
+	// is ConditionalY on the swapped joint.
+	swapped := stats.BivariateNormal{
+		MuX: pm.joint.MuY, MuY: pm.joint.MuX,
+		VarX: pm.joint.VarY, VarY: pm.joint.VarX,
+		Cov: pm.joint.Cov,
+	}
+	return swapped.ConditionalY(ek)
+}
+
+// RowErrors computes worker u's observed errors E^u_i on row i against the
+// current estimates: the inputs to Eq. 7. Columns without an estimate or
+// without an answer by u are absent.
+func (em *ErrorModel) RowErrors(u tabular.WorkerID, row int, est metrics.Estimates) map[int]float64 {
+	out := map[int]float64{}
+	for _, a := range em.m.Log.RowAnswersByWorker(u, row) {
+		em.addError(out, a, est)
+	}
+	return out
+}
+
+// WorkerRowErrors computes the errors of every answer worker u has given,
+// grouped by row, in one pass over u's history. Policies scoring thousands
+// of candidate cells per arrival must use this instead of calling RowErrors
+// per cell (which would rescan the history every time).
+func (em *ErrorModel) WorkerRowErrors(u tabular.WorkerID, est metrics.Estimates) map[int]map[int]float64 {
+	out := map[int]map[int]float64{}
+	for _, a := range em.m.Log.ByWorker(u) {
+		row := out[a.Cell.Row]
+		if row == nil {
+			row = map[int]float64{}
+			out[a.Cell.Row] = row
+		}
+		em.addError(row, a, est)
+	}
+	return out
+}
+
+// addError records one answer's error against the estimates into dst.
+func (em *ErrorModel) addError(dst map[int]float64, a tabular.Answer, est metrics.Estimates) {
+	j := a.Cell.Col
+	guess := est[a.Cell.Row][j]
+	if guess.IsNone() {
+		return
+	}
+	if a.Value.Kind == tabular.Label {
+		if a.Value.Equal(guess) {
+			dst[j] = 0
+		} else {
+			dst[j] = 1
+		}
+	} else {
+		e := em.m.ToZ(j, a.Value.X) - em.m.ToZ(j, guess.X)
+		if len(em.boundHi) > j && em.boundHi[j] > em.boundLo[j] {
+			e = stats.Clamp(e, em.boundLo[j], em.boundHi[j])
+		}
+		dst[j] = e
+	}
+}
+
+// CondWrongProb predicts P(worker's answer on categorical column j is
+// wrong | row errors E) by the W-weighted linear combination of pairwise
+// conditionals (Eq. 7). With no usable pair it returns the marginal; with
+// no marginal signal it returns 1 - q for quality fallback by the caller
+// (signalled by ok = false).
+func (em *ErrorModel) CondWrongProb(j int, rowErrs map[int]float64) (p float64, ok bool) {
+	num, den := 0.0, 0.0
+	for k, ek := range rowErrs {
+		pm := em.pair[j][k]
+		if pm == nil {
+			continue
+		}
+		w := math.Abs(em.w[j][k])
+		if w <= 1e-9 {
+			continue
+		}
+		num += w * pm.condCatWrong(ek)
+		den += w
+	}
+	if den > 0 {
+		return stats.Clamp(num/den, 1e-6, 1-1e-6), true
+	}
+	if len(em.margCat) > j {
+		mp := em.margCat[j].P
+		if mp > 0 && mp < 1 {
+			return mp, true
+		}
+	}
+	return 0, false
+}
+
+// CondErrorNormal predicts the continuous error distribution of column j
+// given the row errors, as the W-weighted mixture of pairwise conditionals
+// moment-matched to a single normal. ok is false when no pair is usable.
+func (em *ErrorModel) CondErrorNormal(j int, rowErrs map[int]float64) (stats.Normal, bool) {
+	var comps []stats.Normal
+	var weights []float64
+	for k, ek := range rowErrs {
+		pm := em.pair[j][k]
+		if pm == nil {
+			continue
+		}
+		w := math.Abs(em.w[j][k])
+		if w <= 1e-9 {
+			continue
+		}
+		comps = append(comps, pm.condContNormal(ek))
+		weights = append(weights, w)
+	}
+	if len(comps) == 0 {
+		return stats.Normal{}, false
+	}
+	// Moment matching: mixture mean and variance.
+	wsum := stats.Sum(weights)
+	mu := 0.0
+	for i, c := range comps {
+		mu += weights[i] / wsum * c.Mu
+	}
+	v := 0.0
+	for i, c := range comps {
+		d := c.Mu - mu
+		v += weights[i] / wsum * (c.Var + d*d)
+	}
+	if v <= 0 {
+		v = 1e-6
+	}
+	return stats.Normal{Mu: mu, Var: v}, true
+}
+
+// W returns the correlation coefficient W_jk (Eq. 8); 0 when unestimated.
+func (em *ErrorModel) W(j, k int) float64 { return em.w[j][k] }
+
+// MarginalCat returns the marginal wrong-probability of categorical column
+// j (Table 4).
+func (em *ErrorModel) MarginalCat(j int) stats.Bernoulli { return em.margCat[j] }
+
+// MarginalCont returns the marginal error normal of continuous column j
+// (Table 4).
+func (em *ErrorModel) MarginalCont(j int) stats.Normal { return em.margCont[j] }

@@ -1,0 +1,149 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"tcrowd/internal/core"
+	"tcrowd/internal/simulate"
+	"tcrowd/internal/tabular"
+)
+
+func restaurantModel(t *testing.T) (*simulate.Dataset, *core.Model) {
+	t.Helper()
+	ds := simulate.Restaurant(11)
+	log := simulate.NewCrowd(ds, 12).FixedAssignment(4)
+	m, err := core.Infer(ds.Table, log, core.Options{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, m
+}
+
+func TestBuildErrorModelShapes(t *testing.T) {
+	ds, m := restaurantModel(t)
+	em := BuildErrorModel(m)
+	nCols := ds.Table.NumCols()
+	for j := 0; j < nCols; j++ {
+		if ds.Table.Schema.Columns[j].Type == tabular.Categorical {
+			p := em.MarginalCat(j).P
+			if p <= 0 || p >= 1 {
+				t.Fatalf("marginal cat %d: %v", j, p)
+			}
+		} else {
+			n := em.MarginalCont(j)
+			if n.Var <= 0 {
+				t.Fatalf("marginal cont %d: var %v", j, n.Var)
+			}
+		}
+	}
+	// The simulator's row confusion makes StartTarget(3)/EndTarget(4)
+	// errors positively correlated — the Fig. 6 effect the structure-aware
+	// gain relies on.
+	if w := em.W(3, 4); w < 0.05 {
+		t.Fatalf("W(start,end)=%v, expected positive correlation", w)
+	}
+	// W is symmetric up to estimation (same samples, swapped order).
+	if math.Abs(em.W(3, 4)-em.W(4, 3)) > 1e-9 {
+		t.Fatalf("W asymmetric: %v vs %v", em.W(3, 4), em.W(4, 3))
+	}
+}
+
+func TestCondWrongProbReactsToRowErrors(t *testing.T) {
+	_, m := restaurantModel(t)
+	em := BuildErrorModel(m)
+	// Conditioning a categorical column on a wrong answer elsewhere in the
+	// row must raise the wrong-probability relative to conditioning on a
+	// correct answer (Fig. 6 left: 86% vs 73% correct).
+	for j := 0; j < 3; j++ { // categorical columns of Restaurant
+		var other int
+		for other = 0; other < 3; other++ {
+			if other != j && em.pair[j][other] != nil {
+				break
+			}
+		}
+		if other >= 3 || em.pair[j][other] == nil {
+			continue
+		}
+		pGood, ok1 := em.CondWrongProb(j, map[int]float64{other: 0})
+		pBad, ok2 := em.CondWrongProb(j, map[int]float64{other: 1})
+		if !ok1 || !ok2 {
+			t.Fatalf("cond prob unavailable for pair (%d,%d)", j, other)
+		}
+		if pBad <= pGood {
+			t.Fatalf("wrong neighbour should predict more errors: P(wrong|wrong)=%v P(wrong|right)=%v", pBad, pGood)
+		}
+		return // one verified pair suffices
+	}
+	t.Skip("no categorical pair with enough samples")
+}
+
+func TestCondErrorNormalReactsToRowErrors(t *testing.T) {
+	_, m := restaurantModel(t)
+	em := BuildErrorModel(m)
+	if em.pair[4][3] == nil {
+		t.Skip("start/end pair not fitted")
+	}
+	small, ok1 := em.CondErrorNormal(4, map[int]float64{3: 0.1})
+	large, ok2 := em.CondErrorNormal(4, map[int]float64{3: 4.0})
+	if !ok1 || !ok2 {
+		t.Fatal("conditional unavailable")
+	}
+	// A large observed error on StartTarget should predict a larger
+	// expected squared error on EndTarget.
+	if large.Var+large.Mu*large.Mu <= small.Var+small.Mu*small.Mu {
+		t.Fatalf("conditional did not inflate: small=%v large=%v", small, large)
+	}
+}
+
+func TestRowErrors(t *testing.T) {
+	ds, m := restaurantModel(t)
+	em := BuildErrorModel(m)
+	est := m.Estimates()
+	// Pick a worker with answers in row 0.
+	log := m.Log
+	var u tabular.WorkerID
+	for _, a := range log.All() {
+		if a.Cell.Row == 0 {
+			u = a.Worker
+			break
+		}
+	}
+	if u == "" {
+		t.Fatal("no answers in row 0")
+	}
+	errs := em.RowErrors(u, 0, est)
+	if len(errs) == 0 {
+		t.Fatal("no row errors for an answering worker")
+	}
+	for j, e := range errs {
+		if ds.Table.Schema.Columns[j].Type == tabular.Categorical {
+			if e != 0 && e != 1 {
+				t.Fatalf("categorical error %v", e)
+			}
+		} else if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("continuous error %v", e)
+		}
+	}
+	// A stranger has no errors anywhere.
+	if got := em.RowErrors("stranger", 0, est); len(got) != 0 {
+		t.Fatal("stranger with row errors")
+	}
+}
+
+func TestCondFallbacks(t *testing.T) {
+	_, m := restaurantModel(t)
+	em := BuildErrorModel(m)
+	// Empty history: categorical falls back to the marginal.
+	p, ok := em.CondWrongProb(0, map[int]float64{})
+	if !ok {
+		t.Fatal("marginal fallback missing")
+	}
+	if math.Abs(p-em.MarginalCat(0).P) > 1e-9 {
+		t.Fatalf("fallback %v != marginal %v", p, em.MarginalCat(0).P)
+	}
+	// Continuous with empty history reports not-ok (caller uses inherent).
+	if _, ok := em.CondErrorNormal(3, map[int]float64{}); ok {
+		t.Fatal("continuous conditional from nothing")
+	}
+}

@@ -1,0 +1,71 @@
+package baselines
+
+import (
+	"tcrowd/internal/metrics"
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// MajorityVote estimates each categorical cell as the most voted label
+// (ties broken toward the lowest label index for determinism). Continuous
+// cells are not estimated.
+type MajorityVote struct{}
+
+// Name implements Method.
+func (MajorityVote) Name() string { return "Majority Voting" }
+
+// Infer implements Method.
+func (MajorityVote) Infer(tbl *tabular.Table, log *tabular.AnswerLog) (metrics.Estimates, error) {
+	est := metrics.NewEstimates(tbl)
+	for _, j := range catColumns(tbl) {
+		k := tbl.Schema.Columns[j].NumLabels()
+		for i := 0; i < tbl.NumRows(); i++ {
+			as := log.ByCell(tabular.Cell{Row: i, Col: j})
+			if len(as) == 0 {
+				continue
+			}
+			counts := make([]float64, k)
+			for _, a := range as {
+				counts[a.Value.L]++
+			}
+			est[i][j] = tabular.LabelValue(argMax(counts))
+		}
+	}
+	return est, nil
+}
+
+// Median estimates each continuous cell as the median of its answers.
+// Categorical cells are not estimated.
+type Median struct{}
+
+// Name implements Method.
+func (Median) Name() string { return "Median" }
+
+// Infer implements Method.
+func (Median) Infer(tbl *tabular.Table, log *tabular.AnswerLog) (metrics.Estimates, error) {
+	est := metrics.NewEstimates(tbl)
+	for _, j := range contColumns(tbl) {
+		for i := 0; i < tbl.NumRows(); i++ {
+			as := log.ByCell(tabular.Cell{Row: i, Col: j})
+			if len(as) == 0 {
+				continue
+			}
+			xs := make([]float64, len(as))
+			for k, a := range as {
+				xs[k] = a.Value.X
+			}
+			est[i][j] = tabular.NumberValue(stats.Median(xs))
+		}
+	}
+	return est, nil
+}
+
+func argMax(p []float64) int {
+	best := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,75 @@
+package baselines
+
+import (
+	"tcrowd/internal/core"
+	"tcrowd/internal/metrics"
+	"tcrowd/internal/tabular"
+)
+
+// TCrowd adapts the core model (Sec. 4) to the Method interface so the
+// experiment harnesses can sweep it alongside the baselines.
+type TCrowd struct {
+	// Opts forwards to core.Infer; the zero value is the paper's defaults.
+	Opts core.Options
+}
+
+// Name implements Method.
+func (TCrowd) Name() string { return "T-Crowd" }
+
+// Infer implements Method.
+func (t TCrowd) Infer(tbl *tabular.Table, log *tabular.AnswerLog) (metrics.Estimates, error) {
+	m, err := core.Infer(tbl, log, t.Opts)
+	if err == core.ErrNoAnswers {
+		return metrics.NewEstimates(tbl), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m.Estimates(), nil
+}
+
+// TCOnlyCate is T-Crowd constrained to categorical attributes (Table 7's
+// TC-onlyCate row).
+type TCOnlyCate struct {
+	Opts core.Options
+}
+
+// Name implements Method.
+func (TCOnlyCate) Name() string { return "TC-onlyCate" }
+
+// Infer implements Method.
+func (t TCOnlyCate) Infer(tbl *tabular.Table, log *tabular.AnswerLog) (metrics.Estimates, error) {
+	opts := t.Opts
+	opts.Mode = core.ModeOnlyCategorical
+	m, err := core.Infer(tbl, log, opts)
+	if err == core.ErrNoAnswers {
+		return metrics.NewEstimates(tbl), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m.Estimates(), nil
+}
+
+// TCOnlyCont is T-Crowd constrained to continuous attributes (Table 7's
+// TC-onlyCont row).
+type TCOnlyCont struct {
+	Opts core.Options
+}
+
+// Name implements Method.
+func (TCOnlyCont) Name() string { return "TC-onlyCont" }
+
+// Infer implements Method.
+func (t TCOnlyCont) Infer(tbl *tabular.Table, log *tabular.AnswerLog) (metrics.Estimates, error) {
+	opts := t.Opts
+	opts.Mode = core.ModeOnlyContinuous
+	m, err := core.Infer(tbl, log, opts)
+	if err == core.ErrNoAnswers {
+		return metrics.NewEstimates(tbl), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m.Estimates(), nil
+}

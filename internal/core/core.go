@@ -1,0 +1,413 @@
+// Package core implements the paper's primary contribution (Sec. 4): the
+// unified probabilistic worker-quality model for tabular data and the EM
+// truth-inference algorithm built on it.
+//
+// Model recap. Worker u has one inherent variance phi_u; cell c_ij has
+// difficulty alpha_i * beta_j; the effective answer variance on c_ij is
+// s = alpha_i * beta_j * phi_u. A continuous answer is drawn N(T_ij, s)
+// (Eq. 1); a categorical answer is correct with probability
+// q = erf(eps / sqrt(2 s)) and otherwise uniform over the wrong labels
+// (Eqs. 2-3). EM alternates the E-step (per-cell posterior truth
+// distributions, Eq. 4) with an M-step that maximises the expected joint
+// log-likelihood Q (Eq. 5) by gradient ascent over log-parameters.
+//
+// Implementation notes (documented deviations, see DESIGN.md):
+//
+//   - Continuous columns are z-scored by their answers' mean/std before
+//     inference so one phi_u is commensurable across columns; estimates are
+//     mapped back to natural units on output.
+//   - alpha_i * beta_j * phi_u is scale-ambiguous, so after each M-step
+//     alpha and beta are renormalised to geometric mean 1 (folding the
+//     scale into phi). Likelihoods are invariant under this.
+//   - Posteriors are warm-started from the empirical answer distribution
+//     (the standard majority-vote/mean start for crowdsourcing EM) rather
+//     than from the flat prior, which would make the first M-step
+//     uninformative.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// Mode selects which datatypes participate in inference. The constrained
+// modes are the paper's TC-onlyCate / TC-onlyCont baselines (Table 7).
+type Mode int
+
+const (
+	// ModeFull uses every column (T-Crowd proper).
+	ModeFull Mode = iota
+	// ModeOnlyCategorical ignores continuous columns (TC-onlyCate).
+	ModeOnlyCategorical
+	// ModeOnlyContinuous ignores categorical columns (TC-onlyCont).
+	ModeOnlyContinuous
+)
+
+// Options configures Infer. The zero value gives the paper's defaults.
+type Options struct {
+	// Eps is the quality window of Eq. 2, in standardized units
+	// (default 0.5).
+	Eps float64
+	// MaxIter bounds EM iterations (default 50; the paper observes
+	// convergence within ~20).
+	MaxIter int
+	// Tol is the convergence threshold on the maximum absolute parameter
+	// change between iterations (default 1e-5, as in Sec. 4.3).
+	Tol float64
+	// MStepIter bounds gradient-ascent steps per M-step (default 20).
+	MStepIter int
+	// Mode restricts the datatypes used (default ModeFull).
+	Mode Mode
+	// FixDifficulty freezes alpha_i = beta_j = 1, reducing the model to
+	// worker-only quality. Used by the difficulty ablation.
+	FixDifficulty bool
+	// TrackObjective records the ELBO after every EM iteration
+	// (regenerates Fig. 12a).
+	TrackObjective bool
+	// InitPhi is the initial worker variance (default 0.2).
+	InitPhi float64
+	// PhiPriorA/PhiPriorB parameterise a weak inverse-gamma prior on each
+	// phi_u (defaults 1.0 and 0.4, putting the prior mode at 0.2). The
+	// paper's pure MLE degenerates on sparse workers (phi -> 0 for a
+	// worker whose few answers all match the posterior); the weak prior is
+	// the standard MAP-EM stabilisation and washes out once a worker has
+	// tens of answers.
+	PhiPriorA, PhiPriorB float64
+	// DiffPriorSigma is the std of the N(0, sigma^2) shrinkage prior on
+	// ln(alpha_i) and ln(beta_j) (default 0.5), keeping difficulties
+	// modest multiplicative modulations around 1 and anchoring the scale
+	// of the otherwise scale-ambiguous product alpha*beta*phi.
+	DiffPriorSigma float64
+	// Warm seeds the parameters from a previous fit, the standard trick
+	// for online re-inference after a handful of new answers: the EM
+	// restarts next to its previous optimum and converges in a few
+	// iterations.
+	Warm *Warm
+	// Parallelism shards the E-step over cells and the M-step
+	// objective/gradient over answers when > 1 (capped at GOMAXPROCS).
+	// The paper lists parallel truth inference as future work (Sec. 7);
+	// results are identical up to floating-point summation order.
+	Parallelism int
+}
+
+// Warm carries parameters from a previous fit for warm-started EM.
+type Warm struct {
+	// Alpha and Beta must match the table dimensions to be used.
+	Alpha, Beta []float64
+	// Phi maps workers to their previous variance; unknown workers keep
+	// InitPhi.
+	Phi map[tabular.WorkerID]float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 0.5
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-5
+	}
+	if o.MStepIter <= 0 {
+		o.MStepIter = 20
+	}
+	if o.InitPhi <= 0 {
+		o.InitPhi = 0.2
+	}
+	if o.PhiPriorA <= 0 {
+		o.PhiPriorA = 1.0
+	}
+	if o.PhiPriorB <= 0 {
+		o.PhiPriorB = 0.4
+	}
+	if o.DiffPriorSigma <= 0 {
+		o.DiffPriorSigma = 0.5
+	}
+	return o
+}
+
+// Model is the fitted state of T-Crowd truth inference: per-cell posterior
+// truth distributions plus the learned difficulties and worker variances.
+// It also serves the task-assignment layer, which needs posteriors,
+// per-cell worker qualities and cheap single-cell updates.
+type Model struct {
+	Table *tabular.Table
+	Log   *tabular.AnswerLog
+	Opts  Options
+
+	// Alpha[i], Beta[j] are row/column difficulties; Phi[k] is the
+	// variance of the k-th worker in WorkerIDs order.
+	Alpha, Beta []float64
+	Phi         []float64
+	WorkerIDs   []tabular.WorkerID
+	workerIdx   map[tabular.WorkerID]int
+
+	// ColMean/ColStd are the per-column standardisation constants
+	// (answer mean and std; std==1, mean==0 for categorical columns).
+	ColMean, ColStd []float64
+
+	// CatPost[i][j] is the posterior label distribution of a categorical
+	// cell (nil when not applicable or unanswered).
+	CatPost [][][]float64
+	// ContMu/ContVar hold the standardized posterior N(mu, var) of
+	// continuous cells (valid where Answered).
+	ContMu, ContVar [][]float64
+	// Answered marks cells with at least one usable answer.
+	Answered [][]bool
+
+	// ObjTrace is the ELBO per EM iteration when TrackObjective is set.
+	ObjTrace []float64
+	// Iterations is the number of EM iterations performed.
+	Iterations int
+	// Converged reports whether the parameter-change tolerance fired.
+	Converged bool
+
+	// flat per-answer caches built once in newModel.
+	ans []obsAnswer
+	// byCell[i*M+j] lists indices into ans for cell (i,j).
+	byCell [][]int
+	// medianPhi caches MedianPhi across hot assignment loops.
+	medianPhi float64
+}
+
+// obsAnswer is a decoded answer: indices resolved, continuous values
+// standardized.
+type obsAnswer struct {
+	w, i, j int
+	isCat   bool
+	label   int
+	z       float64
+}
+
+// ErrNoAnswers is returned when the log has no usable answers for the
+// requested mode.
+var ErrNoAnswers = errors.New("core: no usable answers")
+
+// Infer runs T-Crowd truth inference (Algorithm 1) and returns the fitted
+// model.
+func Infer(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model, error) {
+	m, err := newModel(tbl, log, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.run()
+	return m, nil
+}
+
+func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model, error) {
+	if err := tbl.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	n, mm := tbl.NumRows(), tbl.NumCols()
+
+	m := &Model{
+		Table:     tbl,
+		Log:       log,
+		Opts:      o,
+		Alpha:     ones(n),
+		Beta:      ones(mm),
+		ColMean:   make([]float64, mm),
+		ColStd:    make([]float64, mm),
+		CatPost:   make([][][]float64, n),
+		ContMu:    make([][]float64, n),
+		ContVar:   make([][]float64, n),
+		Answered:  make([][]bool, n),
+		workerIdx: make(map[tabular.WorkerID]int),
+	}
+	for i := 0; i < n; i++ {
+		m.CatPost[i] = make([][]float64, mm)
+		m.ContMu[i] = make([]float64, mm)
+		m.ContVar[i] = make([]float64, mm)
+		m.Answered[i] = make([]bool, mm)
+	}
+
+	// Column standardisation constants from the answers.
+	perCol := make([][]float64, mm)
+	for _, a := range log.All() {
+		if a.Value.Kind == tabular.Number {
+			perCol[a.Cell.Col] = append(perCol[a.Cell.Col], a.Value.X)
+		}
+	}
+	for j := 0; j < mm; j++ {
+		m.ColStd[j] = 1
+		if tbl.Schema.Columns[j].Type == tabular.Continuous && len(perCol[j]) > 0 {
+			mean, v := stats.MeanVariance(perCol[j])
+			m.ColMean[j] = mean
+			if v > 1e-12 {
+				m.ColStd[j] = math.Sqrt(v)
+			}
+		}
+	}
+
+	// Decode answers, applying the mode filter.
+	for _, a := range log.All() {
+		if a.Cell.Row < 0 || a.Cell.Row >= n || a.Cell.Col < 0 || a.Cell.Col >= mm {
+			return nil, fmt.Errorf("core: answer cell %v outside table", a.Cell)
+		}
+		col := tbl.Schema.Columns[a.Cell.Col]
+		isCat := col.Type == tabular.Categorical
+		if isCat && o.Mode == ModeOnlyContinuous {
+			continue
+		}
+		if !isCat && o.Mode == ModeOnlyCategorical {
+			continue
+		}
+		k, ok := m.workerIdx[a.Worker]
+		if !ok {
+			k = len(m.WorkerIDs)
+			m.workerIdx[a.Worker] = k
+			m.WorkerIDs = append(m.WorkerIDs, a.Worker)
+		}
+		oa := obsAnswer{w: k, i: a.Cell.Row, j: a.Cell.Col, isCat: isCat}
+		if isCat {
+			if a.Value.Kind != tabular.Label {
+				return nil, fmt.Errorf("core: non-label answer in categorical column %q", col.Name)
+			}
+			oa.label = a.Value.L
+		} else {
+			if a.Value.Kind != tabular.Number {
+				return nil, fmt.Errorf("core: non-number answer in continuous column %q", col.Name)
+			}
+			oa.z = stats.Standardize(a.Value.X, m.ColMean[a.Cell.Col], m.ColStd[a.Cell.Col])
+		}
+		m.ans = append(m.ans, oa)
+		m.Answered[a.Cell.Row][a.Cell.Col] = true
+	}
+	if len(m.ans) == 0 {
+		return nil, ErrNoAnswers
+	}
+	m.byCell = make([][]int, n*mm)
+	for idx, a := range m.ans {
+		key := a.i*mm + a.j
+		m.byCell[key] = append(m.byCell[key], idx)
+	}
+	m.Phi = make([]float64, len(m.WorkerIDs))
+	for k := range m.Phi {
+		m.Phi[k] = o.InitPhi
+	}
+	if w := o.Warm; w != nil {
+		if len(w.Alpha) == n && !o.FixDifficulty {
+			copy(m.Alpha, w.Alpha)
+		}
+		if len(w.Beta) == mm && !o.FixDifficulty {
+			copy(m.Beta, w.Beta)
+		}
+		for k, u := range m.WorkerIDs {
+			if phi, ok := w.Phi[u]; ok && phi > 0 {
+				m.Phi[k] = stats.Clamp(phi, minS, maxS)
+			}
+		}
+	}
+	m.warmStart()
+	return m, nil
+}
+
+// warmStart seeds posteriors from the empirical answer distribution
+// (equal-weight vote / mean), the conventional EM initialisation.
+func (m *Model) warmStart() {
+	n, mm := m.Table.NumRows(), m.Table.NumCols()
+	counts := make([][][]float64, n)
+	sum := make([][]float64, n)
+	cnt := make([][]int, n)
+	for i := 0; i < n; i++ {
+		counts[i] = make([][]float64, mm)
+		sum[i] = make([]float64, mm)
+		cnt[i] = make([]int, mm)
+	}
+	for _, a := range m.ans {
+		if a.isCat {
+			if counts[a.i][a.j] == nil {
+				counts[a.i][a.j] = make([]float64, m.Table.Schema.Columns[a.j].NumLabels())
+			}
+			counts[a.i][a.j][a.label]++
+		} else {
+			sum[a.i][a.j] += a.z
+			cnt[a.i][a.j]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < mm; j++ {
+			if !m.Answered[i][j] {
+				continue
+			}
+			if counts[i][j] != nil {
+				// Add-one smoothing keeps every label alive for the first
+				// M-step.
+				k := len(counts[i][j])
+				post := make([]float64, k)
+				total := 0.0
+				for z := range post {
+					post[z] = counts[i][j][z] + 0.5
+					total += post[z]
+				}
+				for z := range post {
+					post[z] /= total
+				}
+				m.CatPost[i][j] = post
+			} else if cnt[i][j] > 0 {
+				m.ContMu[i][j] = sum[i][j] / float64(cnt[i][j])
+				m.ContVar[i][j] = 1 / float64(cnt[i][j])
+			}
+		}
+	}
+}
+
+// run executes the EM loop: M-step (worker quality + cell difficulty), then
+// E-step (truth posteriors), until parameters stabilise (Algorithm 1).
+func (m *Model) run() {
+	if m.Opts.Warm != nil {
+		// Warm parameters beat vote-share posteriors: refresh the
+		// posteriors from them before the first M-step.
+		m.eStep()
+	}
+	prev := m.paramSnapshot()
+	for it := 0; it < m.Opts.MaxIter; it++ {
+		m.Iterations = it + 1
+		m.mStep()
+		m.eStep()
+		if m.Opts.TrackObjective {
+			m.ObjTrace = append(m.ObjTrace, m.ELBO())
+		}
+		cur := m.paramSnapshot()
+		if maxDelta(prev, cur) < m.Opts.Tol {
+			m.Converged = true
+			break
+		}
+		prev = cur
+	}
+	// Freeze the median-phi cache now so concurrent readers (parallel
+	// assignment scoring) never write to the model.
+	m.medianPhi = m.MedianPhi()
+}
+
+func (m *Model) paramSnapshot() []float64 {
+	out := make([]float64, 0, len(m.Alpha)+len(m.Beta)+len(m.Phi))
+	out = append(out, m.Alpha...)
+	out = append(out, m.Beta...)
+	out = append(out, m.Phi...)
+	return out
+}
+
+func maxDelta(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+
+	"tcrowd/internal/stats"
+)
+
+// Bounds keeping the effective variance s = alpha*beta*phi numerically
+// sane. Quality q = erf(eps/sqrt(2s)) maps these to (~0, ~1) smoothly.
+const (
+	minS = 1e-8
+	maxS = 1e8
+)
+
+// cellVariance returns s = alpha_i * beta_j * phi_k clamped to [minS, maxS].
+func (m *Model) cellVariance(i, j, k int) float64 {
+	return stats.Clamp(m.Alpha[i]*m.Beta[j]*m.Phi[k], minS, maxS)
+}
+
+// logQ returns (ln q, ln(1-q)) for quality q = erf(x), x = eps/sqrt(2s),
+// computed stably for extreme x. This sits on the innermost loop of the
+// M-step line search, so the common branch spends one erf/erfc plus two
+// logs instead of deferring to the general LogErf/LogErfc pair.
+func logQ(eps, s float64) (lnQ, lnNotQ float64) {
+	x := eps / math.Sqrt(2*s)
+	if x < 20 {
+		if e := math.Erf(x); e < 0.5 {
+			return math.Log(e), math.Log1p(-e)
+		}
+		ec := math.Erfc(x)
+		return math.Log1p(-ec), math.Log(ec)
+	}
+	return stats.LogErf(x), stats.LogErfc(x)
+}
+
+// eStep recomputes every answered cell's posterior truth distribution
+// (Eq. 4) given the current parameters.
+func (m *Model) eStep() {
+	if w := m.effectiveParallelism(); w > 1 {
+		m.eStepParallel(w)
+		return
+	}
+	n, mm := m.Table.NumRows(), m.Table.NumCols()
+	for i := 0; i < n; i++ {
+		for j := 0; j < mm; j++ {
+			idxs := m.byCell[i*mm+j]
+			if len(idxs) == 0 {
+				continue
+			}
+			if m.ans[idxs[0]].isCat {
+				m.updateCatCell(i, j, idxs)
+			} else {
+				m.updateContCell(i, j, idxs)
+			}
+		}
+	}
+}
+
+// updateCatCell computes P(T_ij = z) as the normalised product over
+// answers of q^{1[a=z]} * ((1-q)/(|L|-1))^{1[a!=z]} (uniform prior).
+func (m *Model) updateCatCell(i, j int, idxs []int) {
+	l := m.Table.Schema.Columns[j].NumLabels()
+	logp := make([]float64, l)
+	lnL1 := math.Log(float64(l - 1))
+	for _, idx := range idxs {
+		a := m.ans[idx]
+		s := m.cellVariance(i, j, a.w)
+		lnQ, lnNotQ := logQ(m.Opts.Eps, s)
+		lnWrong := lnNotQ - lnL1
+		for z := 0; z < l; z++ {
+			if z == a.label {
+				logp[z] += lnQ
+			} else {
+				logp[z] += lnWrong
+			}
+		}
+	}
+	m.CatPost[i][j] = stats.NormalizeLogProbs(logp)
+}
+
+// updateContCell computes the Gaussian posterior of Eq. 4 in standardized
+// units, with the N(0,1) column prior (mu0=0, phi0=1 after z-scoring).
+func (m *Model) updateContCell(i, j int, idxs []int) {
+	precision := 1.0 // prior 1/phi0
+	weighted := 0.0  // prior mu0/phi0 = 0
+	for _, idx := range idxs {
+		a := m.ans[idx]
+		s := m.cellVariance(i, j, a.w)
+		precision += 1 / s
+		weighted += a.z / s
+	}
+	v := 1 / precision
+	m.ContVar[i][j] = v
+	m.ContMu[i][j] = weighted * v
+}
+
+// ELBO returns the MAP evidence lower bound
+// E_T[ln P(A, T | params)] + ln P(params) + H(posterior), the quantity this
+// MAP-EM ascends; it is the objective traced for Fig. 12a.
+func (m *Model) ELBO() float64 {
+	n, mm := m.Table.NumRows(), m.Table.NumCols()
+	total := m.paramLogPrior(m.Alpha, m.Beta, m.Phi)
+	for i := 0; i < n; i++ {
+		for j := 0; j < mm; j++ {
+			idxs := m.byCell[i*mm+j]
+			if len(idxs) == 0 {
+				continue
+			}
+			if m.ans[idxs[0]].isCat {
+				total += m.elboCatCell(i, j, idxs)
+			} else {
+				total += m.elboContCell(i, j, idxs)
+			}
+		}
+	}
+	return total
+}
+
+func (m *Model) elboCatCell(i, j int, idxs []int) float64 {
+	post := m.CatPost[i][j]
+	l := len(post)
+	lnL1 := math.Log(float64(l - 1))
+	q := 0.0
+	// Expected log-likelihood of the answers.
+	for _, idx := range idxs {
+		a := m.ans[idx]
+		s := m.cellVariance(i, j, a.w)
+		lnQ, lnNotQ := logQ(m.Opts.Eps, s)
+		pCorrect := post[a.label]
+		q += pCorrect*lnQ + (1-pCorrect)*(lnNotQ-lnL1)
+	}
+	// Uniform prior term.
+	q += -math.Log(float64(l))
+	// Posterior entropy.
+	return q + stats.ShannonEntropy(post)
+}
+
+func (m *Model) elboContCell(i, j int, idxs []int) float64 {
+	mu, v := m.ContMu[i][j], m.ContVar[i][j]
+	q := 0.0
+	for _, idx := range idxs {
+		a := m.ans[idx]
+		s := m.cellVariance(i, j, a.w)
+		d := a.z - mu
+		q += -0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s)
+	}
+	// Standard-normal prior: E[ln N(T; 0, 1)].
+	q += -0.5*math.Log(2*math.Pi) - (mu*mu+v)/2
+	// Differential entropy of the Gaussian posterior.
+	return q + 0.5*math.Log(2*math.Pi*math.E*v)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+
+	"tcrowd/internal/optimize"
+	"tcrowd/internal/stats"
+)
+
+// mStep maximises Q(alpha, beta, phi) (Eq. 5) by gradient ascent over the
+// log-parameters, holding the posteriors fixed. In log space the chain rule
+// gives the same per-answer contribution s * dQ_a/ds to d/dlog(alpha_i),
+// d/dlog(beta_j) and d/dlog(phi_u), so one pass over the answers yields the
+// full gradient — the M-step is O(|A|) per gradient evaluation as analysed
+// at the end of Sec. 4.3.
+func (m *Model) mStep() {
+	pv := optimize.DefaultPositiveVec()
+	n, mm, u := len(m.Alpha), len(m.Beta), len(m.Phi)
+
+	fixed := m.Opts.FixDifficulty
+	dim := u
+	if !fixed {
+		dim += n + mm
+	}
+	theta0 := make([]float64, dim)
+	if fixed {
+		pv.ToLog(m.Phi, theta0)
+	} else {
+		pv.ToLog(m.Alpha, theta0[:n])
+		pv.ToLog(m.Beta, theta0[n:n+mm])
+		pv.ToLog(m.Phi, theta0[n+mm:])
+	}
+
+	// split maps a theta vector to (alpha, beta, phi) views without copies.
+	alpha := make([]float64, n)
+	beta := make([]float64, mm)
+	phi := make([]float64, u)
+	split := func(theta []float64) {
+		if fixed {
+			copy(alpha, m.Alpha)
+			copy(beta, m.Beta)
+			pv.FromLog(theta, phi)
+			return
+		}
+		pv.FromLog(theta[:n], alpha)
+		pv.FromLog(theta[n:n+mm], beta)
+		pv.FromLog(theta[n+mm:], phi)
+	}
+
+	negQ := func(theta []float64) float64 {
+		split(theta)
+		return -m.qValue(alpha, beta, phi)
+	}
+	negGrad := func(theta, grad []float64) {
+		split(theta)
+		ga, gb, gp := m.qGradLog(alpha, beta, phi)
+		k := 0
+		if !fixed {
+			for i := 0; i < n; i++ {
+				grad[k] = -ga[i]
+				k++
+			}
+			for j := 0; j < mm; j++ {
+				grad[k] = -gb[j]
+				k++
+			}
+		}
+		for w := 0; w < u; w++ {
+			grad[k] = -gp[w]
+			k++
+		}
+	}
+
+	res := optimize.Minimize(negQ, negGrad, theta0, optimize.Options{
+		MaxIter:  m.Opts.MStepIter,
+		GradTol:  1e-7,
+		InitStep: 0.5,
+	})
+	split(res.X)
+	copy(m.Phi, phi)
+	if !fixed {
+		copy(m.Alpha, alpha)
+		copy(m.Beta, beta)
+	}
+}
+
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 1
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// paramLogPrior returns the log-density of the parameter priors: a weak
+// inverse-gamma on each phi_u and N(0, sigma^2) shrinkage on ln(alpha_i),
+// ln(beta_j). Constant offsets are dropped.
+func (m *Model) paramLogPrior(alpha, beta, phi []float64) float64 {
+	o := m.Opts
+	lp := 0.0
+	for _, p := range phi {
+		lp += -(o.PhiPriorA+1)*math.Log(p) - o.PhiPriorB/p
+	}
+	s2 := o.DiffPriorSigma * o.DiffPriorSigma
+	if !o.FixDifficulty {
+		for _, a := range alpha {
+			la := math.Log(a)
+			lp -= la * la / (2 * s2)
+		}
+		for _, b := range beta {
+			lb := math.Log(b)
+			lp -= lb * lb / (2 * s2)
+		}
+	}
+	return lp
+}
+
+// qValue evaluates the MAP objective: Q (Eq. 5) plus the parameter
+// log-priors, posteriors fixed. Truth-prior terms are constant w.r.t. the
+// parameters and omitted.
+func (m *Model) qValue(alpha, beta, phi []float64) float64 {
+	if w := m.effectiveParallelism(); w > 1 {
+		return m.qValueParallel(alpha, beta, phi, w)
+	}
+	return m.paramLogPrior(alpha, beta, phi) + m.qValueRange(alpha, beta, phi, 0, len(m.ans))
+}
+
+// qValueRange evaluates the data term of Q over the answer range [lo, hi).
+func (m *Model) qValueRange(alpha, beta, phi []float64, lo, hi int) float64 {
+	q := 0.0
+	for idx := lo; idx < hi; idx++ {
+		a := &m.ans[idx]
+		s := stats.Clamp(alpha[a.i]*beta[a.j]*phi[a.w], minS, maxS)
+		if a.isCat {
+			post := m.CatPost[a.i][a.j]
+			l := len(post)
+			lnQ, lnNotQ := logQ(m.Opts.Eps, s)
+			p := post[a.label]
+			q += p*lnQ + (1-p)*(lnNotQ-math.Log(float64(l-1)))
+		} else {
+			mu, v := m.ContMu[a.i][a.j], m.ContVar[a.i][a.j]
+			d := a.z - mu
+			q += -0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s)
+		}
+	}
+	return q
+}
+
+// qGradLog returns dQ/dlog(alpha), dQ/dlog(beta), dQ/dlog(phi). Each answer
+// contributes the same scalar g = s * dQ_a/ds to all three of its
+// coordinates.
+//
+// Continuous (from Eq. 5): s*d/ds[-ln(2 pi s)/2 - (d^2+v)/(2s)]
+// = -1/2 + (d^2+v)/(2s).
+//
+// Categorical: with x = eps/sqrt(2 s) and g(s) = erf(x),
+// dg/ds = -(x/(sqrt(pi))) e^{-x^2} / s, so
+// s*dQ_a/ds = (x e^{-x^2}/sqrt(pi)) * [(1-p)/(1-g) - p/g], evaluated in log
+// space so the q -> 1 and q -> 0 tails stay finite.
+func (m *Model) qGradLog(alpha, beta, phi []float64) (ga, gb, gp []float64) {
+	if w := m.effectiveParallelism(); w > 1 {
+		return m.qGradLogParallel(alpha, beta, phi, w)
+	}
+	ga = make([]float64, len(alpha))
+	gb = make([]float64, len(beta))
+	gp = make([]float64, len(phi))
+	m.priorGradLog(alpha, beta, phi, ga, gb, gp)
+	m.qGradLogRange(alpha, beta, phi, 0, len(m.ans), ga, gb, gp)
+	return ga, gb, gp
+}
+
+// priorGradLog accumulates the parameter-prior gradients in log space.
+func (m *Model) priorGradLog(alpha, beta, phi, ga, gb, gp []float64) {
+	o := m.Opts
+	for k, p := range phi {
+		gp[k] += -(o.PhiPriorA + 1) + o.PhiPriorB/p
+	}
+	if !o.FixDifficulty {
+		s2 := o.DiffPriorSigma * o.DiffPriorSigma
+		for i, a := range alpha {
+			ga[i] -= math.Log(a) / s2
+		}
+		for j, b := range beta {
+			gb[j] -= math.Log(b) / s2
+		}
+	}
+}
+
+// qGradLogRange accumulates the data-term gradients for answers [lo, hi).
+func (m *Model) qGradLogRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp []float64) {
+	for idx := lo; idx < hi; idx++ {
+		a := &m.ans[idx]
+		s := alpha[a.i] * beta[a.j] * phi[a.w]
+		clamped := s < minS || s > maxS
+		s = stats.Clamp(s, minS, maxS)
+		var g float64
+		if a.isCat {
+			p := m.CatPost[a.i][a.j][a.label]
+			x := m.Opts.Eps / math.Sqrt(2*s)
+			lnD := math.Log(x/math.SqrtPi) - x*x
+			lnQ, lnNotQ := logQ(m.Opts.Eps, s)
+			termA := 0.0
+			if p > 0 {
+				termA = math.Exp(math.Log(p) + lnD - lnQ)
+			}
+			termB := 0.0
+			if p < 1 {
+				termB = math.Exp(math.Log(1-p) + lnD - lnNotQ)
+			}
+			g = termB - termA
+		} else {
+			mu, v := m.ContMu[a.i][a.j], m.ContVar[a.i][a.j]
+			d := a.z - mu
+			g = -0.5 + (d*d+v)/(2*s)
+		}
+		if clamped {
+			// At the variance clamp the objective is flat; do not push
+			// parameters further out.
+			g = 0
+		}
+		ga[a.i] += g
+		gb[a.j] += g
+		gp[a.w] += g
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel EM — the "acceleration of truth inference ... by parallel
+// computation" the paper lists as future work (Sec. 7). Both EM halves
+// decompose cleanly:
+//
+//   - the E-step treats cells independently given the parameters, so cells
+//     shard across goroutines;
+//   - the M-step objective and gradient are sums over answers, so answer
+//     ranges shard and per-shard partial gradients reduce at the end.
+//
+// Parallelism is opt-in (Options.Parallelism > 1): the sequential path
+// stays allocation-light for the small online refreshes, while full-table
+// inference on large logs gets near-linear speedup.
+
+// eStepParallel is the sharded version of eStep.
+func (m *Model) eStepParallel(workers int) {
+	n, mm := m.Table.NumRows(), m.Table.NumCols()
+	total := n * mm
+	var wg sync.WaitGroup
+	chunk := (total + workers - 1) / workers
+	for start := 0; start < total; start += chunk {
+		end := start + chunk
+		if end > total {
+			end = total
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for key := lo; key < hi; key++ {
+				idxs := m.byCell[key]
+				if len(idxs) == 0 {
+					continue
+				}
+				i, j := key/mm, key%mm
+				if m.ans[idxs[0]].isCat {
+					m.updateCatCell(i, j, idxs)
+				} else {
+					m.updateContCell(i, j, idxs)
+				}
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// qValueParallel shards the M-step objective over answer ranges.
+func (m *Model) qValueParallel(alpha, beta, phi []float64, workers int) float64 {
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(m.ans) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= len(m.ans) {
+			break
+		}
+		if hi > len(m.ans) {
+			hi = len(m.ans)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = m.qValueRange(alpha, beta, phi, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	sum := m.paramLogPrior(alpha, beta, phi)
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// qGradLogParallel shards the gradient over answer ranges with per-shard
+// accumulators reduced at the end (no atomics on the hot path).
+func (m *Model) qGradLogParallel(alpha, beta, phi []float64, workers int) (ga, gb, gp []float64) {
+	type grads struct {
+		a, b, p []float64
+	}
+	partial := make([]grads, workers)
+	var wg sync.WaitGroup
+	chunk := (len(m.ans) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= len(m.ans) {
+			break
+		}
+		if hi > len(m.ans) {
+			hi = len(m.ans)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := grads{
+				a: make([]float64, len(alpha)),
+				b: make([]float64, len(beta)),
+				p: make([]float64, len(phi)),
+			}
+			m.qGradLogRange(alpha, beta, phi, lo, hi, g.a, g.b, g.p)
+			partial[w] = g
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	ga = make([]float64, len(alpha))
+	gb = make([]float64, len(beta))
+	gp = make([]float64, len(phi))
+	m.priorGradLog(alpha, beta, phi, ga, gb, gp)
+	for _, g := range partial {
+		if g.a == nil {
+			continue
+		}
+		for i := range ga {
+			ga[i] += g.a[i]
+		}
+		for j := range gb {
+			gb[j] += g.b[j]
+		}
+		for k := range gp {
+			gp[k] += g.p[k]
+		}
+	}
+	return ga, gb, gp
+}
+
+// effectiveParallelism resolves the Parallelism option.
+func (m *Model) effectiveParallelism() int {
+	p := m.Opts.Parallelism
+	if p <= 1 {
+		return 1
+	}
+	if max := runtime.GOMAXPROCS(0); p > max {
+		p = max
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}

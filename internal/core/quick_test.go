@@ -1,0 +1,132 @@
+package core
+
+// Property-based tests (testing/quick) on the inference invariants.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcrowd/internal/tabular"
+)
+
+// randomWorkload builds a random small table + answer log from a seed.
+func randomWorkload(rng *rand.Rand) (*tabular.Table, *tabular.AnswerLog) {
+	nRows := 2 + rng.Intn(5)
+	nLabels := 2 + rng.Intn(5)
+	labels := make([]string, nLabels)
+	for i := range labels {
+		labels[i] = string(rune('a' + i))
+	}
+	s := tabular.Schema{
+		Key: "id",
+		Columns: []tabular.Column{
+			{Name: "cat", Type: tabular.Categorical, Labels: labels},
+			{Name: "num", Type: tabular.Continuous, Min: 0, Max: 100},
+		},
+	}
+	tbl := tabular.NewTable(s, nRows)
+	log := tabular.NewAnswerLog()
+	nWorkers := 2 + rng.Intn(5)
+	for w := 0; w < nWorkers; w++ {
+		u := tabular.WorkerID(rune('A' + w))
+		for i := 0; i < nRows; i++ {
+			if rng.Float64() < 0.3 {
+				continue // sparse coverage
+			}
+			log.Add(tabular.Answer{Worker: u, Cell: tabular.Cell{Row: i, Col: 0}, Value: tabular.LabelValue(rng.Intn(nLabels))})
+			log.Add(tabular.Answer{Worker: u, Cell: tabular.Cell{Row: i, Col: 1}, Value: tabular.NumberValue(rng.Float64() * 100)})
+		}
+	}
+	return tbl, log
+}
+
+func TestQuickInferInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(31))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, log := randomWorkload(rng)
+		m, err := Infer(tbl, log, Options{MaxIter: 8})
+		if err == ErrNoAnswers {
+			return true
+		}
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Invariant 1: every categorical posterior is a distribution.
+		for i := 0; i < tbl.NumRows(); i++ {
+			if post := m.CatPost[i][0]; post != nil {
+				sum := 0.0
+				for _, p := range post {
+					if p < -1e-12 || math.IsNaN(p) {
+						return false
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+			// Invariant 2: continuous posterior variance is in (0, prior].
+			if m.Answered[i][1] {
+				v := m.ContVar[i][1]
+				if !(v > 0) || v > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		// Invariant 3: parameters positive and finite.
+		for _, p := range m.Phi {
+			if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
+				return false
+			}
+		}
+		for _, a := range append(append([]float64(nil), m.Alpha...), m.Beta...) {
+			if !(a > 0) || math.IsInf(a, 0) {
+				return false
+			}
+		}
+		// Invariant 4: estimates exist iff the cell was answered.
+		est := m.Estimates()
+		for i := 0; i < tbl.NumRows(); i++ {
+			for j := 0; j < tbl.NumCols(); j++ {
+				if m.Answered[i][j] == est[i][j].IsNone() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeterminism(t *testing.T) {
+	// Same input -> byte-identical output: EM has no hidden randomness.
+	rng := rand.New(rand.NewSource(77))
+	tbl, log := randomWorkload(rng)
+	a, err := Infer(tbl, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Infer(tbl, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Phi {
+		if a.Phi[k] != b.Phi[k] {
+			t.Fatal("phi differs across identical runs")
+		}
+	}
+	ae, be := a.Estimates(), b.Estimates()
+	for i := range ae {
+		for j := range ae[i] {
+			if !ae[i][j].Equal(be[i][j]) {
+				t.Fatal("estimates differ across identical runs")
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tcrowd/internal/assign"
+	"tcrowd/internal/baselines"
+	"tcrowd/internal/core"
+	"tcrowd/internal/metrics"
+	"tcrowd/internal/simulate"
+	"tcrowd/internal/stats"
+)
+
+// AblationResult is one named comparison from the DESIGN.md ablation list.
+type AblationResult struct {
+	Name     string
+	Variant  string
+	Report   metrics.Report
+	Seconds  float64
+	Comments string
+}
+
+// Ablations runs the design-choice comparisons DESIGN.md calls out:
+// unified vs per-datatype inference, cell difficulty on/off, structure-
+// aware vs inherent assignment, M-step budget, and batch top-K size.
+func Ablations(cfg Config) ([]AblationResult, error) {
+	c := cfg.withDefaults()
+	var out []AblationResult
+
+	// 1. Unified quality vs per-datatype models (Celebrity).
+	ds, log, err := fixedLog("Celebrity", c.Seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range []baselines.Method{baselines.TCrowd{}, baselines.TCOnlyCate{}, baselines.TCOnlyCont{}} {
+		est, err := m.Infer(ds.Table, log)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Name:    "unified-quality",
+			Variant: m.Name(),
+			Report:  metrics.Evaluate(ds.Table, est, log),
+		})
+	}
+
+	// 2. Cell difficulty on/off, on a synthetic table with strong
+	// difficulty spread so the effect is visible.
+	sds := simulate.Generate(stats.NewRNG(c.Seed+11), simulate.TableConfig{
+		Rows: 60, Cols: 8, CatRatio: 0.5, MeanDifficulty: 1.5, DifficultySpread: 0.7,
+		Population: simulate.PopulationConfig{N: 40},
+	})
+	slog := simulate.NewCrowd(sds, c.Seed+12).FixedAssignment(5)
+	for _, fix := range []bool{false, true} {
+		m, err := core.Infer(sds.Table, slog, core.Options{FixDifficulty: fix})
+		if err != nil {
+			return nil, err
+		}
+		variant := "alpha-beta-learned"
+		if fix {
+			variant = "alpha-beta-frozen"
+		}
+		out = append(out, AblationResult{
+			Name:    "cell-difficulty",
+			Variant: variant,
+			Report:  metrics.Evaluate(sds.Table, m.Estimates(), slog),
+		})
+	}
+
+	// 3. Structure-aware vs inherent IG (Restaurant, end of budget).
+	rds, err := simulate.StandIn("Restaurant", c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eval := []float64{3}
+	if c.Quick {
+		eval = []float64{2}
+	}
+	polResults, err := assign.RunPolicyComparison(rds,
+		[]assign.Policy{assign.InherentIG{}, assign.StructureIG{}},
+		assign.SimConfig{EvalAt: eval, Seed: c.Seed + 13, RefreshEvery: 12})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range polResults {
+		out = append(out, AblationResult{
+			Name:    "structure-aware",
+			Variant: r.System,
+			Report:  r.Curve[len(r.Curve)-1].Report,
+		})
+	}
+
+	// 4. M-step gradient budget: quality/time trade-off.
+	for _, iters := range []int{2, 20, 60} {
+		start := time.Now()
+		m, err := core.Infer(ds.Table, log, core.Options{MStepIter: iters})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Name:    "mstep-budget",
+			Variant: fmt.Sprintf("%d-gradient-steps", iters),
+			Report:  metrics.Evaluate(ds.Table, m.Estimates(), log),
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+
+	// 5. Batch size: greedy top-K with K=1 vs K=M (Sec. 5.3).
+	for _, batch := range []int{1, rds.Table.NumCols()} {
+		sys := assign.NewTCrowdSystem(c.Seed + 14)
+		r, err := assign.RunOnline(rds, sys, assign.SimConfig{
+			EvalAt: eval, Seed: c.Seed + 14, RefreshEvery: 12, Batch: batch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Name:    "batch-size",
+			Variant: fmt.Sprintf("K=%d", batch),
+			Report:  r.Curve[len(r.Curve)-1].Report,
+		})
+	}
+	return out, nil
+}
+
+func runAblations(w io.Writer, cfg Config) error {
+	results, err := Ablations(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s %-22s %12s %12s %10s\n", "Ablation", "Variant", "Error Rate", "MNAD", "Seconds")
+	for _, r := range results {
+		secs := ""
+		if r.Seconds > 0 {
+			secs = fmt.Sprintf("%.2f", r.Seconds)
+		}
+		fmt.Fprintf(w, "%-18s %-22s %12s %12s %10s\n",
+			r.Name, r.Variant, fmtMetric(r.Report.ErrorRate), fmtMetric(r.Report.MNAD), secs)
+	}
+	return nil
+}

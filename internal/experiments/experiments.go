@@ -1,0 +1,88 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 6) on the simulated stand-ins. Each experiment has an
+// id (table6, table7, fig2 ... fig12, ablation), prints the same rows or
+// series the paper reports, and returns structured results for tests and
+// benchmarks. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Trials is the number of repetitions averaged in synthetic sweeps
+	// (default 5; the paper used 100).
+	Trials int
+	// Quick shrinks workloads for tests and smoke benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Trials <= 0 {
+		c.Trials = 5
+		if c.Quick {
+			c.Trials = 2
+		}
+	}
+	return c
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, cfg Config) error
+}
+
+// All lists every experiment in the paper's order.
+func All() []Experiment {
+	return []Experiment{
+		{"table6", "Dataset statistics", runTable6},
+		{"table7", "Effectiveness of truth inference", runTable7},
+		{"fig2", "End-to-end task assignment comparison", runFig2},
+		{"fig3", "Uniform worker quality heat map", runFig3},
+		{"fig4", "Estimated vs actual worker quality", runFig4},
+		{"fig5", "Assignment heuristics", runFig5},
+		{"fig6", "Correlation among attributes", runFig6},
+		{"fig7", "Effect of the number of columns", runFig7},
+		{"fig8", "Effect of the ratio of categorical columns", runFig8},
+		{"fig9", "Effect of average difficulty", runFig9},
+		{"fig10", "Noise in workers' answers", runFig10},
+		{"fig11", "Efficiency of assignment", runFig11},
+		{"fig12", "Efficiency of truth inference", runFig12},
+		{"ablation", "Design-choice ablations", runAblations},
+	}
+}
+
+// Run executes one experiment by id.
+func Run(id string, w io.Writer, cfg Config) error {
+	for _, e := range All() {
+		if e.ID == id {
+			fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+			return e.Run(w, cfg)
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}
+
+// fmtMetric renders a metric cell, using "/" for NaN exactly as the
+// paper's tables do.
+func fmtMetric(x float64) string {
+	if x != x { // NaN
+		return "/"
+	}
+	return fmt.Sprintf("%.4f", x)
+}

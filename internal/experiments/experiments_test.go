@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+var quick = Config{Seed: 5, Quick: true, Trials: 1}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"table6", "table7", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"}
+	got := map[string]bool{}
+	for _, e := range All() {
+		got[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Run("nope", &buf, quick); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTable6Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table6", &buf, quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Celebrity", "Restaurant", "Emotion", "1218", "1015", "700"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable7QuickShape(t *testing.T) {
+	results, err := Table7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 11 { // 11 methods x 1 dataset in quick mode
+		t.Fatalf("got %d results", len(results))
+	}
+	var tcER, mvER float64 = math.NaN(), math.NaN()
+	for _, r := range results {
+		if r.Dataset != "Restaurant" {
+			t.Fatalf("quick mode leaked dataset %s", r.Dataset)
+		}
+		switch r.Method {
+		case "T-Crowd":
+			tcER = r.Report.ErrorRate
+		case "Majority Voting":
+			mvER = r.Report.ErrorRate
+		}
+	}
+	if math.IsNaN(tcER) || math.IsNaN(mvER) {
+		t.Fatal("missing headline methods")
+	}
+	if tcER > mvER+0.03 {
+		t.Fatalf("T-Crowd %.4f clearly worse than MV %.4f", tcER, mvER)
+	}
+}
+
+func TestFig4Calibration(t *testing.T) {
+	res, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports r = 0.844 / 0.841; on the stand-in we accept any
+	// clearly positive calibration.
+	if res.CatR < 0.3 {
+		t.Fatalf("categorical calibration too weak: %v", res.CatR)
+	}
+	if res.ContR < 0.3 {
+		t.Fatalf("continuous calibration too weak: %v", res.ContR)
+	}
+	if res.NCat < 20 || res.NCont < 20 {
+		t.Fatalf("too few workers: %d/%d", res.NCat, res.NCont)
+	}
+}
+
+func TestFig6Correlations(t *testing.T) {
+	res, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Contingency[0][0] + res.Contingency[0][1] + res.Contingency[1][0] + res.Contingency[1][1]
+	if total < 400 {
+		t.Fatalf("too few contingency pairs: %d", total)
+	}
+	// The Fig. 6 claim: being right on Aspect predicts being right on
+	// Sentiment.
+	if res.PCorrGivenCorr <= res.PCorrGivenWrong {
+		t.Fatalf("correlation inverted: %v vs %v", res.PCorrGivenCorr, res.PCorrGivenWrong)
+	}
+	if res.StartEnd.Rho() < 0.05 {
+		t.Fatalf("start/end errors uncorrelated: rho=%v", res.StartEnd.Rho())
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	pts, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*4 { // 2 params x 4 methods
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Method == "T-Crowd" && math.IsNaN(pt.ErrorRate) {
+			t.Fatal("T-Crowd missing error rate")
+		}
+		if pt.Method == "GLAD" && !math.IsNaN(pt.MNAD) {
+			t.Fatal("GLAD should have no MNAD")
+		}
+		if pt.Method == "GTM" && !math.IsNaN(pt.ErrorRate) {
+			t.Fatal("GTM should have no error rate")
+		}
+	}
+}
+
+func TestFig10NoiseDegradesQuality(t *testing.T) {
+	pts, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error rate at gamma=0.4 should exceed gamma=0.1 for every
+	// categorical method.
+	er := map[string]map[float64]float64{}
+	for _, pt := range pts {
+		if math.IsNaN(pt.ErrorRate) {
+			continue
+		}
+		if er[pt.Method] == nil {
+			er[pt.Method] = map[float64]float64{}
+		}
+		er[pt.Method][pt.Gamma] = pt.ErrorRate
+	}
+	for m, byGamma := range er {
+		if byGamma[0.4] <= byGamma[0.1] {
+			t.Fatalf("%s: noise did not degrade error rate (%.4f -> %.4f)", m, byGamma[0.1], byGamma[0.4])
+		}
+	}
+}
+
+func TestFig12ObjectiveAndScaling(t *testing.T) {
+	res, err := Fig12(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objective) < 2 {
+		t.Fatal("no objective trace")
+	}
+	for i := 1; i < len(res.Objective); i++ {
+		if res.Objective[i] < res.Objective[i-1]-1e-6 {
+			t.Fatalf("objective decreased at iter %d", i)
+		}
+	}
+	if len(res.Runtime) != 2 {
+		t.Fatalf("runtime points: %d", len(res.Runtime))
+	}
+	// Roughly linear scaling: 5x the answers should cost well under 25x
+	// the time (quadratic would be ~25x).
+	r0, r1 := res.Runtime[0], res.Runtime[1]
+	ratioAnswers := float64(r1.Answers) / float64(r0.Answers)
+	ratioTime := r1.Seconds / r0.Seconds
+	if ratioTime > 5*ratioAnswers {
+		t.Fatalf("superlinear scaling: answers x%.1f, time x%.1f", ratioAnswers, ratioTime)
+	}
+}
+
+func TestRunAllQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow smoke test")
+	}
+	for _, e := range All() {
+		var buf bytes.Buffer
+		if err := Run(e.ID, &buf, quick); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", e.ID)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package metrics implements the effectiveness measures of the paper's
+// evaluation (Sec. 6.2): Error Rate for categorical data and MNAD (mean
+// normalized absolute distance — per-column RMSE normalised by the column's
+// answer standard deviation, averaged over continuous columns), plus the
+// per-worker error summaries behind the case studies (Figs. 3, 4).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// Estimates holds one estimated truth value per cell (row-major), with
+// Value{} (None) marking cells a method did not estimate.
+type Estimates [][]tabular.Value
+
+// NewEstimates allocates an all-None estimate grid for table t.
+func NewEstimates(t *tabular.Table) Estimates {
+	e := make(Estimates, t.NumRows())
+	for i := range e {
+		e[i] = make([]tabular.Value, t.NumCols())
+	}
+	return e
+}
+
+// At returns the estimate for cell c.
+func (e Estimates) At(c tabular.Cell) tabular.Value { return e[c.Row][c.Col] }
+
+// Set stores the estimate for cell c.
+func (e Estimates) Set(c tabular.Cell, v tabular.Value) { e[c.Row][c.Col] = v }
+
+// Report aggregates the paper's two effectiveness measures over one table.
+type Report struct {
+	// ErrorRate is the fraction of categorical cells whose estimate
+	// mismatches the ground truth. NaN when the table has no evaluated
+	// categorical cells.
+	ErrorRate float64
+	// MNAD is the mean over continuous columns of RMSE / column answer
+	// std. NaN when the table has no evaluated continuous cells.
+	MNAD float64
+	// CatCells and ContCells count the cells evaluated per datatype.
+	CatCells, ContCells int
+}
+
+// String renders the report the way the paper's tables do.
+func (r Report) String() string {
+	er := "/"
+	if !math.IsNaN(r.ErrorRate) {
+		er = fmt.Sprintf("%.4f", r.ErrorRate)
+	}
+	mn := "/"
+	if !math.IsNaN(r.MNAD) {
+		mn = fmt.Sprintf("%.4f", r.MNAD)
+	}
+	return fmt.Sprintf("ErrorRate=%s MNAD=%s", er, mn)
+}
+
+// Evaluate compares est against the ground truth of t. The answer log
+// supplies the per-column normalisation denominators for MNAD ("the
+// normalization denominator is the standard deviation of answers in each
+// column", Sec. 6.5.2); when log is nil the ground-truth std is used
+// instead. Cells with no truth or no estimate are skipped.
+func Evaluate(t *tabular.Table, est Estimates, log *tabular.AnswerLog) Report {
+	if !t.HasTruth() {
+		return Report{ErrorRate: math.NaN(), MNAD: math.NaN()}
+	}
+	denom := ColumnDenominators(t, log)
+
+	rep := Report{}
+	wrong := 0
+	// Per-column squared error accumulators for continuous columns.
+	sqErr := make([]float64, t.NumCols())
+	cnt := make([]int, t.NumCols())
+
+	for i := 0; i < t.NumRows(); i++ {
+		for j := 0; j < t.NumCols(); j++ {
+			truth := t.Truth[i][j]
+			guess := est[i][j]
+			if truth.IsNone() || guess.IsNone() {
+				continue
+			}
+			switch t.Schema.Columns[j].Type {
+			case tabular.Categorical:
+				rep.CatCells++
+				if !truth.Equal(guess) {
+					wrong++
+				}
+			case tabular.Continuous:
+				rep.ContCells++
+				d := guess.X - truth.X
+				sqErr[j] += d * d
+				cnt[j]++
+			}
+		}
+	}
+
+	if rep.CatCells > 0 {
+		rep.ErrorRate = float64(wrong) / float64(rep.CatCells)
+	} else {
+		rep.ErrorRate = math.NaN()
+	}
+
+	sum := 0.0
+	cols := 0
+	for j := range sqErr {
+		if cnt[j] == 0 {
+			continue
+		}
+		rmse := math.Sqrt(sqErr[j] / float64(cnt[j]))
+		d := denom[j]
+		if d <= 0 {
+			// Degenerate column: count the raw RMSE so a constant column
+			// with perfect estimates still contributes 0.
+			d = 1
+		}
+		sum += rmse / d
+		cols++
+	}
+	if cols > 0 {
+		rep.MNAD = sum / float64(cols)
+	} else {
+		rep.MNAD = math.NaN()
+	}
+	return rep
+}
+
+// ColumnDenominators returns, per column, the standard deviation used to
+// normalise that column's RMSE: the std of the collected answers when log
+// is non-nil and has answers in the column, otherwise the std of the ground
+// truth values.
+func ColumnDenominators(t *tabular.Table, log *tabular.AnswerLog) []float64 {
+	out := make([]float64, t.NumCols())
+	var perCol [][]float64
+	if log != nil {
+		perCol = make([][]float64, t.NumCols())
+		for _, a := range log.All() {
+			if a.Value.Kind == tabular.Number {
+				perCol[a.Cell.Col] = append(perCol[a.Cell.Col], a.Value.X)
+			}
+		}
+	}
+	for j := 0; j < t.NumCols(); j++ {
+		if t.Schema.Columns[j].Type != tabular.Continuous {
+			continue
+		}
+		if perCol != nil && len(perCol[j]) > 1 {
+			out[j] = stats.StdDev(perCol[j])
+			continue
+		}
+		if t.HasTruth() {
+			var xs []float64
+			for i := 0; i < t.NumRows(); i++ {
+				if v := t.Truth[i][j]; v.Kind == tabular.Number {
+					xs = append(xs, v.X)
+				}
+			}
+			out[j] = stats.StdDev(xs)
+		}
+	}
+	return out
+}
+
+// CurvePoint is one sample of a convergence curve: metrics after the crowd
+// has supplied avg answers per task (the x-axis of Figs. 2 and 5).
+type CurvePoint struct {
+	AnswersPerTask float64
+	Report         Report
+}
+
+// WorkerAttributeError returns, for each worker and column, the error
+// statistic plotted in the Fig. 3 heat map: the fraction of wrong answers
+// for categorical columns and the standard deviation of (answer - truth)
+// for continuous columns. Workers with no answers in a column get NaN.
+func WorkerAttributeError(t *tabular.Table, log *tabular.AnswerLog) map[tabular.WorkerID][]float64 {
+	out := make(map[tabular.WorkerID][]float64, log.NumWorkers())
+	for _, u := range log.Workers() {
+		row := make([]float64, t.NumCols())
+		for j := range row {
+			row[j] = math.NaN()
+		}
+		perColDiffs := make([][]float64, t.NumCols())
+		wrong := make([]int, t.NumCols())
+		total := make([]int, t.NumCols())
+		for _, a := range log.ByWorker(u) {
+			truth := t.Truth[a.Cell.Row][a.Cell.Col]
+			if truth.IsNone() {
+				continue
+			}
+			j := a.Cell.Col
+			switch t.Schema.Columns[j].Type {
+			case tabular.Categorical:
+				total[j]++
+				if !a.Value.Equal(truth) {
+					wrong[j]++
+				}
+			case tabular.Continuous:
+				perColDiffs[j] = append(perColDiffs[j], a.Value.X-truth.X)
+			}
+		}
+		for j := 0; j < t.NumCols(); j++ {
+			switch t.Schema.Columns[j].Type {
+			case tabular.Categorical:
+				if total[j] > 0 {
+					row[j] = float64(wrong[j]) / float64(total[j])
+				}
+			case tabular.Continuous:
+				if len(perColDiffs[j]) > 0 {
+					row[j] = stats.StdDev(perColDiffs[j])
+				}
+			}
+		}
+		out[u] = row
+	}
+	return out
+}
+
+// ActualWorkerQuality computes the "actual quality" axes of the Fig. 4
+// calibration plots: per worker, the categorical error rate over all
+// categorical answers and the std of standardized continuous errors
+// (standardized by the per-column truth std so columns are commensurable).
+// Workers without answers of a kind are absent from the respective map.
+func ActualWorkerQuality(t *tabular.Table, log *tabular.AnswerLog) (cat, cont map[tabular.WorkerID]float64) {
+	cat = make(map[tabular.WorkerID]float64)
+	cont = make(map[tabular.WorkerID]float64)
+	denom := ColumnDenominators(t, nil)
+	for _, u := range log.Workers() {
+		wrong, total := 0, 0
+		var zerrs []float64
+		for _, a := range log.ByWorker(u) {
+			truth := t.Truth[a.Cell.Row][a.Cell.Col]
+			if truth.IsNone() {
+				continue
+			}
+			switch t.Schema.Columns[a.Cell.Col].Type {
+			case tabular.Categorical:
+				total++
+				if !a.Value.Equal(truth) {
+					wrong++
+				}
+			case tabular.Continuous:
+				d := denom[a.Cell.Col]
+				if d <= 0 {
+					d = 1
+				}
+				zerrs = append(zerrs, (a.Value.X-truth.X)/d)
+			}
+		}
+		if total > 0 {
+			cat[u] = float64(wrong) / float64(total)
+		}
+		if len(zerrs) > 0 {
+			cont[u] = stats.StdDev(zerrs)
+		}
+	}
+	return cat, cont
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tcrowd/internal/tabular"
+)
+
+func fixtureTable() *tabular.Table {
+	s := tabular.Schema{
+		Key: "id",
+		Columns: []tabular.Column{
+			{Name: "color", Type: tabular.Categorical, Labels: []string{"r", "g", "b"}},
+			{Name: "size", Type: tabular.Continuous, Min: 0, Max: 100},
+		},
+	}
+	t := tabular.NewTable(s, 4)
+	t.Truth = [][]tabular.Value{
+		{tabular.LabelValue(0), tabular.NumberValue(10)},
+		{tabular.LabelValue(1), tabular.NumberValue(20)},
+		{tabular.LabelValue(2), tabular.NumberValue(30)},
+		{tabular.LabelValue(0), tabular.NumberValue(40)},
+	}
+	return t
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	tbl := fixtureTable()
+	est := NewEstimates(tbl)
+	for i := 0; i < tbl.NumRows(); i++ {
+		for j := 0; j < tbl.NumCols(); j++ {
+			est[i][j] = tbl.Truth[i][j]
+		}
+	}
+	rep := Evaluate(tbl, est, nil)
+	if rep.ErrorRate != 0 {
+		t.Fatalf("ErrorRate=%v", rep.ErrorRate)
+	}
+	if rep.MNAD != 0 {
+		t.Fatalf("MNAD=%v", rep.MNAD)
+	}
+	if rep.CatCells != 4 || rep.ContCells != 4 {
+		t.Fatal("cell counts")
+	}
+}
+
+func TestEvaluateErrorRate(t *testing.T) {
+	tbl := fixtureTable()
+	est := NewEstimates(tbl)
+	for i := 0; i < tbl.NumRows(); i++ {
+		est[i][0] = tabular.LabelValue(1) // correct only for row 1
+		est[i][1] = tbl.Truth[i][1]
+	}
+	rep := Evaluate(tbl, est, nil)
+	if math.Abs(rep.ErrorRate-0.75) > 1e-12 {
+		t.Fatalf("ErrorRate=%v want 0.75", rep.ErrorRate)
+	}
+}
+
+func TestEvaluateMNADNormalisation(t *testing.T) {
+	tbl := fixtureTable()
+	est := NewEstimates(tbl)
+	for i := 0; i < tbl.NumRows(); i++ {
+		est[i][0] = tbl.Truth[i][0]
+		// Constant offset of +5 in the continuous column.
+		est[i][1] = tabular.NumberValue(tbl.Truth[i][1].X + 5)
+	}
+	// Truth std of {10,20,30,40} (population) = sqrt(125).
+	rep := Evaluate(tbl, est, nil)
+	want := 5 / math.Sqrt(125)
+	if math.Abs(rep.MNAD-want) > 1e-12 {
+		t.Fatalf("MNAD=%v want %v", rep.MNAD, want)
+	}
+
+	// With an answer log, the denominator switches to the answers' std.
+	log := tabular.NewAnswerLog()
+	for _, x := range []float64{0, 10, 20, 70} { // std = sqrt(725)
+		log.Add(tabular.Answer{Worker: "u", Cell: tabular.Cell{Row: 0, Col: 1}, Value: tabular.NumberValue(x)})
+	}
+	rep2 := Evaluate(tbl, est, log)
+	want2 := 5 / math.Sqrt(725)
+	if math.Abs(rep2.MNAD-want2) > 1e-12 {
+		t.Fatalf("MNAD(log)=%v want %v", rep2.MNAD, want2)
+	}
+}
+
+func TestEvaluateSkipsNones(t *testing.T) {
+	tbl := fixtureTable()
+	est := NewEstimates(tbl)
+	est[0][0] = tabular.LabelValue(0) // only one estimated cell
+	rep := Evaluate(tbl, est, nil)
+	if rep.CatCells != 1 || rep.ErrorRate != 0 {
+		t.Fatal("None cells must be skipped")
+	}
+	if !math.IsNaN(rep.MNAD) {
+		t.Fatal("MNAD must be NaN with no continuous estimates")
+	}
+	// No truth at all.
+	noTruth := tabular.NewTable(tbl.Schema, 2)
+	rep2 := Evaluate(noTruth, NewEstimates(noTruth), nil)
+	if !math.IsNaN(rep2.ErrorRate) || !math.IsNaN(rep2.MNAD) {
+		t.Fatal("truthless evaluation must be NaN")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{ErrorRate: 0.0441, MNAD: math.NaN()}
+	s := r.String()
+	if !strings.Contains(s, "0.0441") || !strings.Contains(s, "MNAD=/") {
+		t.Fatalf("String()=%q", s)
+	}
+}
+
+func TestEstimatesAccessors(t *testing.T) {
+	tbl := fixtureTable()
+	est := NewEstimates(tbl)
+	c := tabular.Cell{Row: 2, Col: 1}
+	est.Set(c, tabular.NumberValue(7))
+	if !est.At(c).Equal(tabular.NumberValue(7)) {
+		t.Fatal("Set/At")
+	}
+}
+
+func TestColumnDenominatorsDegenerate(t *testing.T) {
+	tbl := fixtureTable()
+	// Constant truth column -> zero std, Evaluate must not divide by 0.
+	for i := range tbl.Truth {
+		tbl.Truth[i][1] = tabular.NumberValue(5)
+	}
+	est := NewEstimates(tbl)
+	for i := 0; i < tbl.NumRows(); i++ {
+		est[i][0] = tbl.Truth[i][0]
+		est[i][1] = tabular.NumberValue(5)
+	}
+	rep := Evaluate(tbl, est, nil)
+	if rep.MNAD != 0 {
+		t.Fatalf("degenerate column should give MNAD 0, got %v", rep.MNAD)
+	}
+}
+
+func TestWorkerAttributeError(t *testing.T) {
+	tbl := fixtureTable()
+	log := tabular.NewAnswerLog()
+	// u1: 1 right, 1 wrong on categorical; two continuous answers off by
+	// +1 and -1 (std of diffs = 1).
+	log.Add(tabular.Answer{Worker: "u1", Cell: tabular.Cell{Row: 0, Col: 0}, Value: tabular.LabelValue(0)})
+	log.Add(tabular.Answer{Worker: "u1", Cell: tabular.Cell{Row: 1, Col: 0}, Value: tabular.LabelValue(0)})
+	log.Add(tabular.Answer{Worker: "u1", Cell: tabular.Cell{Row: 0, Col: 1}, Value: tabular.NumberValue(11)})
+	log.Add(tabular.Answer{Worker: "u1", Cell: tabular.Cell{Row: 1, Col: 1}, Value: tabular.NumberValue(19)})
+	m := WorkerAttributeError(tbl, log)
+	row := m["u1"]
+	if math.Abs(row[0]-0.5) > 1e-12 {
+		t.Fatalf("cat error = %v", row[0])
+	}
+	if math.Abs(row[1]-1) > 1e-12 {
+		t.Fatalf("cont std = %v", row[1])
+	}
+	// Worker with no continuous answers gets NaN there.
+	log.Add(tabular.Answer{Worker: "u2", Cell: tabular.Cell{Row: 2, Col: 0}, Value: tabular.LabelValue(2)})
+	m = WorkerAttributeError(tbl, log)
+	if !math.IsNaN(m["u2"][1]) || m["u2"][0] != 0 {
+		t.Fatalf("u2 row = %v", m["u2"])
+	}
+}
+
+func TestActualWorkerQuality(t *testing.T) {
+	tbl := fixtureTable()
+	log := tabular.NewAnswerLog()
+	log.Add(tabular.Answer{Worker: "u1", Cell: tabular.Cell{Row: 0, Col: 0}, Value: tabular.LabelValue(1)}) // wrong
+	log.Add(tabular.Answer{Worker: "u1", Cell: tabular.Cell{Row: 1, Col: 0}, Value: tabular.LabelValue(1)}) // right
+	log.Add(tabular.Answer{Worker: "u1", Cell: tabular.Cell{Row: 0, Col: 1}, Value: tabular.NumberValue(12)})
+	log.Add(tabular.Answer{Worker: "u1", Cell: tabular.Cell{Row: 1, Col: 1}, Value: tabular.NumberValue(18)})
+	cat, cont := ActualWorkerQuality(tbl, log)
+	if math.Abs(cat["u1"]-0.5) > 1e-12 {
+		t.Fatalf("cat quality = %v", cat["u1"])
+	}
+	if cont["u1"] <= 0 {
+		t.Fatalf("cont quality = %v", cont["u1"])
+	}
+	if _, ok := cat["ghost"]; ok {
+		t.Fatal("phantom worker")
+	}
+}

@@ -1,0 +1,260 @@
+// Package optimize implements the first-order optimisation routines used by
+// T-Crowd's M-step ("we apply gradient descent to find the values of alpha,
+// beta and phi that locally maximize Q", Sec. 4.3 of the paper) and by the
+// GLAD baseline.
+//
+// The package provides plain gradient descent with Armijo backtracking line
+// search, a numerical differentiator used to cross-check analytic gradients
+// in tests, and a log-space reparameterisation helper that keeps positive
+// parameters (variances, difficulties) positive without projection.
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDimension is returned when a gradient or start vector has the wrong
+// length.
+var ErrDimension = errors.New("optimize: dimension mismatch")
+
+// Func is an objective to be minimised.
+type Func func(x []float64) float64
+
+// GradFunc writes the gradient of the objective at x into grad.
+type GradFunc func(x, grad []float64)
+
+// Options controls Minimize.
+type Options struct {
+	// MaxIter bounds the number of outer gradient steps. Default 200.
+	MaxIter int
+	// GradTol stops when the max-norm of the gradient falls below it.
+	// Default 1e-6.
+	GradTol float64
+	// FuncTol stops when the relative objective improvement falls below
+	// it. Default 1e-10.
+	FuncTol float64
+	// InitStep is the first trial step of each backtracking search.
+	// Default 1.0.
+	InitStep float64
+	// Backtrack is the multiplicative step decay in (0,1). Default 0.5.
+	Backtrack float64
+	// Armijo is the sufficient-decrease coefficient in (0,1). Default 1e-4.
+	Armijo float64
+	// MaxBacktracks bounds the inner line search. Default 40.
+	MaxBacktracks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.GradTol <= 0 {
+		o.GradTol = 1e-6
+	}
+	if o.FuncTol <= 0 {
+		o.FuncTol = 1e-10
+	}
+	if o.InitStep <= 0 {
+		o.InitStep = 1.0
+	}
+	if o.Backtrack <= 0 || o.Backtrack >= 1 {
+		o.Backtrack = 0.5
+	}
+	if o.Armijo <= 0 || o.Armijo >= 1 {
+		o.Armijo = 1e-4
+	}
+	if o.MaxBacktracks <= 0 {
+		o.MaxBacktracks = 40
+	}
+	return o
+}
+
+// Result reports the outcome of a minimisation.
+type Result struct {
+	X         []float64 // minimiser found
+	F         float64   // objective at X
+	Iters     int       // outer iterations performed
+	Converged bool      // true if a tolerance fired before MaxIter
+}
+
+// Minimize runs gradient descent with Armijo backtracking from x0 and
+// returns the best point found. f must be finite at x0. The input slice is
+// not modified.
+func Minimize(f Func, grad GradFunc, x0 []float64, opts Options) Result {
+	o := opts.withDefaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	g := make([]float64, n)
+	trial := make([]float64, n)
+
+	fx := f(x)
+	res := Result{X: x, F: fx}
+	if math.IsNaN(fx) || math.IsInf(fx, 0) {
+		return res
+	}
+
+	for it := 0; it < o.MaxIter; it++ {
+		res.Iters = it + 1
+		grad(x, g)
+		gnorm := maxNorm(g)
+		if gnorm < o.GradTol {
+			res.Converged = true
+			break
+		}
+		g2 := dot(g, g)
+
+		step := o.InitStep
+		improved := false
+		for bt := 0; bt < o.MaxBacktracks; bt++ {
+			for i := range x {
+				trial[i] = x[i] - step*g[i]
+			}
+			ft := f(trial)
+			if !math.IsNaN(ft) && !math.IsInf(ft, 0) && ft <= fx-o.Armijo*step*g2 {
+				copy(x, trial)
+				if relImprovement(fx, ft) < o.FuncTol {
+					fx = ft
+					res.Converged = true
+					improved = true
+					break
+				}
+				fx = ft
+				improved = true
+				break
+			}
+			step *= o.Backtrack
+		}
+		if !improved || res.Converged {
+			if !improved {
+				// Line search stalled: we are at numerical precision.
+				res.Converged = true
+			}
+			break
+		}
+	}
+	res.F = fx
+	res.X = x
+	return res
+}
+
+// Maximize runs Minimize on the negated objective. The gradient callback
+// must still produce the gradient of f (not -f).
+func Maximize(f Func, grad GradFunc, x0 []float64, opts Options) Result {
+	neg := func(x []float64) float64 { return -f(x) }
+	negGrad := func(x, g []float64) {
+		grad(x, g)
+		for i := range g {
+			g[i] = -g[i]
+		}
+	}
+	res := Minimize(neg, negGrad, x0, opts)
+	res.F = -res.F
+	return res
+}
+
+// NumericalGradient writes the central-difference gradient of f at x into
+// grad, using per-coordinate step h*(1+|x_i|). It is the reference
+// implementation the analytic gradients are verified against.
+func NumericalGradient(f Func, x []float64, h float64, grad []float64) error {
+	if len(grad) != len(x) {
+		return ErrDimension
+	}
+	if h <= 0 {
+		h = 1e-6
+	}
+	xx := append([]float64(nil), x...)
+	for i := range x {
+		hi := h * (1 + math.Abs(x[i]))
+		xx[i] = x[i] + hi
+		fp := f(xx)
+		xx[i] = x[i] - hi
+		fm := f(xx)
+		xx[i] = x[i]
+		grad[i] = (fp - fm) / (2 * hi)
+	}
+	return nil
+}
+
+// PositiveVec maps between a positive parameter vector and its log-space
+// representation, so unconstrained descent keeps variances/difficulties
+// strictly positive. Bounds guard against numerical blow-up.
+type PositiveVec struct {
+	// MinLog and MaxLog clamp the log-space coordinates. Defaults span
+	// roughly [3e-9, 3e8].
+	MinLog, MaxLog float64
+}
+
+// DefaultPositiveVec uses log-bounds [-19.5, 19.5].
+func DefaultPositiveVec() PositiveVec { return PositiveVec{MinLog: -19.5, MaxLog: 19.5} }
+
+// ToLog writes ln(p) (clamped) into dst and returns it; dst may be nil.
+func (pv PositiveVec) ToLog(p, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(p))
+	}
+	for i, v := range p {
+		if v <= 0 {
+			dst[i] = pv.MinLog
+			continue
+		}
+		l := math.Log(v)
+		if l < pv.MinLog {
+			l = pv.MinLog
+		} else if l > pv.MaxLog {
+			l = pv.MaxLog
+		}
+		dst[i] = l
+	}
+	return dst
+}
+
+// FromLog writes exp(l) into dst and returns it; dst may be nil.
+func (pv PositiveVec) FromLog(l, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(l))
+	}
+	for i, v := range l {
+		if v < pv.MinLog {
+			v = pv.MinLog
+		} else if v > pv.MaxLog {
+			v = pv.MaxLog
+		}
+		dst[i] = math.Exp(v)
+	}
+	return dst
+}
+
+// ChainRuleLog converts a gradient w.r.t. a positive parameter p into the
+// gradient w.r.t. its log-space coordinate: d/d(log p) = p * d/dp.
+func ChainRuleLog(p, gradP, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(p))
+	}
+	for i := range p {
+		dst[i] = p[i] * gradP[i]
+	}
+	return dst
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func maxNorm(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+func relImprovement(old, new float64) float64 {
+	return math.Abs(old-new) / (math.Abs(old) + 1)
+}

@@ -1,0 +1,392 @@
+// Package platform implements the crowdsourcing-platform substrate of the
+// paper's system architecture (Fig. 1): a requester registers the schema of
+// the tabular data to collect, tasks are published, incoming workers are
+// dynamically assigned cells (the AMT "external-HIT" pattern, Sec. 3), their
+// answers are logged durably, and truth inference runs over the collected
+// answers on demand.
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"tcrowd/internal/assign"
+	"tcrowd/internal/core"
+	"tcrowd/internal/metrics"
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// Common errors.
+var (
+	ErrNoProject       = errors.New("platform: no such project")
+	ErrDuplicateID     = errors.New("platform: project id already exists")
+	ErrAlreadyAnswered = errors.New("platform: worker already answered this cell")
+)
+
+// Project is one crowdsourcing campaign: a table to fill plus its answers.
+type Project struct {
+	ID    string
+	Table *tabular.Table
+	Log   *tabular.AnswerLog
+
+	// sys is the assignment engine; nil means fewest-answers-first with
+	// random tie-breaking (the CrowdDB/Deco-style default).
+	sys assign.System
+	// refreshEvery controls how many submissions may elapse between
+	// inference refreshes of sys.
+	refreshEvery int
+	sinceRefresh int
+	rng          *rand.Rand
+}
+
+// Platform hosts projects and is safe for concurrent use.
+type Platform struct {
+	mu       sync.Mutex
+	projects map[string]*Project
+	seed     int64
+}
+
+// New returns an empty platform; seed drives assignment tie-breaking.
+func New(seed int64) *Platform {
+	return &Platform{projects: make(map[string]*Project), seed: seed}
+}
+
+// ProjectConfig configures CreateProject.
+type ProjectConfig struct {
+	// Rows is the number of entities to collect.
+	Rows int
+	// Entities optionally names the rows (len must equal Rows if set).
+	Entities []string
+	// UseTCrowdAssignment enables the structure-aware T-Crowd assignment
+	// engine; otherwise tasks are served fewest-answers-first.
+	UseTCrowdAssignment bool
+	// RefreshEvery bounds submissions between inference refreshes of the
+	// assignment engine (default 25).
+	RefreshEvery int
+}
+
+// CreateProject registers a new campaign.
+func (p *Platform) CreateProject(id string, schema tabular.Schema, cfg ProjectConfig) (*Project, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rows <= 0 {
+		return nil, fmt.Errorf("platform: project %q needs at least one row", id)
+	}
+	if cfg.Entities != nil && len(cfg.Entities) != cfg.Rows {
+		return nil, fmt.Errorf("platform: %d entities for %d rows", len(cfg.Entities), cfg.Rows)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.projects[id]; dup {
+		return nil, ErrDuplicateID
+	}
+	tbl := tabular.NewTable(schema, cfg.Rows)
+	if cfg.Entities != nil {
+		tbl.Entities = append([]string(nil), cfg.Entities...)
+	}
+	proj := &Project{
+		ID:           id,
+		Table:        tbl,
+		Log:          tabular.NewAnswerLog(),
+		refreshEvery: cfg.RefreshEvery,
+		rng:          stats.NewRNG(p.seed + int64(len(p.projects))),
+	}
+	if proj.refreshEvery <= 0 {
+		proj.refreshEvery = 25
+	}
+	if cfg.UseTCrowdAssignment {
+		proj.sys = assign.NewTCrowdSystem(p.seed)
+	}
+	p.projects[id] = proj
+	return proj, nil
+}
+
+// Project returns a registered project.
+func (p *Platform) Project(id string) (*Project, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, ok := p.projects[id]
+	if !ok {
+		return nil, ErrNoProject
+	}
+	return proj, nil
+}
+
+// ProjectIDs lists projects sorted by id.
+func (p *Platform) ProjectIDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.projects))
+	for id := range p.projects {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Task is what a worker receives: the cell plus everything needed to
+// render the question.
+type Task struct {
+	Row    int      `json:"row"`
+	Entity string   `json:"entity"`
+	Column string   `json:"column"`
+	Type   string   `json:"type"`
+	Labels []string `json:"labels,omitempty"`
+}
+
+// RequestTasks assigns up to k cells to worker u (the external-HIT hook):
+// via the project's T-Crowd engine when enabled, otherwise
+// fewest-answers-first with random tie-breaking.
+func (p *Platform) RequestTasks(projectID string, u tabular.WorkerID, k int) ([]Task, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, ok := p.projects[projectID]
+	if !ok {
+		return nil, ErrNoProject
+	}
+	if k <= 0 {
+		k = proj.Table.NumCols()
+	}
+	var cells []tabular.Cell
+	if proj.sys != nil {
+		if proj.sinceRefresh == 0 { // also covers the very first request
+			if err := proj.sys.Refresh(proj.Table, proj.Log); err != nil {
+				return nil, err
+			}
+		}
+		cells = proj.sys.Select(u, k, proj.Log)
+	}
+	if len(cells) == 0 {
+		cells = proj.fewestAnswersFirst(u, k)
+	}
+	out := make([]Task, len(cells))
+	for i, c := range cells {
+		col := proj.Table.Schema.Columns[c.Col]
+		out[i] = Task{
+			Row:    c.Row,
+			Entity: proj.Table.Entities[c.Row],
+			Column: col.Name,
+			Type:   col.Type.String(),
+			Labels: col.Labels,
+		}
+	}
+	return out, nil
+}
+
+// fewestAnswersFirst returns up to k cells unanswered by u, preferring
+// cells with the fewest collected answers.
+func (proj *Project) fewestAnswersFirst(u tabular.WorkerID, k int) []tabular.Cell {
+	type cand struct {
+		c tabular.Cell
+		n int
+		r float64
+	}
+	var cands []cand
+	answered := map[tabular.Cell]bool{}
+	for _, a := range proj.Log.ByWorker(u) {
+		answered[a.Cell] = true
+	}
+	for i := 0; i < proj.Table.NumRows(); i++ {
+		for j := 0; j < proj.Table.NumCols(); j++ {
+			c := tabular.Cell{Row: i, Col: j}
+			if answered[c] {
+				continue
+			}
+			cands = append(cands, cand{c: c, n: proj.Log.CountByCell(c), r: proj.rng.Float64()})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].n != cands[b].n {
+			return cands[a].n < cands[b].n
+		}
+		return cands[a].r < cands[b].r
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]tabular.Cell, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].c
+	}
+	return out
+}
+
+// Submit records worker u's answer for (row, column). Values are validated
+// against the schema, and double answers by the same worker are rejected.
+func (p *Platform) Submit(projectID string, u tabular.WorkerID, row int, column string, value tabular.Value) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, ok := p.projects[projectID]
+	if !ok {
+		return ErrNoProject
+	}
+	j := proj.Table.Schema.ColumnIndex(column)
+	if j < 0 {
+		return fmt.Errorf("platform: unknown column %q", column)
+	}
+	if row < 0 || row >= proj.Table.NumRows() {
+		return fmt.Errorf("platform: row %d outside project (%d rows)", row, proj.Table.NumRows())
+	}
+	if err := value.CheckAgainst(proj.Table.Schema.Columns[j]); err != nil {
+		return err
+	}
+	if u == "" {
+		return errors.New("platform: empty worker id")
+	}
+	cell := tabular.Cell{Row: row, Col: j}
+	if proj.Log.HasAnswered(u, cell) {
+		return ErrAlreadyAnswered
+	}
+	proj.Log.Add(tabular.Answer{Worker: u, Cell: cell, Value: value})
+	proj.sinceRefresh++
+	if proj.sinceRefresh >= proj.refreshEvery {
+		proj.sinceRefresh = 0
+	}
+	return nil
+}
+
+// InferenceResult is the requester-facing output: estimates plus worker
+// qualities.
+type InferenceResult struct {
+	Estimates metrics.Estimates
+	// WorkerQuality maps workers to their unified quality q_u.
+	WorkerQuality map[tabular.WorkerID]float64
+	// Iterations and Converged report EM behaviour.
+	Iterations int
+	Converged  bool
+}
+
+// RunInference runs T-Crowd truth inference over the project's answers.
+func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
+	p.mu.Lock()
+	proj, ok := p.projects[projectID]
+	if !ok {
+		p.mu.Unlock()
+		return nil, ErrNoProject
+	}
+	tbl := proj.Table
+	log := proj.Log.Clone()
+	p.mu.Unlock()
+
+	m, err := core.Infer(tbl, log, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := &InferenceResult{
+		Estimates:     m.Estimates(),
+		WorkerQuality: make(map[tabular.WorkerID]float64, len(m.WorkerIDs)),
+		Iterations:    m.Iterations,
+		Converged:     m.Converged,
+	}
+	for _, u := range m.WorkerIDs {
+		res.WorkerQuality[u] = m.WorkerQuality(u)
+	}
+	return res, nil
+}
+
+// Stats summarises collection progress.
+type Stats struct {
+	Rows           int     `json:"rows"`
+	Columns        int     `json:"columns"`
+	Cells          int     `json:"cells"`
+	Answers        int     `json:"answers"`
+	Workers        int     `json:"workers"`
+	AnswersPerTask float64 `json:"answers_per_task"`
+}
+
+// Stats returns collection progress for a project.
+func (p *Platform) Stats(projectID string) (Stats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, ok := p.projects[projectID]
+	if !ok {
+		return Stats{}, ErrNoProject
+	}
+	return Stats{
+		Rows:           proj.Table.NumRows(),
+		Columns:        proj.Table.NumCols(),
+		Cells:          proj.Table.NumCells(),
+		Answers:        proj.Log.Len(),
+		Workers:        proj.Log.NumWorkers(),
+		AnswersPerTask: float64(proj.Log.Len()) / float64(proj.Table.NumCells()),
+	}, nil
+}
+
+// persisted wire format.
+type projectJSON struct {
+	ID       string          `json:"id"`
+	Schema   tabular.Schema  `json:"schema"`
+	Entities []string        `json:"entities"`
+	Answers  json.RawMessage `json:"answers"`
+	TCrowd   bool            `json:"tcrowd_assignment"`
+}
+
+type platformJSON struct {
+	Projects []projectJSON `json:"projects"`
+}
+
+// Save serialises every project (schema, entities, answer log) as JSON.
+func (p *Platform) Save(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out platformJSON
+	for _, id := range p.projectIDsLocked() {
+		proj := p.projects[id]
+		var buf bytes.Buffer
+		if err := tabular.EncodeAnswers(&buf, proj.Table.Schema, proj.Log); err != nil {
+			return err
+		}
+		out.Projects = append(out.Projects, projectJSON{
+			ID:       proj.ID,
+			Schema:   proj.Table.Schema,
+			Entities: proj.Table.Entities,
+			Answers:  json.RawMessage(buf.Bytes()),
+			TCrowd:   proj.sys != nil,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func (p *Platform) projectIDsLocked() []string {
+	out := make([]string, 0, len(p.projects))
+	for id := range p.projects {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load restores a platform previously written by Save.
+func Load(r io.Reader, seed int64) (*Platform, error) {
+	var in platformJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	p := New(seed)
+	for _, pj := range in.Projects {
+		proj, err := p.CreateProject(pj.ID, pj.Schema, ProjectConfig{
+			Rows:                len(pj.Entities),
+			Entities:            pj.Entities,
+			UseTCrowdAssignment: pj.TCrowd,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log, err := tabular.DecodeAnswers(bytes.NewReader(pj.Answers), pj.Schema)
+		if err != nil {
+			return nil, err
+		}
+		proj.Log = log
+	}
+	return p, nil
+}

@@ -1,0 +1,226 @@
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tcrowd/internal/tabular"
+)
+
+// Server exposes the platform over HTTP — the interface a crowdsourcing
+// frontend (or AMT external-HIT iframe) would talk to.
+//
+//	POST /projects                     {"id", "schema", "rows"}
+//	GET  /projects                     -> ["id", ...]
+//	GET  /projects/{id}/tasks?worker=u&count=k
+//	POST /projects/{id}/answers        {"worker", "row", "column", "label"|"number"}
+//	GET  /projects/{id}/estimates      -> inferred truth + worker quality
+//	GET  /projects/{id}/stats
+type Server struct {
+	p   *Platform
+	mux *http.ServeMux
+}
+
+// NewServer wraps a platform with HTTP handlers.
+func NewServer(p *Platform) *Server {
+	s := &Server{p: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /projects", s.createProject)
+	s.mux.HandleFunc("GET /projects", s.listProjects)
+	s.mux.HandleFunc("GET /projects/{id}/tasks", s.tasks)
+	s.mux.HandleFunc("POST /projects/{id}/answers", s.submit)
+	s.mux.HandleFunc("GET /projects/{id}/estimates", s.estimates)
+	s.mux.HandleFunc("GET /projects/{id}/stats", s.stats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNoProject):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrAlreadyAnswered):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type createProjectReq struct {
+	ID     string         `json:"id"`
+	Schema tabular.Schema `json:"schema"`
+	Rows   int            `json:"rows"`
+	TCrowd bool           `json:"tcrowd_assignment"`
+}
+
+func (s *Server) createProject(w http.ResponseWriter, r *http.Request) {
+	var req createProjectReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("platform: bad request body: %w", err))
+		return
+	}
+	if req.ID == "" {
+		writeErr(w, errors.New("platform: project id required"))
+		return
+	}
+	_, err := s.p.CreateProject(req.ID, req.Schema, ProjectConfig{
+		Rows:                req.Rows,
+		UseTCrowdAssignment: req.TCrowd,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+func (s *Server) listProjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.ProjectIDs())
+}
+
+func (s *Server) tasks(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		writeErr(w, errors.New("platform: worker query parameter required"))
+		return
+	}
+	count := 0
+	if c := r.URL.Query().Get("count"); c != "" {
+		if _, err := fmt.Sscanf(c, "%d", &count); err != nil {
+			writeErr(w, fmt.Errorf("platform: bad count: %w", err))
+			return
+		}
+	}
+	tasks, err := s.p.RequestTasks(id, tabular.WorkerID(worker), count)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tasks)
+}
+
+type submitReq struct {
+	Worker string   `json:"worker"`
+	Row    int      `json:"row"`
+	Column string   `json:"column"`
+	Label  *string  `json:"label,omitempty"`
+	Number *float64 `json:"number,omitempty"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req submitReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("platform: bad request body: %w", err))
+		return
+	}
+	proj, err := s.p.Project(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var v tabular.Value
+	switch {
+	case req.Label != nil:
+		j := proj.Table.Schema.ColumnIndex(req.Column)
+		if j < 0 {
+			writeErr(w, fmt.Errorf("platform: unknown column %q", req.Column))
+			return
+		}
+		idx := -1
+		for k, lbl := range proj.Table.Schema.Columns[j].Labels {
+			if lbl == *req.Label {
+				idx = k
+				break
+			}
+		}
+		if idx < 0 {
+			writeErr(w, fmt.Errorf("platform: unknown label %q", *req.Label))
+			return
+		}
+		v = tabular.LabelValue(idx)
+	case req.Number != nil:
+		v = tabular.NumberValue(*req.Number)
+	default:
+		writeErr(w, errors.New("platform: answer needs label or number"))
+		return
+	}
+	if err := s.p.Submit(id, tabular.WorkerID(req.Worker), req.Row, req.Column, v); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "recorded"})
+}
+
+type estimateJSON struct {
+	Entity string   `json:"entity"`
+	Column string   `json:"column"`
+	Label  *string  `json:"label,omitempty"`
+	Number *float64 `json:"number,omitempty"`
+}
+
+type estimatesResp struct {
+	Estimates     []estimateJSON     `json:"estimates"`
+	WorkerQuality map[string]float64 `json:"worker_quality"`
+	Iterations    int                `json:"iterations"`
+	Converged     bool               `json:"converged"`
+}
+
+func (s *Server) estimates(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	proj, err := s.p.Project(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.p.RunInference(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := estimatesResp{
+		WorkerQuality: make(map[string]float64, len(res.WorkerQuality)),
+		Iterations:    res.Iterations,
+		Converged:     res.Converged,
+	}
+	for u, q := range res.WorkerQuality {
+		resp.WorkerQuality[string(u)] = q
+	}
+	for i := 0; i < proj.Table.NumRows(); i++ {
+		for j, col := range proj.Table.Schema.Columns {
+			v := res.Estimates[i][j]
+			if v.IsNone() {
+				continue
+			}
+			ej := estimateJSON{Entity: proj.Table.Entities[i], Column: col.Name}
+			if v.Kind == tabular.Label {
+				lbl := col.Labels[v.L]
+				ej.Label = &lbl
+			} else {
+				x := v.X
+				ej.Number = &x
+			}
+			resp.Estimates = append(resp.Estimates, ej)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.p.Stats(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,192 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Platform) {
+	t.Helper()
+	p := New(9)
+	srv := httptest.NewServer(NewServer(p))
+	t.Cleanup(srv.Close)
+	return srv, p
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const projectBody = `{
+  "id": "celebs",
+  "rows": 3,
+  "schema": {
+    "key": "Picture",
+    "columns": [
+      {"name": "Nationality", "type": "categorical", "labels": ["US", "CN", "GB"]},
+      {"name": "Age", "type": "continuous", "min": 0, "max": 120}
+    ]
+  }
+}`
+
+func TestServerProjectLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp := postJSON(t, srv.URL+"/projects", projectBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Duplicate -> 409.
+	resp = postJSON(t, srv.URL+"/projects", projectBody)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Listing.
+	resp, err := http.Get(srv.URL + "/projects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	decodeBody(t, resp, &ids)
+	if len(ids) != 1 || ids[0] != "celebs" {
+		t.Fatalf("ids: %v", ids)
+	}
+
+	// Bad body -> 400.
+	resp = postJSON(t, srv.URL+"/projects", "{nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestServerTaskAnswerFlow(t *testing.T) {
+	srv, _ := newTestServer(t)
+	postJSON(t, srv.URL+"/projects", projectBody).Body.Close()
+
+	// Request tasks.
+	resp, err := http.Get(srv.URL + "/projects/celebs/tasks?worker=w1&count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tasks []Task
+	decodeBody(t, resp, &tasks)
+	if len(tasks) != 2 {
+		t.Fatalf("tasks: %+v", tasks)
+	}
+
+	// Missing worker -> 400.
+	resp, _ = http.Get(srv.URL + "/projects/celebs/tasks")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing worker status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown project -> 404.
+	resp, _ = http.Get(srv.URL + "/projects/none/tasks?worker=w")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown project status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Submit answers from three workers for row 0.
+	for i, w := range []string{"w1", "w2", "w3"} {
+		body := fmt.Sprintf(`{"worker":%q,"row":0,"column":"Nationality","label":"CN"}`, w)
+		resp = postJSON(t, srv.URL+"/projects/celebs/answers", body)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %d status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+		body = fmt.Sprintf(`{"worker":%q,"row":0,"column":"Age","number":%d}`, w, 44+i)
+		resp = postJSON(t, srv.URL+"/projects/celebs/answers", body)
+		resp.Body.Close()
+	}
+
+	// Double answer -> 409.
+	resp = postJSON(t, srv.URL+"/projects/celebs/answers", `{"worker":"w1","row":0,"column":"Nationality","label":"US"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double answer status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown label -> 400.
+	resp = postJSON(t, srv.URL+"/projects/celebs/answers", `{"worker":"w9","row":0,"column":"Nationality","label":"XX"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown label status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Valueless answer -> 400.
+	resp = postJSON(t, srv.URL+"/projects/celebs/answers", `{"worker":"w9","row":0,"column":"Age"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("valueless status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Stats.
+	resp, _ = http.Get(srv.URL + "/projects/celebs/stats")
+	var st Stats
+	decodeBody(t, resp, &st)
+	if st.Answers != 6 || st.Workers != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Estimates: unanimous CN, age around 45.
+	resp, _ = http.Get(srv.URL + "/projects/celebs/estimates")
+	var est estimatesResp
+	decodeBody(t, resp, &est)
+	foundNat, foundAge := false, false
+	for _, e := range est.Estimates {
+		if e.Column == "Nationality" {
+			foundNat = true
+			if e.Label == nil || *e.Label != "CN" {
+				t.Fatalf("nationality estimate: %+v", e)
+			}
+		}
+		if e.Column == "Age" {
+			foundAge = true
+			if e.Number == nil || *e.Number < 43 || *e.Number > 47 {
+				t.Fatalf("age estimate: %+v", e)
+			}
+		}
+	}
+	if !foundNat || !foundAge {
+		t.Fatalf("estimates incomplete: %+v", est.Estimates)
+	}
+	if len(est.WorkerQuality) != 3 {
+		t.Fatalf("worker quality: %+v", est.WorkerQuality)
+	}
+}
+
+func TestServerEstimatesWithoutAnswers(t *testing.T) {
+	srv, _ := newTestServer(t)
+	postJSON(t, srv.URL+"/projects", projectBody).Body.Close()
+	resp, _ := http.Get(srv.URL + "/projects/celebs/estimates")
+	// No answers: inference fails cleanly with a 400-class error.
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("estimates from nothing")
+	}
+	resp.Body.Close()
+
+}

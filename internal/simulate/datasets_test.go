@@ -1,0 +1,172 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// TestTable6Statistics pins the stand-ins to the published dataset shapes
+// (Table 6 of the paper). This is experiment id "table6" of DESIGN.md.
+func TestTable6Statistics(t *testing.T) {
+	tests := []struct {
+		name           string
+		rows, cols     int
+		cells          int
+		answersPerTask int
+	}{
+		{"Celebrity", 174, 7, 1218, 5},
+		{"Restaurant", 203, 5, 1015, 4},
+		{"Emotion", 100, 7, 700, 10},
+	}
+	for _, tt := range tests {
+		ds, err := StandIn(tt.name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Name != tt.name {
+			t.Fatalf("name %q", ds.Name)
+		}
+		if got := ds.Table.NumRows(); got != tt.rows {
+			t.Fatalf("%s rows=%d want %d", tt.name, got, tt.rows)
+		}
+		if got := ds.Table.NumCols(); got != tt.cols {
+			t.Fatalf("%s cols=%d want %d", tt.name, got, tt.cols)
+		}
+		if got := ds.Table.NumCells(); got != tt.cells {
+			t.Fatalf("%s cells=%d want %d", tt.name, got, tt.cells)
+		}
+		if ds.AnswersPerTask != tt.answersPerTask {
+			t.Fatalf("%s multiplicity=%d want %d", tt.name, ds.AnswersPerTask, tt.answersPerTask)
+		}
+		if err := ds.Table.Validate(); err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if len(ds.Alpha) != tt.rows || len(ds.Beta) != tt.cols || len(ds.ContScale) != tt.cols {
+			t.Fatalf("%s: planted parameter arity", tt.name)
+		}
+	}
+}
+
+func TestStandInUnknown(t *testing.T) {
+	if _, err := StandIn("Bogus", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if got := StandInNames(); len(got) != 3 || got[0] != "Celebrity" {
+		t.Fatalf("StandInNames=%v", got)
+	}
+}
+
+func TestStandInsDeterministic(t *testing.T) {
+	a := Celebrity(7)
+	b := Celebrity(7)
+	for i := 0; i < a.Table.NumRows(); i++ {
+		for j := 0; j < a.Table.NumCols(); j++ {
+			if !a.Table.Truth[i][j].Equal(b.Table.Truth[i][j]) {
+				t.Fatal("same seed must give same truth")
+			}
+		}
+	}
+	c := Celebrity(8)
+	same := true
+	for i := 0; i < a.Table.NumRows() && same; i++ {
+		for j := 0; j < a.Table.NumCols(); j++ {
+			if !a.Table.Truth[i][j].Equal(c.Table.Truth[i][j]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestEmotionAllContinuous(t *testing.T) {
+	ds := Emotion(3)
+	for _, c := range ds.Table.Schema.Columns {
+		if c.Type != tabular.Continuous {
+			t.Fatal("Emotion must be all-continuous")
+		}
+	}
+	// Valence spans negatives.
+	neg := false
+	for i := 0; i < ds.Table.NumRows(); i++ {
+		if ds.Table.Truth[i][6].X < 0 {
+			neg = true
+			break
+		}
+	}
+	if !neg {
+		t.Fatal("valence never negative across 100 rows is implausible")
+	}
+}
+
+func TestRestaurantRowErrorCorrelation(t *testing.T) {
+	// The premise of Sec. 5.2/Fig. 6: errors on StartTarget and EndTarget
+	// correlate within a worker-row because row confusion degrades both.
+	ds := Restaurant(5)
+	cr := NewCrowd(ds, 6)
+	log := cr.FixedAssignment(4)
+
+	var startErr, endErr []float64
+	for i := 0; i < ds.Table.NumRows(); i++ {
+		for _, a := range log.ByCell(tabular.Cell{Row: i, Col: 3}) {
+			end, ok := log.WorkerAnswerIn(a.Worker, tabular.Cell{Row: i, Col: 4})
+			if !ok {
+				continue
+			}
+			startErr = append(startErr, math.Abs(a.Value.X-ds.Table.Truth[i][3].X))
+			endErr = append(endErr, math.Abs(end.Value.X-ds.Table.Truth[i][4].X))
+		}
+	}
+	if len(startErr) < 100 {
+		t.Fatalf("too few paired errors: %d", len(startErr))
+	}
+	r := stats.Pearson(startErr, endErr)
+	if r < 0.15 {
+		t.Fatalf("start/end error correlation too weak: r=%v", r)
+	}
+}
+
+func TestCelebrityWorkerQualityConsistentAcrossTypes(t *testing.T) {
+	// Fig. 3's premise: a worker's quality is consistent across categorical
+	// and continuous attributes. In the simulator both are driven by the
+	// same phi, so per-worker categorical error rate and continuous error
+	// std must correlate positively.
+	ds := Celebrity(9)
+	cr := NewCrowd(ds, 10)
+	log := cr.FixedAssignment(5)
+
+	var catErr, contErr []float64
+	for _, u := range log.Workers() {
+		wrong, total := 0, 0
+		var errs []float64
+		for _, a := range log.ByWorker(u) {
+			truth := ds.Table.TruthAt(a.Cell)
+			switch ds.Table.Schema.Columns[a.Cell.Col].Type {
+			case tabular.Categorical:
+				total++
+				if !a.Value.Equal(truth) {
+					wrong++
+				}
+			case tabular.Continuous:
+				errs = append(errs, (a.Value.X-truth.X)/ds.ContScale[a.Cell.Col])
+			}
+		}
+		if total == 0 || len(errs) == 0 {
+			continue
+		}
+		catErr = append(catErr, float64(wrong)/float64(total))
+		contErr = append(contErr, stats.StdDev(errs))
+	}
+	if len(catErr) < 20 {
+		t.Fatalf("too few workers with both datatypes: %d", len(catErr))
+	}
+	r := stats.Pearson(catErr, contErr)
+	if r < 0.4 {
+		t.Fatalf("cross-datatype quality correlation too weak: r=%v", r)
+	}
+}

@@ -1,0 +1,158 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// TableConfig parameterises the synthetic generator exactly as Sec. 6.5
+// does: number of rows N and columns M, ratio R of categorical columns,
+// and average task difficulty mu_{alpha beta}. Label-set sizes are drawn
+// from U(2,10) and continuous domains are [0, 1000], as in the paper.
+type TableConfig struct {
+	// Rows is N (default 100).
+	Rows int
+	// Cols is M (default 10).
+	Cols int
+	// CatRatio is R, the fraction of categorical columns (default 0.5).
+	CatRatio float64
+	// MeanDifficulty is mu_{alpha beta} (default 1).
+	MeanDifficulty float64
+	// DifficultySpread is the log-normal sigma of the per-row/column
+	// difficulty factors (default 0.25; 0 plants uniform difficulty).
+	DifficultySpread float64
+	// MinLabels and MaxLabels bound categorical label-set sizes
+	// (defaults 2 and 10, per the paper's U(2,10)).
+	MinLabels, MaxLabels int
+	// ContMin and ContMax bound continuous domains (defaults 0 and 1000).
+	ContMin, ContMax float64
+	// Population configures the worker crowd.
+	Population PopulationConfig
+	// Eps is the quality window (default 0.5).
+	Eps float64
+	// AnswersPerTask is the nominal answer multiplicity (default 5, the
+	// Celebrity setting the synthetic experiments reuse).
+	AnswersPerTask int
+}
+
+func (c TableConfig) withDefaults() TableConfig {
+	if c.Rows <= 0 {
+		c.Rows = 100
+	}
+	if c.Cols <= 0 {
+		c.Cols = 10
+	}
+	if c.CatRatio < 0 {
+		c.CatRatio = 0
+	}
+	if c.CatRatio > 1 {
+		c.CatRatio = 1
+	}
+	if c.MeanDifficulty <= 0 {
+		c.MeanDifficulty = 1
+	}
+	if c.DifficultySpread < 0 {
+		c.DifficultySpread = 0
+	}
+	if c.DifficultySpread == 0 {
+		c.DifficultySpread = 0.25
+	}
+	if c.MinLabels < 2 {
+		c.MinLabels = 2
+	}
+	if c.MaxLabels < c.MinLabels {
+		c.MaxLabels = 10
+	}
+	if c.ContMax <= c.ContMin {
+		c.ContMin, c.ContMax = 0, 1000
+	}
+	if c.Eps <= 0 {
+		c.Eps = 0.5
+	}
+	if c.AnswersPerTask <= 0 {
+		c.AnswersPerTask = 5
+	}
+	return c
+}
+
+// Generate builds a synthetic dataset: schema, planted ground truth,
+// planted difficulties and a worker population. The ground truth of each
+// cell is drawn uniformly from the column domain, as in Sec. 6.5.
+func Generate(rng *rand.Rand, cfg TableConfig) *Dataset {
+	c := cfg.withDefaults()
+
+	nCat := int(float64(c.Cols)*c.CatRatio + 0.5)
+	cols := make([]tabular.Column, c.Cols)
+	for j := range cols {
+		if j < nCat {
+			k := c.MinLabels + rng.Intn(c.MaxLabels-c.MinLabels+1)
+			labels := make([]string, k)
+			for l := range labels {
+				labels[l] = fmt.Sprintf("c%d-l%d", j, l)
+			}
+			cols[j] = tabular.Column{Name: fmt.Sprintf("cat%d", j), Type: tabular.Categorical, Labels: labels}
+		} else {
+			cols[j] = tabular.Column{Name: fmt.Sprintf("num%d", j), Type: tabular.Continuous, Min: c.ContMin, Max: c.ContMax}
+		}
+	}
+	// Interleave datatypes so neither datatype clusters at one end; some
+	// assignment policies scan cells in order and must not get a free
+	// datatype split.
+	rng.Shuffle(len(cols), func(a, b int) { cols[a], cols[b] = cols[b], cols[a] })
+
+	schema := tabular.Schema{Key: "entity", Columns: cols}
+	tbl := tabular.NewTable(schema, c.Rows)
+	tbl.Truth = make([][]tabular.Value, c.Rows)
+	for i := range tbl.Truth {
+		row := make([]tabular.Value, c.Cols)
+		for j, col := range cols {
+			if col.Type == tabular.Categorical {
+				row[j] = tabular.LabelValue(rng.Intn(len(col.Labels)))
+			} else {
+				row[j] = tabular.NumberValue(col.Min + rng.Float64()*(col.Max-col.Min))
+			}
+		}
+		tbl.Truth[i] = row
+	}
+
+	ds := &Dataset{
+		Name:             fmt.Sprintf("synthetic-%dx%d", c.Rows, c.Cols),
+		Table:            tbl,
+		Alpha:            plantDifficulties(rng, c.Rows, c.MeanDifficulty, c.DifficultySpread),
+		Beta:             plantDifficulties(rng, c.Cols, 1, c.DifficultySpread),
+		Workers:          NewPopulation(rng, c.Population),
+		Eps:              c.Eps,
+		ContScale:        make([]float64, c.Cols),
+		AnswersPerTask:   c.AnswersPerTask,
+		RowConfusionBase: 0.08,
+		ConfusionFactor:  25,
+		RowBiasStd:       0.2,
+	}
+	for j, col := range cols {
+		if col.Type == tabular.Continuous {
+			// One standardized noise unit corresponds to 10% of the domain,
+			// keeping continuous answer noise visible but not dominant.
+			ds.ContScale[j] = (col.Max - col.Min) / 10
+		}
+	}
+	return ds
+}
+
+// plantDifficulties draws n positive difficulty factors with the requested
+// mean: log-normal shape rescaled so the arithmetic mean is exactly mean.
+func plantDifficulties(rng *rand.Rand, n int, mean, spread float64) []float64 {
+	out := make([]float64, n)
+	sum := 0.0
+	for i := range out {
+		out[i] = stats.SampleLongTail(rng, 1, spread, 0.05)
+		sum += out[i]
+	}
+	scale := mean * float64(n) / sum
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+func TestAddNoisePreservesShape(t *testing.T) {
+	ds := Generate(stats.NewRNG(21), TableConfig{Rows: 20, Cols: 6})
+	cr := NewCrowd(ds, 22)
+	log := cr.FixedAssignment(3)
+	noisy := AddNoise(stats.NewRNG(23), ds.Table.Schema, log, 0.2)
+
+	if noisy.Len() != log.Len() {
+		t.Fatal("answer count changed")
+	}
+	for i := 0; i < log.Len(); i++ {
+		a, b := log.At(i), noisy.At(i)
+		if a.Worker != b.Worker || a.Cell != b.Cell {
+			t.Fatal("noise must only touch values")
+		}
+		if err := b.Value.CheckAgainst(ds.Table.Schema.Columns[b.Cell.Col]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := noisy.Validate(ds.Table); err != nil {
+		t.Fatal(err)
+	}
+	// Input untouched.
+	if log.At(0).Value.IsNone() {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestAddNoiseZeroGammaIsIdentity(t *testing.T) {
+	ds := Generate(stats.NewRNG(25), TableConfig{Rows: 10, Cols: 4})
+	cr := NewCrowd(ds, 26)
+	log := cr.FixedAssignment(2)
+	noisy := AddNoise(stats.NewRNG(27), ds.Table.Schema, log, 0)
+	for i := 0; i < log.Len(); i++ {
+		if !log.At(i).Value.Equal(noisy.At(i).Value) {
+			t.Fatal("gamma=0 must not perturb")
+		}
+	}
+}
+
+func TestAddNoiseMagnitudeGrowsWithGamma(t *testing.T) {
+	ds := Generate(stats.NewRNG(29), TableConfig{Rows: 40, Cols: 6, CatRatio: 0.5})
+	cr := NewCrowd(ds, 30)
+	log := cr.FixedAssignment(4)
+
+	changed := func(gamma float64) float64 {
+		noisy := AddNoise(stats.NewRNG(31), ds.Table.Schema, log, gamma)
+		n := 0
+		for i := 0; i < log.Len(); i++ {
+			if !log.At(i).Value.Equal(noisy.At(i).Value) {
+				n++
+			}
+		}
+		return float64(n) / float64(log.Len())
+	}
+	c10 := changed(0.10)
+	c40 := changed(0.40)
+	if c10 <= 0 {
+		t.Fatal("10% noise changed nothing")
+	}
+	if c40 <= c10 {
+		t.Fatalf("more noise must change more answers: %v vs %v", c40, c10)
+	}
+	// Sampling with replacement + categorical relabel-to-same means the
+	// changed fraction is below gamma, never above it by construction.
+	if c40 > 0.40+1e-9 {
+		t.Fatalf("changed fraction %v exceeds gamma", c40)
+	}
+}
+
+func TestAddNoiseContinuousStaysFinite(t *testing.T) {
+	ds := Emotion(33)
+	cr := NewCrowd(ds, 34)
+	log := cr.FixedAssignment(5)
+	noisy := AddNoise(stats.NewRNG(35), ds.Table.Schema, log, 0.4)
+	for _, a := range noisy.All() {
+		if a.Value.Kind != tabular.Number {
+			t.Fatal("emotion answers must stay numeric")
+		}
+		if math.IsNaN(a.Value.X) || math.IsInf(a.Value.X, 0) {
+			t.Fatal("noise produced a non-finite value")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package simulate builds the crowdsourcing workloads of the paper's
+// evaluation: synthetic tables with planted difficulties (Sec. 6.5),
+// worker populations with long-tailed quality, answer synthesis following
+// the generative model of Sec. 4 (Eqs. 1 and 3), statistical stand-ins for
+// the three real datasets of Table 6, and the noise-injection protocol of
+// Sec. 6.5.2.
+//
+// The real AMT answer sets (Celebrity, Restaurant, Emotion) are not
+// redistributable, so the stand-ins replay their published statistics —
+// table dimensions, datatype mix, answers per task — with worker behaviour
+// drawn from the same model the paper assumes and validates (consistent
+// per-worker quality across attributes, long-tail quality distribution,
+// correlated within-row errors). See DESIGN.md for the substitution notes.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// Worker is a simulated crowd worker with inherent answer variance Phi
+// (the phi_u of the paper; smaller is better) and a proneness to "not
+// recognising" an entire row, which induces the within-row error
+// correlation that motivates structure-aware assignment (Sec. 5.2).
+type Worker struct {
+	ID tabular.WorkerID
+	// Phi is the worker's inherent variance phi_u in standardized units.
+	Phi float64
+	// ConfusionProneness in [0,1] scales the probability that the worker
+	// is confused by a given row (0 = never).
+	ConfusionProneness float64
+}
+
+// Quality returns the unified worker quality q_u = erf(eps/sqrt(2 phi_u))
+// of Eq. 2.
+func (w Worker) Quality(eps float64) float64 {
+	return math.Erf(eps / math.Sqrt(2*w.Phi))
+}
+
+// PopulationConfig controls worker population synthesis.
+type PopulationConfig struct {
+	// N is the number of workers.
+	N int
+	// MedianPhi is the median inherent variance (default 0.15).
+	MedianPhi float64
+	// Sigma is the log-normal spread producing the long tail (default 0.8).
+	Sigma float64
+	// SpammerFrac is the fraction of near-random workers (default 0.05).
+	SpammerFrac float64
+	// SpammerPhi is the variance assigned to spammers (default 60).
+	SpammerPhi float64
+	// ConfusionProneness is the mean row-confusion proneness (default 0.5).
+	ConfusionProneness float64
+}
+
+func (c PopulationConfig) withDefaults() PopulationConfig {
+	if c.N <= 0 {
+		c.N = 50
+	}
+	if c.MedianPhi <= 0 {
+		c.MedianPhi = 0.15
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 0.8
+	}
+	if c.SpammerFrac < 0 {
+		c.SpammerFrac = 0
+	}
+	if c.SpammerPhi <= 0 {
+		c.SpammerPhi = 60
+	}
+	if c.ConfusionProneness <= 0 {
+		c.ConfusionProneness = 0.5
+	}
+	return c
+}
+
+// NewPopulation draws a worker population with a long-tailed quality
+// distribution (crowd answer quality is long-tailed — the observation CATD
+// is built on, which our simulator must reproduce for fair comparison).
+func NewPopulation(rng *rand.Rand, cfg PopulationConfig) []Worker {
+	c := cfg.withDefaults()
+	ws := make([]Worker, c.N)
+	nSpam := int(math.Round(c.SpammerFrac * float64(c.N)))
+	for i := range ws {
+		phi := stats.SampleLongTail(rng, c.MedianPhi, c.Sigma, 0.005)
+		if i < nSpam {
+			phi = c.SpammerPhi
+		}
+		ws[i] = Worker{
+			ID:                 tabular.WorkerID(fmt.Sprintf("w%03d", i+1)),
+			Phi:                phi,
+			ConfusionProneness: stats.Clamp(c.ConfusionProneness+0.3*rng.NormFloat64(), 0, 1),
+		}
+	}
+	// Spammers should not cluster at the head of arrival order.
+	rng.Shuffle(len(ws), func(i, j int) { ws[i], ws[j] = ws[j], ws[i] })
+	return ws
+}
+
+// Dataset bundles a table (with planted ground truth), its planted
+// difficulties, the worker population and the generative-model constants.
+// It is everything needed to synthesise answers and to score methods
+// against the truth afterwards.
+type Dataset struct {
+	Name  string
+	Table *tabular.Table
+	// Alpha[i] is the planted difficulty of row i; Beta[j] of column j
+	// (Sec. 4.2: answer variance for cell ij is Alpha[i]*Beta[j]*Phi_u).
+	Alpha []float64
+	Beta  []float64
+	// Workers is the population, in arrival order.
+	Workers []Worker
+	// Eps is the quality window of Eq. 2 in standardized units.
+	Eps float64
+	// ContScale[j] converts standardized noise to column j's natural units
+	// (0 for categorical columns).
+	ContScale []float64
+	// AnswersPerTask is the dataset's nominal answer multiplicity
+	// (Table 6), used by fixed-assignment replay.
+	AnswersPerTask int
+	// RowConfusionBase scales the probability that a worker is confused by
+	// a row: p = clamp(base * proneness * alpha_i, 0, 0.6).
+	RowConfusionBase float64
+	// ConfusionFactor multiplies a confused worker's variance.
+	ConfusionFactor float64
+	// RowBiasStd is the std (standardized units) of a per-(worker,row)
+	// offset shared by all continuous answers the worker gives in that
+	// row. It models directional misreadings — e.g. locating a review
+	// span too far right shifts start AND end the same way — and produces
+	// the signed error correlation of Fig. 6 (right). Confusion scales
+	// the bias along with the variance.
+	RowBiasStd float64
+}
+
+// WorkerByID returns the worker with the given id, or nil.
+func (d *Dataset) WorkerByID(id tabular.WorkerID) *Worker {
+	for i := range d.Workers {
+		if d.Workers[i].ID == id {
+			return &d.Workers[i]
+		}
+	}
+	return nil
+}
+
+// MeanDifficulty returns the average of Alpha[i]*Beta[j] over all cells
+// (the mu_{alpha beta} knob of Sec. 6.5).
+func (d *Dataset) MeanDifficulty() float64 {
+	if len(d.Alpha) == 0 || len(d.Beta) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, a := range d.Alpha {
+		for _, b := range d.Beta {
+			s += a * b
+		}
+	}
+	return s / float64(len(d.Alpha)*len(d.Beta))
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMAD(t *testing.T) {
+	// Median 5, deviations {4,1,0,1,4} -> MAD 1.
+	xs := []float64{1, 4, 5, 6, 9}
+	almostEqual(t, MAD(xs), 1, 1e-12, "MAD")
+	if MAD(nil) != 0 {
+		t.Fatal("empty MAD")
+	}
+	// Outlier-resistant: one wild value barely moves it.
+	withOutlier := []float64{1, 4, 5, 6, 9, 1e6}
+	if MAD(withOutlier) > 3 {
+		t.Fatalf("MAD not robust: %v", MAD(withOutlier))
+	}
+}
+
+func TestRobustBounds(t *testing.T) {
+	xs := []float64{1, 4, 5, 6, 9}
+	lo, hi := RobustBounds(xs, 3)
+	almostEqual(t, lo, 5-3*MADScale, 1e-9, "lo")
+	almostEqual(t, hi, 5+3*MADScale, 1e-9, "hi")
+
+	// Constant data: bounds collapse to the point.
+	lo, hi = RobustBounds([]float64{7, 7, 7}, 3)
+	if lo != 7 || hi != 7 {
+		t.Fatalf("constant bounds: %v %v", lo, hi)
+	}
+
+	// Zero MAD but positive std (half the mass at the median): falls back
+	// to std.
+	mixed := []float64{5, 5, 5, 5, 100, -90}
+	lo, hi = RobustBounds(mixed, 3)
+	if !(lo < 5 && hi > 5) || math.IsNaN(lo) {
+		t.Fatalf("fallback bounds: %v %v", lo, hi)
+	}
+}
+
+func TestWinsorize(t *testing.T) {
+	xs := []float64{-10, 0, 5, 10, 100}
+	out := Winsorize(xs, 0, 10)
+	want := []float64{0, 0, 5, 10, 10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Winsorize[%d]=%v want %v", i, out[i], want[i])
+		}
+	}
+	// Input untouched.
+	if xs[0] != -10 || xs[4] != 100 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestWinsorizedPearsonKillsOutlierFlip(t *testing.T) {
+	// The failure mode that motivated RobustBounds: n correlated points
+	// plus two huge anti-correlated outliers flip the naive Pearson; the
+	// winsorized version keeps the bulk's sign.
+	rng := NewRNG(99)
+	var xs, ys []float64
+	for i := 0; i < 400; i++ {
+		shared := rng.NormFloat64()
+		xs = append(xs, shared+0.5*rng.NormFloat64())
+		ys = append(ys, shared+0.5*rng.NormFloat64())
+	}
+	xs = append(xs, 80, -80)
+	ys = append(ys, -80, 80)
+	naive := Pearson(xs, ys)
+	if naive > 0 {
+		t.Skip("outliers did not flip this draw") // deterministic seed: should not happen
+	}
+	loX, hiX := RobustBounds(xs, 3)
+	loY, hiY := RobustBounds(ys, 3)
+	robust := Pearson(Winsorize(xs, loX, hiX), Winsorize(ys, loY, hiY))
+	if robust < 0.5 {
+		t.Fatalf("winsorized Pearson %v should recover the bulk correlation", robust)
+	}
+}

@@ -1,0 +1,198 @@
+package tabular
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WorkerID identifies a crowd worker.
+type WorkerID string
+
+// Answer is one observation a^u_ij: worker u's value for cell c_ij
+// (Definition 2 of the paper).
+type Answer struct {
+	Worker WorkerID
+	Cell   Cell
+	Value  Value
+}
+
+// AnswerLog is the append-only set A of all collected answers, indexed both
+// by cell (for the E-step, which needs A_ij) and by worker (for the M-step
+// and the per-worker error histories of the correlation model).
+//
+// The zero value is not usable; call NewAnswerLog.
+type AnswerLog struct {
+	all      []Answer
+	byCell   map[Cell][]int
+	byWorker map[WorkerID][]int
+	workers  []WorkerID // insertion-ordered unique workers
+}
+
+// NewAnswerLog returns an empty log.
+func NewAnswerLog() *AnswerLog {
+	return &AnswerLog{
+		byCell:   make(map[Cell][]int),
+		byWorker: make(map[WorkerID][]int),
+	}
+}
+
+// Add appends an answer.
+func (l *AnswerLog) Add(a Answer) {
+	idx := len(l.all)
+	l.all = append(l.all, a)
+	l.byCell[a.Cell] = append(l.byCell[a.Cell], idx)
+	if _, seen := l.byWorker[a.Worker]; !seen {
+		l.workers = append(l.workers, a.Worker)
+	}
+	l.byWorker[a.Worker] = append(l.byWorker[a.Worker], idx)
+}
+
+// AddAll appends every answer in as.
+func (l *AnswerLog) AddAll(as []Answer) {
+	for _, a := range as {
+		l.Add(a)
+	}
+}
+
+// Len returns |A|.
+func (l *AnswerLog) Len() int { return len(l.all) }
+
+// All returns the backing slice of answers in insertion order. The caller
+// must not modify it.
+func (l *AnswerLog) All() []Answer { return l.all }
+
+// At returns the i-th answer in insertion order.
+func (l *AnswerLog) At(i int) Answer { return l.all[i] }
+
+// ByCell returns the answers A_ij for one cell, in insertion order. The
+// returned slice is freshly allocated.
+func (l *AnswerLog) ByCell(c Cell) []Answer {
+	idxs := l.byCell[c]
+	out := make([]Answer, len(idxs))
+	for k, i := range idxs {
+		out[k] = l.all[i]
+	}
+	return out
+}
+
+// CountByCell returns |A_ij| without allocating.
+func (l *AnswerLog) CountByCell(c Cell) int { return len(l.byCell[c]) }
+
+// ByWorker returns all answers by worker u, in insertion order.
+func (l *AnswerLog) ByWorker(u WorkerID) []Answer {
+	idxs := l.byWorker[u]
+	out := make([]Answer, len(idxs))
+	for k, i := range idxs {
+		out[k] = l.all[i]
+	}
+	return out
+}
+
+// CountByWorker returns the number of answers worker u has given.
+func (l *AnswerLog) CountByWorker(u WorkerID) int { return len(l.byWorker[u]) }
+
+// Workers returns the distinct workers in first-seen order. The returned
+// slice is freshly allocated.
+func (l *AnswerLog) Workers() []WorkerID {
+	return append([]WorkerID(nil), l.workers...)
+}
+
+// NumWorkers returns the number of distinct workers.
+func (l *AnswerLog) NumWorkers() int { return len(l.workers) }
+
+// HasAnswered reports whether worker u already answered cell c. Task
+// assignment must never hand the same cell to the same worker twice.
+func (l *AnswerLog) HasAnswered(u WorkerID, c Cell) bool {
+	for _, i := range l.byWorker[u] {
+		if l.all[i].Cell == c {
+			return true
+		}
+	}
+	return false
+}
+
+// WorkerAnswerIn returns worker u's answer in row i on column j, if any.
+func (l *AnswerLog) WorkerAnswerIn(u WorkerID, c Cell) (Answer, bool) {
+	for _, i := range l.byWorker[u] {
+		if l.all[i].Cell == c {
+			return l.all[i], true
+		}
+	}
+	return Answer{}, false
+}
+
+// RowAnswersByWorker returns the cells in row i that worker u has answered,
+// with their answers — the set L^u_i of Eq. 7.
+func (l *AnswerLog) RowAnswersByWorker(u WorkerID, row int) []Answer {
+	var out []Answer
+	for _, i := range l.byWorker[u] {
+		if l.all[i].Cell.Row == row {
+			out = append(out, l.all[i])
+		}
+	}
+	return out
+}
+
+// AvgAnswersPerCell returns |A| divided by the number of distinct answered
+// cells (the x-axis of the paper's Fig. 2/5 convergence plots uses budget /
+// #tasks; this helper reports the realised average).
+func (l *AnswerLog) AvgAnswersPerCell() float64 {
+	if len(l.byCell) == 0 {
+		return 0
+	}
+	return float64(len(l.all)) / float64(len(l.byCell))
+}
+
+// Clone returns a deep, independent copy of the log.
+func (l *AnswerLog) Clone() *AnswerLog {
+	out := NewAnswerLog()
+	out.all = append([]Answer(nil), l.all...)
+	for c, idxs := range l.byCell {
+		out.byCell[c] = append([]int(nil), idxs...)
+	}
+	for w, idxs := range l.byWorker {
+		out.byWorker[w] = append([]int(nil), idxs...)
+	}
+	out.workers = append([]WorkerID(nil), l.workers...)
+	return out
+}
+
+// Validate checks every answer against the table schema and bounds.
+func (l *AnswerLog) Validate(t *Table) error {
+	for i, a := range l.all {
+		if a.Cell.Row < 0 || a.Cell.Row >= t.NumRows() || a.Cell.Col < 0 || a.Cell.Col >= t.NumCols() {
+			return fmt.Errorf("tabular: answer %d addresses %v outside %dx%d table", i, a.Cell, t.NumRows(), t.NumCols())
+		}
+		if a.Worker == "" {
+			return fmt.Errorf("tabular: answer %d has empty worker id", i)
+		}
+		if err := a.Value.CheckAgainst(t.Schema.Columns[a.Cell.Col]); err != nil {
+			return fmt.Errorf("tabular: answer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SortedWorkers returns worker ids sorted lexicographically; used where
+// deterministic iteration over map-backed state matters (reports, tests).
+func (l *AnswerLog) SortedWorkers() []WorkerID {
+	ws := l.Workers()
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	return ws
+}
+
+// CellsAnswered returns the distinct cells with at least one answer, in
+// row-major order.
+func (l *AnswerLog) CellsAnswered() []Cell {
+	out := make([]Cell, 0, len(l.byCell))
+	for c := range l.byCell {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Row != out[b].Row {
+			return out[a].Row < out[b].Row
+		}
+		return out[a].Col < out[b].Col
+	})
+	return out
+}

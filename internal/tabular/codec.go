@@ -1,0 +1,216 @@
+package tabular
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// JSON wire formats. The on-disk representation names labels by string (not
+// index) so logs survive schema reordering, and it is the format the
+// platform server speaks.
+
+type schemaJSON struct {
+	Key     string       `json:"key"`
+	Columns []columnJSON `json:"columns"`
+}
+
+type columnJSON struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"`
+	Labels []string `json:"labels,omitempty"`
+	Min    float64  `json:"min,omitempty"`
+	Max    float64  `json:"max,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for Schema.
+func (s Schema) MarshalJSON() ([]byte, error) {
+	out := schemaJSON{Key: s.Key, Columns: make([]columnJSON, len(s.Columns))}
+	for i, c := range s.Columns {
+		out.Columns[i] = columnJSON{Name: c.Name, Type: c.Type.String(), Labels: c.Labels, Min: c.Min, Max: c.Max}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Schema.
+func (s *Schema) UnmarshalJSON(b []byte) error {
+	var in schemaJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	cols := make([]Column, len(in.Columns))
+	for i, c := range in.Columns {
+		var t ColumnType
+		switch c.Type {
+		case "categorical":
+			t = Categorical
+		case "continuous":
+			t = Continuous
+		default:
+			return fmt.Errorf("tabular: unknown column type %q", c.Type)
+		}
+		cols[i] = Column{Name: c.Name, Type: t, Labels: c.Labels, Min: c.Min, Max: c.Max}
+	}
+	*s = Schema{Key: in.Key, Columns: cols}
+	return nil
+}
+
+type answerJSON struct {
+	Worker string   `json:"worker"`
+	Row    int      `json:"row"`
+	Column string   `json:"column"`
+	Label  *string  `json:"label,omitempty"`
+	Number *float64 `json:"number,omitempty"`
+}
+
+// EncodeAnswers writes the log as a JSON array resolving label indices via
+// the schema.
+func EncodeAnswers(w io.Writer, s Schema, l *AnswerLog) error {
+	out := make([]answerJSON, 0, l.Len())
+	for _, a := range l.All() {
+		if a.Cell.Col < 0 || a.Cell.Col >= len(s.Columns) {
+			return fmt.Errorf("tabular: answer column %d out of schema range", a.Cell.Col)
+		}
+		col := s.Columns[a.Cell.Col]
+		aj := answerJSON{Worker: string(a.Worker), Row: a.Cell.Row, Column: col.Name}
+		switch a.Value.Kind {
+		case Label:
+			if a.Value.L < 0 || a.Value.L >= len(col.Labels) {
+				return fmt.Errorf("tabular: label index %d out of range for %q", a.Value.L, col.Name)
+			}
+			lbl := col.Labels[a.Value.L]
+			aj.Label = &lbl
+		case Number:
+			x := a.Value.X
+			aj.Number = &x
+		default:
+			return fmt.Errorf("tabular: cannot encode empty value for %q", col.Name)
+		}
+		out = append(out, aj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeAnswers reads a JSON answer array into a fresh log, resolving label
+// strings and column names through the schema.
+func DecodeAnswers(r io.Reader, s Schema) (*AnswerLog, error) {
+	var in []answerJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	l := NewAnswerLog()
+	for i, aj := range in {
+		j := s.ColumnIndex(aj.Column)
+		if j < 0 {
+			return nil, fmt.Errorf("tabular: answer %d references unknown column %q", i, aj.Column)
+		}
+		col := s.Columns[j]
+		var v Value
+		switch {
+		case aj.Label != nil:
+			idx := -1
+			for k, lbl := range col.Labels {
+				if lbl == *aj.Label {
+					idx = k
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("tabular: answer %d has unknown label %q for column %q", i, *aj.Label, col.Name)
+			}
+			v = LabelValue(idx)
+		case aj.Number != nil:
+			v = NumberValue(*aj.Number)
+		default:
+			return nil, fmt.Errorf("tabular: answer %d carries neither label nor number", i)
+		}
+		if err := v.CheckAgainst(col); err != nil {
+			return nil, fmt.Errorf("tabular: answer %d: %w", i, err)
+		}
+		l.Add(Answer{Worker: WorkerID(aj.Worker), Cell: Cell{Row: aj.Row, Col: j}, Value: v})
+	}
+	return l, nil
+}
+
+// WriteAnswersCSV exports the log as CSV with header
+// worker,row,column,value. Labels are written by name.
+func WriteAnswersCSV(w io.Writer, s Schema, l *AnswerLog) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"worker", "row", "column", "value"}); err != nil {
+		return err
+	}
+	for _, a := range l.All() {
+		col := s.Columns[a.Cell.Col]
+		var val string
+		switch a.Value.Kind {
+		case Label:
+			val = col.Labels[a.Value.L]
+		case Number:
+			val = strconv.FormatFloat(a.Value.X, 'g', -1, 64)
+		}
+		rec := []string{string(a.Worker), strconv.Itoa(a.Cell.Row), col.Name, val}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadAnswersCSV parses the CSV format written by WriteAnswersCSV.
+func ReadAnswersCSV(r io.Reader, s Schema) (*AnswerLog, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return NewAnswerLog(), nil
+	}
+	start := 0
+	if len(recs[0]) == 4 && recs[0][0] == "worker" {
+		start = 1 // skip header
+	}
+	l := NewAnswerLog()
+	for i := start; i < len(recs); i++ {
+		rec := recs[i]
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("tabular: csv row %d has %d fields, want 4", i, len(rec))
+		}
+		row, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("tabular: csv row %d: bad row index: %w", i, err)
+		}
+		j := s.ColumnIndex(rec[2])
+		if j < 0 {
+			return nil, fmt.Errorf("tabular: csv row %d: unknown column %q", i, rec[2])
+		}
+		col := s.Columns[j]
+		var v Value
+		if col.Type == Categorical {
+			idx := -1
+			for k, lbl := range col.Labels {
+				if lbl == rec[3] {
+					idx = k
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("tabular: csv row %d: unknown label %q", i, rec[3])
+			}
+			v = LabelValue(idx)
+		} else {
+			x, err := strconv.ParseFloat(rec[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tabular: csv row %d: bad number: %w", i, err)
+			}
+			v = NumberValue(x)
+		}
+		l.Add(Answer{Worker: WorkerID(rec[0]), Cell: Cell{Row: row, Col: j}, Value: v})
+	}
+	return l, nil
+}

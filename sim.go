@@ -1,0 +1,98 @@
+package tcrowd
+
+import (
+	"tcrowd/internal/simulate"
+	"tcrowd/internal/stats"
+)
+
+// SimulatedCrowd is a self-contained crowdsourcing workload: a table with
+// known ground truth plus a worker population that answers tasks from the
+// paper's generative model. It backs the runnable examples and lets users
+// evaluate T-Crowd without hiring a crowd.
+type SimulatedCrowd struct {
+	ds    *simulate.Dataset
+	crowd *simulate.Crowd
+}
+
+// StandInDataset builds a statistical stand-in for one of the paper's
+// evaluation datasets: "Celebrity" (174x7 mixed), "Restaurant" (203x5
+// mixed, correlated attributes) or "Emotion" (100x7 all-continuous).
+func StandInDataset(name string, seed int64) (*SimulatedCrowd, error) {
+	ds, err := simulate.StandIn(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulatedCrowd{ds: ds, crowd: simulate.NewCrowd(ds, seed+1)}, nil
+}
+
+// SyntheticConfig parameterises SyntheticDataset, mirroring the paper's
+// synthetic generator (Sec. 6.5). Zero values take the paper's defaults
+// (100 rows, 10 columns, half categorical, mean difficulty 1).
+type SyntheticConfig struct {
+	Rows, Cols     int
+	CatRatio       float64
+	MeanDifficulty float64
+	Workers        int
+	SpammerFrac    float64
+}
+
+// SyntheticDataset builds a synthetic workload.
+func SyntheticDataset(cfg SyntheticConfig, seed int64) *SimulatedCrowd {
+	ds := simulate.Generate(stats.NewRNG(seed), simulate.TableConfig{
+		Rows:           cfg.Rows,
+		Cols:           cfg.Cols,
+		CatRatio:       cfg.CatRatio,
+		MeanDifficulty: cfg.MeanDifficulty,
+		Population: simulate.PopulationConfig{
+			N:           cfg.Workers,
+			SpammerFrac: cfg.SpammerFrac,
+		},
+	})
+	return &SimulatedCrowd{ds: ds, crowd: simulate.NewCrowd(ds, seed+1)}
+}
+
+// Table returns the workload's table, including its planted ground truth
+// (so estimates can be scored with ErrorRate / MNAD).
+func (s *SimulatedCrowd) Table() *Table { return s.ds.Table }
+
+// Workers lists the worker population in arrival order.
+func (s *SimulatedCrowd) Workers() []WorkerID {
+	out := make([]WorkerID, len(s.ds.Workers))
+	for i := range s.ds.Workers {
+		out[i] = s.ds.Workers[i].ID
+	}
+	return out
+}
+
+// AnswersPerTask is the dataset's nominal answer multiplicity (5 for
+// Celebrity, 4 for Restaurant, 10 for Emotion).
+func (s *SimulatedCrowd) AnswersPerTask() int { return s.ds.AnswersPerTask }
+
+// Collect replays the paper's AMT protocol: each row is a HIT answered by
+// perTask distinct workers, yielding exactly perTask answers per cell.
+func (s *SimulatedCrowd) Collect(perTask int) *AnswerLog {
+	return s.crowd.FixedAssignment(perTask)
+}
+
+// Answer simulates worker u answering cell c, for driving online
+// assignment loops. Unknown workers and out-of-range cells return ok=false.
+func (s *SimulatedCrowd) Answer(u WorkerID, c Cell) (Answer, bool) {
+	w := s.ds.WorkerByID(u)
+	if w == nil {
+		return Answer{}, false
+	}
+	if c.Row < 0 || c.Row >= s.ds.Table.NumRows() || c.Col < 0 || c.Col >= s.ds.Table.NumCols() {
+		return Answer{}, false
+	}
+	return s.crowd.Answer(w, c), true
+}
+
+// TrueQuality returns the planted quality q_u of a worker (for calibration
+// studies); ok is false for unknown workers.
+func (s *SimulatedCrowd) TrueQuality(u WorkerID) (float64, bool) {
+	w := s.ds.WorkerByID(u)
+	if w == nil {
+		return 0, false
+	}
+	return w.Quality(s.ds.Eps), true
+}

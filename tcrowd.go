@@ -1,0 +1,188 @@
+// Package tcrowd is a Go implementation of T-Crowd ("T-Crowd: Effective
+// Crowdsourcing for Tabular Data", ICDE 2018): truth inference and online
+// task assignment for crowdsourced tables whose columns mix categorical and
+// continuous attributes.
+//
+// The package unifies worker quality across datatypes with a single
+// per-worker parameter, models per-row and per-column task difficulty,
+// infers cell truths by EM, and assigns tasks to incoming workers by
+// structure-aware information gain that exploits correlations between a
+// worker's errors on attributes of the same entity.
+//
+// # Quick start
+//
+//	schema := tcrowd.Schema{
+//	    Key: "Picture",
+//	    Columns: []tcrowd.Column{
+//	        {Name: "Nationality", Type: tcrowd.Categorical, Labels: []string{"US", "CN", "GB"}},
+//	        {Name: "Age", Type: tcrowd.Continuous, Min: 0, Max: 120},
+//	    },
+//	}
+//	table := tcrowd.NewTable(schema, 3)
+//	log := tcrowd.NewAnswerLog()
+//	log.Add(tcrowd.Answer{Worker: "w1", Cell: tcrowd.Cell{Row: 0, Col: 0}, Value: tcrowd.LabelValue(1)})
+//	// ... more answers ...
+//	res, err := tcrowd.Infer(table, log, tcrowd.InferOptions{})
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// architecture and EXPERIMENTS.md for the reproduced evaluation.
+package tcrowd
+
+import (
+	"tcrowd/internal/assign"
+	"tcrowd/internal/core"
+	"tcrowd/internal/metrics"
+	"tcrowd/internal/tabular"
+)
+
+// Re-exported data-model types (see internal/tabular for full docs).
+type (
+	// Schema describes the table to crowdsource: a key attribute plus
+	// categorical/continuous columns.
+	Schema = tabular.Schema
+	// Column is one attribute definition.
+	Column = tabular.Column
+	// ColumnType distinguishes categorical from continuous attributes.
+	ColumnType = tabular.ColumnType
+	// Table couples a schema with entities (and, in evaluations, truth).
+	Table = tabular.Table
+	// Cell addresses one task c_ij.
+	Cell = tabular.Cell
+	// Value is a tagged union: label index or number.
+	Value = tabular.Value
+	// Answer is one worker observation a^u_ij.
+	Answer = tabular.Answer
+	// AnswerLog is the indexed set of collected answers.
+	AnswerLog = tabular.AnswerLog
+	// WorkerID identifies a crowd worker.
+	WorkerID = tabular.WorkerID
+)
+
+// Column datatypes.
+const (
+	Categorical = tabular.Categorical
+	Continuous  = tabular.Continuous
+)
+
+// NewTable builds a table with n auto-named entities.
+func NewTable(s Schema, n int) *Table { return tabular.NewTable(s, n) }
+
+// NewAnswerLog returns an empty answer log.
+func NewAnswerLog() *AnswerLog { return tabular.NewAnswerLog() }
+
+// LabelValue returns a categorical value (index into Column.Labels).
+func LabelValue(idx int) Value { return tabular.LabelValue(idx) }
+
+// NumberValue returns a continuous value.
+func NumberValue(x float64) Value { return tabular.NumberValue(x) }
+
+// InferOptions tunes truth inference; the zero value gives the paper's
+// defaults (eps 0.5, EM tolerance 1e-5, at most 50 iterations).
+type InferOptions struct {
+	// Eps is the quality window of the unified worker model, in
+	// standardized units.
+	Eps float64
+	// MaxIter bounds EM iterations.
+	MaxIter int
+	// Tol is the parameter-change convergence threshold.
+	Tol float64
+	// FixDifficulty freezes alpha_i = beta_j = 1 (worker-only model).
+	FixDifficulty bool
+	// TrackObjective records the optimisation objective per EM iteration
+	// in Result.Objective.
+	TrackObjective bool
+}
+
+func (o InferOptions) toCore() core.Options {
+	return core.Options{
+		Eps:            o.Eps,
+		MaxIter:        o.MaxIter,
+		Tol:            o.Tol,
+		FixDifficulty:  o.FixDifficulty,
+		TrackObjective: o.TrackObjective,
+	}
+}
+
+// Result is the outcome of truth inference.
+type Result struct {
+	// Estimates holds one value per cell (row-major); unanswered cells
+	// are the zero Value (IsNone).
+	Estimates [][]Value
+	// WorkerQuality maps each worker to the unified quality
+	// q_u = erf(eps / sqrt(2 phi_u)) in [0, 1].
+	WorkerQuality map[WorkerID]float64
+	// WorkerVariance maps each worker to phi_u (lower is better).
+	WorkerVariance map[WorkerID]float64
+	// RowDifficulty and ColumnDifficulty are alpha and beta.
+	RowDifficulty, ColumnDifficulty []float64
+	// Iterations is the number of EM iterations run; Converged reports
+	// whether the tolerance fired before MaxIter.
+	Iterations int
+	Converged  bool
+	// Objective is the per-iteration optimisation objective (only when
+	// TrackObjective was set).
+	Objective []float64
+
+	model *core.Model
+}
+
+// Infer runs T-Crowd truth inference over the collected answers.
+func Infer(t *Table, log *AnswerLog, opts InferOptions) (*Result, error) {
+	m, err := core.Infer(t, log, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Estimates:        [][]Value(m.Estimates()),
+		WorkerQuality:    make(map[WorkerID]float64, len(m.WorkerIDs)),
+		WorkerVariance:   make(map[WorkerID]float64, len(m.WorkerIDs)),
+		RowDifficulty:    append([]float64(nil), m.Alpha...),
+		ColumnDifficulty: append([]float64(nil), m.Beta...),
+		Iterations:       m.Iterations,
+		Converged:        m.Converged,
+		Objective:        append([]float64(nil), m.ObjTrace...),
+		model:            m,
+	}
+	for k, u := range m.WorkerIDs {
+		res.WorkerQuality[u] = m.WorkerQuality(u)
+		res.WorkerVariance[u] = m.Phi[k]
+	}
+	return res, nil
+}
+
+// EstimateAt returns the estimate for one cell.
+func (r *Result) EstimateAt(c Cell) Value { return r.Estimates[c.Row][c.Col] }
+
+// Correlations returns the attribute error-correlation matrix W (Eq. 8 of
+// the paper): W[j][k] is the Pearson correlation between worker errors on
+// columns j and k of the same row. Entries without enough paired samples
+// are 0.
+func (r *Result) Correlations() [][]float64 {
+	em := assign.BuildErrorModel(r.model)
+	n := r.model.Table.NumCols()
+	out := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		out[j] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			if j != k {
+				out[j][k] = em.W(j, k)
+			} else {
+				out[j][k] = 1
+			}
+		}
+	}
+	return out
+}
+
+// ErrorRate computes the categorical mismatch rate of estimates against the
+// table's ground truth (NaN without categorical cells or truth).
+func ErrorRate(t *Table, est [][]Value, log *AnswerLog) float64 {
+	return metrics.Evaluate(t, metrics.Estimates(est), log).ErrorRate
+}
+
+// MNAD computes the mean normalized absolute distance of continuous
+// estimates against the table's ground truth: per-column RMSE divided by
+// the column's answer std, averaged (NaN without continuous cells/truth).
+func MNAD(t *Table, est [][]Value, log *AnswerLog) float64 {
+	return metrics.Evaluate(t, metrics.Estimates(est), log).MNAD
+}

@@ -1,0 +1,171 @@
+package tcrowd
+
+import (
+	"math"
+	"testing"
+)
+
+func publicWorkload(t *testing.T) (*SimulatedCrowd, *AnswerLog) {
+	t.Helper()
+	sim := SyntheticDataset(SyntheticConfig{Rows: 30, Cols: 6, CatRatio: 0.5, Workers: 25}, 77)
+	return sim, sim.Collect(4)
+}
+
+func TestPublicInfer(t *testing.T) {
+	sim, log := publicWorkload(t)
+	res, err := Infer(sim.Table(), log, InferOptions{TrackObjective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 30 || len(res.Estimates[0]) != 6 {
+		t.Fatal("estimate shape")
+	}
+	if len(res.WorkerQuality) == 0 || len(res.WorkerVariance) == 0 {
+		t.Fatal("worker maps empty")
+	}
+	for u, q := range res.WorkerQuality {
+		if q <= 0 || q >= 1 {
+			t.Fatalf("quality %v for %s", q, u)
+		}
+		if res.WorkerVariance[u] <= 0 {
+			t.Fatal("variance non-positive")
+		}
+	}
+	if len(res.RowDifficulty) != 30 || len(res.ColumnDifficulty) != 6 {
+		t.Fatal("difficulty arity")
+	}
+	if res.Iterations == 0 || len(res.Objective) != res.Iterations {
+		t.Fatalf("iterations=%d objective=%d", res.Iterations, len(res.Objective))
+	}
+
+	er := ErrorRate(sim.Table(), res.Estimates, log)
+	mn := MNAD(sim.Table(), res.Estimates, log)
+	if math.IsNaN(er) || math.IsNaN(mn) {
+		t.Fatal("metrics NaN")
+	}
+	if er > 0.5 {
+		t.Fatalf("error rate %v implausibly high", er)
+	}
+	c := Cell{Row: 2, Col: 3}
+	if !res.EstimateAt(c).Equal(res.Estimates[2][3]) {
+		t.Fatal("EstimateAt")
+	}
+}
+
+func TestPublicCorrelations(t *testing.T) {
+	sim, log := publicWorkload(t)
+	res, err := Infer(sim.Table(), log, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Correlations()
+	n := sim.Table().NumCols()
+	if len(w) != n {
+		t.Fatal("correlation shape")
+	}
+	for j := 0; j < n; j++ {
+		if w[j][j] != 1 {
+			t.Fatal("diagonal must be 1")
+		}
+		for k := 0; k < n; k++ {
+			if w[j][k] < -1-1e-9 || w[j][k] > 1+1e-9 {
+				t.Fatalf("W[%d][%d]=%v", j, k, w[j][k])
+			}
+		}
+	}
+}
+
+func TestPublicAssignerLoop(t *testing.T) {
+	sim, log := publicWorkload(t)
+	a := NewAssigner(sim.Table(), AssignOptions{Seed: 9})
+	if _, err := a.Next("w", 3); err != ErrNotObserved {
+		t.Fatal("Next before Observe must fail")
+	}
+	if err := a.Observe(log); err != nil {
+		t.Fatal(err)
+	}
+	workers := sim.Workers()
+	for round := 0; round < 3; round++ {
+		for _, u := range workers[:5] {
+			cells, err := a.Next(u, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range cells {
+				ans, ok := sim.Answer(u, c)
+				if !ok {
+					t.Fatalf("simulator rejected %s %v", u, c)
+				}
+				log.Add(ans)
+			}
+		}
+		if err := a.Observe(log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := a.EstimatedTruth()
+	if est == nil {
+		t.Fatal("no estimates after observation")
+	}
+	if ig := a.InformationGain(workers[0], Cell{Row: 0, Col: 0}); ig < 0 {
+		t.Fatalf("negative information gain %v", ig)
+	}
+}
+
+func TestPublicAssignerPolicies(t *testing.T) {
+	sim, log := publicWorkload(t)
+	for _, p := range []AssignPolicy{PolicyStructureAware, PolicyInherent, PolicyEntropy, PolicyRandom, PolicyLooping} {
+		a := NewAssigner(sim.Table(), AssignOptions{Policy: p, Seed: 10})
+		if err := a.Observe(log); err != nil {
+			t.Fatal(err)
+		}
+		cells, err := a.Next("new-worker", 2)
+		if err != nil || len(cells) == 0 {
+			t.Fatalf("policy %d: %v %v", p, cells, err)
+		}
+	}
+}
+
+func TestStandInDatasets(t *testing.T) {
+	for _, name := range []string{"Celebrity", "Restaurant", "Emotion"} {
+		sim, err := StandInDataset(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Table().NumRows() == 0 || sim.AnswersPerTask() == 0 {
+			t.Fatalf("%s stand-in empty", name)
+		}
+		u := sim.Workers()[0]
+		if q, ok := sim.TrueQuality(u); !ok || q <= 0 || q >= 1 {
+			t.Fatalf("%s TrueQuality: %v %v", name, q, ok)
+		}
+		if _, ok := sim.TrueQuality("ghost"); ok {
+			t.Fatal("phantom quality")
+		}
+		if _, ok := sim.Answer("ghost", Cell{}); ok {
+			t.Fatal("phantom answer")
+		}
+		if _, ok := sim.Answer(u, Cell{Row: -1}); ok {
+			t.Fatal("out-of-range answer")
+		}
+	}
+	if _, err := StandInDataset("Nope", 1); err == nil {
+		t.Fatal("unknown stand-in accepted")
+	}
+}
+
+func TestInferFlagsRoundTrip(t *testing.T) {
+	sim, log := publicWorkload(t)
+	res, err := Infer(sim.Table(), log, InferOptions{FixDifficulty: true, MaxIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.RowDifficulty {
+		if a != 1 {
+			t.Fatal("FixDifficulty ignored")
+		}
+	}
+	if res.Iterations > 5 {
+		t.Fatal("MaxIter ignored")
+	}
+}
