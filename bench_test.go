@@ -249,6 +249,52 @@ func BenchmarkInfer(b *testing.B) {
 	}
 }
 
+// BenchmarkRefreshWarmVsCold measures the online loop's refresh cost after
+// an answer batch lands on an already-fitted system: "cold" re-runs full
+// EM from scratch on the grown log (what serving pays without warm
+// starts), "warm" is the TCrowdSystem default (core.InferWarm seeded from
+// the previous model, which is why it converges within its short
+// iteration budget). Every timed iteration sees a fresh 50-answer batch
+// on top of the base log — cloned with the timer stopped — so neither arm
+// degenerates into refreshing an unchanged log.
+func BenchmarkRefreshWarmVsCold(b *testing.B) {
+	ds := simulate.Generate(stats.NewRNG(23), simulate.TableConfig{
+		Rows: 100, Cols: 10, CatRatio: 0.5,
+		Population: simulate.PopulationConfig{N: 50},
+	})
+	base := simulate.NewCrowd(ds, 24).FixedAssignment(5)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			log := base.Clone()
+			simulate.NewCrowd(ds, 26+int64(i)).AppendBatch(log, 50)
+			b.StartTimer()
+			if _, err := core.Infer(ds.Table, log, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		sys := assign.NewTCrowdSystem(25)
+		if err := sys.Refresh(ds.Table, base); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			log := base.Clone()
+			simulate.NewCrowd(ds, 26+int64(i)).AppendBatch(log, 50)
+			b.StartTimer()
+			if err := sys.Refresh(ds.Table, log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkInfoGainScoring(b *testing.B) {
 	ds, log := benchWorkload(b)
 	m, err := core.Infer(ds.Table, log, core.Options{})

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"tcrowd/internal/assign"
+	"tcrowd/internal/core"
+	"tcrowd/internal/simulate"
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+// Machine-readable hot-path benchmarking: `tcrowd-bench -bench-json N`
+// re-runs the library's hot-path micro-benchmarks via testing.Benchmark and
+// writes BENCH_N.json, so the performance trajectory is tracked across PRs
+// (BENCH_0.json is the pre-optimisation seed baseline). The workloads
+// mirror bench_test.go's BenchmarkInfer / BenchmarkRefreshWarmVsCold /
+// BenchmarkInfoGainScoring exactly.
+
+// benchResult is one benchmark's steady-state cost.
+type benchResult struct {
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the schema of BENCH_<n>.json.
+type benchFile struct {
+	Index      int                    `json:"index"`
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// inferWorkload mirrors bench_test.go's BenchmarkInfer datasets.
+func inferWorkload(rows int) (*simulate.Dataset, *tabular.AnswerLog) {
+	ds := simulate.Generate(stats.NewRNG(23), simulate.TableConfig{
+		Rows: rows, Cols: 10, CatRatio: 0.5,
+		Population: simulate.PopulationConfig{N: 50},
+	})
+	return ds, simulate.NewCrowd(ds, 24).FixedAssignment(5)
+}
+
+// hotBenches enumerates the tracked hot-path benchmarks.
+func hotBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"infer/1k-answers", benchInfer(20)},
+		{"infer/10k-answers", benchInfer(200)},
+		{"refresh/cold", benchRefresh(false)},
+		{"refresh/warm", benchRefresh(true)},
+		{"infogain-scoring", benchInfoGain},
+	}
+}
+
+func benchInfer(rows int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds, log := inferWorkload(rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Infer(ds.Table, log, core.Options{MaxIter: 10, Tol: 1e-12}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchRefresh measures an online refresh after an answer batch lands on
+// an already-fitted system: cold re-runs full EM from scratch on the
+// grown log, warm seeds from the previous model (assign.TCrowdSystem's
+// default behaviour). Each timed iteration refreshes on a fresh batch
+// appended to a clone of the base log (clone excluded from the timing),
+// mirroring bench_test.go's BenchmarkRefreshWarmVsCold.
+func benchRefresh(warm bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds, base := inferWorkload(100)
+		sys := assign.NewTCrowdSystem(25)
+		if warm {
+			if err := sys.Refresh(ds.Table, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			log := base.Clone()
+			simulate.NewCrowd(ds, 26+int64(i)).AppendBatch(log, 50)
+			b.StartTimer()
+			if warm {
+				if err := sys.Refresh(ds.Table, log); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := core.Infer(ds.Table, log, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func benchInfoGain(b *testing.B) {
+	ds, log := inferWorkload(60)
+	m, err := core.Infer(ds.Table, log, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := m.WorkerIDs[0]
+	cells := ds.Table.Cells()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cells {
+			assign.InfoGain(m, u, c)
+		}
+	}
+}
+
+// runBenchJSON executes the hot-path benchmarks and writes BENCH_<n>.json.
+func runBenchJSON(n int) error {
+	out := benchFile{
+		Index:      n,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: make(map[string]benchResult),
+	}
+	for _, hb := range hotBenches() {
+		fmt.Fprintf(os.Stderr, "benchmarking %s ...\n", hb.name)
+		r := testing.Benchmark(hb.fn)
+		out.Benchmarks[hb.name] = benchResult{
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "  %s: %.0f ns/op  %d B/op  %d allocs/op\n",
+			hb.name, out.Benchmarks[hb.name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	path := fmt.Sprintf("BENCH_%d.json", n)
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -7,6 +7,7 @@
 //	tcrowd-bench -exp fig2,fig5        # several
 //	tcrowd-bench -exp all -trials 3    # everything, 3 trials per sweep
 //	tcrowd-bench -list                 # show available experiment ids
+//	tcrowd-bench -bench-json 0         # hot-path micro-benches -> BENCH_0.json
 package main
 
 import (
@@ -26,8 +27,17 @@ func main() {
 		trials = flag.Int("trials", 0, "trials per sweep point (0 = default)")
 		quick  = flag.Bool("quick", false, "shrunken workloads (smoke mode)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+		bench  = flag.Int("bench-json", -1, "run hot-path micro-benches and write BENCH_<n>.json")
 	)
 	flag.Parse()
+
+	if *bench >= 0 {
+		if err := runBenchJSON(*bench); err != nil {
+			fmt.Fprintf(os.Stderr, "tcrowd-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

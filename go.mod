@@ -1,0 +1,3 @@
+module tcrowd
+
+go 1.24

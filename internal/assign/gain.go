@@ -3,10 +3,10 @@ package assign
 import (
 	"math"
 	"runtime"
-	"sync"
 
 	"tcrowd/internal/core"
 	"tcrowd/internal/metrics"
+	"tcrowd/internal/pool"
 	"tcrowd/internal/stats"
 	"tcrowd/internal/tabular"
 )
@@ -148,8 +148,8 @@ func BatchInfoGain(m *core.Model, u tabular.WorkerID, cells []tabular.Cell) floa
 }
 
 // scoreAll computes score(c) for every candidate cell, fanning work across
-// CPUs — the parallel assignment computation discussed at the end of
-// Sec. 5.1 and measured in Fig. 11.
+// the persistent worker pool — the parallel assignment computation
+// discussed at the end of Sec. 5.1 and measured in Fig. 11.
 func scoreAll(cells []tabular.Cell, parallelism int, score func(tabular.Cell) float64) []float64 {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -161,21 +161,11 @@ func scoreAll(cells []tabular.Cell, parallelism int, score func(tabular.Cell) fl
 		}
 		return out
 	}
-	var wg sync.WaitGroup
-	chunk := (len(cells) + parallelism - 1) / parallelism
-	for start := 0; start < len(cells); start += chunk {
-		end := start + chunk
-		if end > len(cells) {
-			end = len(cells)
+	pool.Run(parallelism, func(shard int) {
+		lo, hi := pool.ChunkBounds(len(cells), parallelism, shard)
+		for i := lo; i < hi; i++ {
+			out[i] = score(cells[i])
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = score(cells[i])
-			}
-		}(start, end)
-	}
-	wg.Wait()
+	})
 	return out
 }

@@ -49,23 +49,19 @@ func (t *TCrowdSystem) Refresh(tbl *tabular.Table, log *tabular.AnswerLog) error
 	if opts.MStepIter == 0 {
 		opts.MStepIter = 10
 	}
-	if prev := t.Model(); prev != nil && opts.Warm == nil {
-		// Online refreshes see a log that grew by a handful of answers:
-		// restart EM next to the previous optimum.
-		warm := &core.Warm{
-			Alpha: prev.Alpha,
-			Beta:  prev.Beta,
-			Phi:   make(map[tabular.WorkerID]float64, len(prev.WorkerIDs)),
-		}
-		for k, u := range prev.WorkerIDs {
-			warm.Phi[u] = prev.Phi[k]
-		}
-		opts.Warm = warm
-		if opts.MaxIter > 5 {
-			opts.MaxIter = 5
-		}
+	// Online refreshes see a log that grew by a handful of answers:
+	// InferWarm restarts EM next to the previous optimum (no cold-start
+	// cost). The tight iteration cap applies only when the warm seed is
+	// actually usable — after a table reshape the previous model is
+	// incompatible and the refresh deserves its full cold budget.
+	prev := t.Model()
+	if opts.Warm != nil || !core.CanWarmStart(prev, tbl) {
+		prev = nil
 	}
-	m, err := core.Infer(tbl, log, opts)
+	if prev != nil && opts.MaxIter > 5 {
+		opts.MaxIter = 5
+	}
+	m, err := core.InferWarm(prev, tbl, log, opts)
 	if err == core.ErrNoAnswers {
 		t.st = &State{Log: log, RNG: t.tieBreak}
 		return nil

@@ -23,13 +23,56 @@
 //     (the standard majority-vote/mean start for crowdsourcing EM) rather
 //     than from the flat prior, which would make the first M-step
 //     uninformative.
+//
+// # Performance architecture
+//
+// The EM hot path is engineered for zero steady-state allocations and
+// minimal transcendental work:
+//
+//   - Fused objective+gradient M-step. The M-step line search evaluates
+//     the MAP objective and its log-space gradient in ONE pass over the
+//     answers (optimize.MinimizeFused + qFused*), sharing the erf/log work
+//     of the quality model between the two; per-answer quantities that are
+//     constant while the posteriors are frozen (posterior mass on the
+//     answered label and its logs, squared residuals) are precomputed once
+//     per M-step.
+//   - Scratch arenas. Answers are stored sorted by cell in one flat slice
+//     with CSR offsets (cellOff); categorical posteriors live in a single
+//     backing arena written in place by the E-step; every per-iteration
+//     buffer (E-step log-probs, theta packing, gradient shards, optimizer
+//     workspace) is hoisted into a per-model scratch reused across
+//     iterations. After the first EM iteration the engine performs no
+//     allocations.
+//   - Variance-triple memoisation. Answers are sorted so duplicates of the
+//     same (row, column, worker) triple are adjacent; consecutive answers
+//     sharing a triple reuse the clamped variance and its erf/log results
+//     instead of recomputing identical transcendentals.
+//   - Persistent goroutine pool. With Options.Parallelism > 1 the E-step
+//     shards over cells and the M-step over answer ranges on the
+//     internal/pool worker pool (no per-call goroutine spawning), with
+//     deterministic chunking and shard-ordered reductions.
+//
+// # Warm-started incremental inference
+//
+// Online serving re-infers after every small answer batch, so cold-start
+// cost dominates the refresh latency. InferWarm seeds a new fit from a
+// previous Model: parameters start at the previous optimum (Options.Warm)
+// and the posteriors are refreshed with a single E-step instead of the
+// empirical vote seed, so EM typically converges in a handful of cheap
+// iterations. Warm starts are safe whenever the table schema and row set
+// are unchanged and the answer log only grew; after structural changes
+// (rows added/removed, labels redefined) or bulk log rewrites, run a full
+// cold Infer instead — InferWarm falls back to cold automatically when
+// the dimensions no longer match.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
+	"tcrowd/internal/optimize"
 	"tcrowd/internal/stats"
 	"tcrowd/internal/tabular"
 )
@@ -85,13 +128,28 @@ type Options struct {
 	// Warm seeds the parameters from a previous fit, the standard trick
 	// for online re-inference after a handful of new answers: the EM
 	// restarts next to its previous optimum and converges in a few
-	// iterations.
+	// iterations. When set, the posteriors are seeded by an E-step from
+	// the warm parameters instead of the empirical vote distribution.
+	// Most callers should use InferWarm, which builds this from a
+	// previous Model and picks warm-appropriate iteration caps.
 	Warm *Warm
 	// Parallelism shards the E-step over cells and the M-step
-	// objective/gradient over answers when > 1 (capped at GOMAXPROCS).
-	// The paper lists parallel truth inference as future work (Sec. 7);
-	// results are identical up to floating-point summation order.
+	// objective/gradient over answers when > 1 (capped at GOMAXPROCS),
+	// on a persistent goroutine pool. The paper lists parallel truth
+	// inference as future work (Sec. 7); results are identical up to
+	// floating-point summation order.
 	Parallelism int
+
+	// refMStep switches the M-step to the unfused reference
+	// implementation (separate objective and gradient passes, fresh
+	// allocations). Used by the numerical-equivalence tests to prove the
+	// fused engine computes the same fit.
+	refMStep bool
+	// refFixedStep additionally disables the line-search step memory in
+	// the reference M-step, reproducing the seed engine's original
+	// optimizer exactly. Used to test that the optimised engine reaches
+	// the same EM fixed point as the pre-optimisation code path.
+	refFixedStep bool
 }
 
 // Warm carries parameters from a previous fit for warm-started EM.
@@ -101,6 +159,19 @@ type Warm struct {
 	// Phi maps workers to their previous variance; unknown workers keep
 	// InitPhi.
 	Phi map[tabular.WorkerID]float64
+}
+
+// WarmFromModel extracts warm-start parameters from a fitted model.
+func WarmFromModel(prev *Model) *Warm {
+	w := &Warm{
+		Alpha: prev.Alpha,
+		Beta:  prev.Beta,
+		Phi:   make(map[tabular.WorkerID]float64, len(prev.WorkerIDs)),
+	}
+	for k, u := range prev.WorkerIDs {
+		w.Phi[u] = prev.Phi[k]
+	}
+	return w
 }
 
 func (o Options) withDefaults() Options {
@@ -152,7 +223,9 @@ type Model struct {
 	ColMean, ColStd []float64
 
 	// CatPost[i][j] is the posterior label distribution of a categorical
-	// cell (nil when not applicable or unanswered).
+	// cell (nil when not applicable or unanswered). The distributions of
+	// all cells share one backing arena and are updated in place by the
+	// E-step.
 	CatPost [][][]float64
 	// ContMu/ContVar hold the standardized posterior N(mu, var) of
 	// continuous cells (valid where Answered).
@@ -167,12 +240,60 @@ type Model struct {
 	// Converged reports whether the parameter-change tolerance fired.
 	Converged bool
 
-	// flat per-answer caches built once in newModel.
+	// ans holds the decoded answers sorted by (cell, worker), so a cell's
+	// answers are contiguous and duplicate (row, column, worker) variance
+	// triples are adjacent (enabling transcendental memoisation).
 	ans []obsAnswer
-	// byCell[i*M+j] lists indices into ans for cell (i,j).
-	byCell [][]int
+	// cellOff is the CSR index into ans: cell key i*M+j owns
+	// ans[cellOff[key]:cellOff[key+1]].
+	cellOff []int32
+	// lnL1[j] caches ln(numLabels-1) for categorical columns.
+	lnL1 []float64
 	// medianPhi caches MedianPhi across hot assignment loops.
 	medianPhi float64
+	// scr holds every reusable hot-path buffer; see scratch.
+	scr scratch
+}
+
+// scratch is the per-model arena of hot-path buffers, sized on first use
+// and reused across EM iterations so the steady-state engine allocates
+// nothing.
+type scratch struct {
+	// Per-answer M-step constants, refreshed once per mStep while the
+	// posteriors are frozen: posterior mass on the answered label
+	// (categorical), squared residual plus posterior variance
+	// (continuous).
+	p, dv []float64
+	// theta packing and its (alpha, beta, phi) views.
+	theta, alpha, beta, phi []float64
+	// Reference-path gradient accumulators.
+	ga, gb, gp []float64
+	// EM convergence snapshots.
+	prevParams, curParams []float64
+	// Fused optimizer state.
+	work optimize.Workspace
+	fg   optimize.FuncGrad
+	fv   optimize.Func
+	// Per-shard parallel state (index = shard id): M-step partial values
+	// and partial gradients.
+	shardVal []float64
+	shardGA  [][]float64
+	shardGB  [][]float64
+	shardGP  [][]float64
+}
+
+// ensureShards sizes the per-shard scratch for w parallel workers.
+func (m *Model) ensureShards(w int) {
+	scr := &m.scr
+	for len(scr.shardGA) < w {
+		scr.shardGA = append(scr.shardGA, make([]float64, len(m.Alpha)))
+		scr.shardGB = append(scr.shardGB, make([]float64, len(m.Beta)))
+		scr.shardGP = append(scr.shardGP, make([]float64, len(m.Phi)))
+	}
+	if cap(scr.shardVal) < w {
+		scr.shardVal = make([]float64, w)
+	}
+	scr.shardVal = scr.shardVal[:w]
 }
 
 // obsAnswer is a decoded answer: indices resolved, continuous values
@@ -199,6 +320,41 @@ func Infer(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model, er
 	return m, nil
 }
 
+// InferWarm runs truth inference seeded from a previously fitted model —
+// the online-serving fast path: after a small answer batch lands, the EM
+// restarts at the previous optimum (parameters and posteriors) and only
+// re-runs to convergence from there, typically in a handful of iterations
+// instead of a full cold start.
+//
+// Warm starts are valid while the table's dimensions and schema are
+// unchanged and the log has only accumulated answers; when prev is nil or
+// its dimensions no longer match, InferWarm transparently falls back to a
+// cold Infer. Unless the caller overrides them, warm runs cap EM at
+// WarmMaxIter iterations and keep the cold convergence tolerance, so the
+// result matches a cold fit to within the EM tolerance.
+func InferWarm(prev *Model, tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model, error) {
+	if opts.Warm == nil && CanWarmStart(prev, tbl) {
+		opts.Warm = WarmFromModel(prev)
+		if opts.MaxIter <= 0 {
+			opts.MaxIter = WarmMaxIter
+		}
+	}
+	return Infer(tbl, log, opts)
+}
+
+// CanWarmStart reports whether prev is a usable warm seed for inference
+// over tbl — the single warm-validity predicate shared by InferWarm and
+// callers that adjust their iteration budgets based on it (so the two
+// decisions cannot drift apart).
+func CanWarmStart(prev *Model, tbl *tabular.Table) bool {
+	return prev != nil &&
+		len(prev.Alpha) == tbl.NumRows() && len(prev.Beta) == tbl.NumCols()
+}
+
+// WarmMaxIter is the default EM iteration cap of warm-started runs: a warm
+// start lands next to the previous optimum, so a short run reconverges.
+const WarmMaxIter = 8
+
 func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model, error) {
 	if err := tbl.Schema.Validate(); err != nil {
 		return nil, err
@@ -218,20 +374,51 @@ func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model,
 		ContMu:    make([][]float64, n),
 		ContVar:   make([][]float64, n),
 		Answered:  make([][]bool, n),
+		lnL1:      make([]float64, mm),
 		workerIdx: make(map[tabular.WorkerID]int),
 	}
+	// Row views share flat backing arrays: one allocation per field
+	// instead of one per row.
+	postRows := make([][]float64, n*mm)
+	muFlat := make([]float64, n*mm)
+	varFlat := make([]float64, n*mm)
+	ansFlat := make([]bool, n*mm)
 	for i := 0; i < n; i++ {
-		m.CatPost[i] = make([][]float64, mm)
-		m.ContMu[i] = make([]float64, mm)
-		m.ContVar[i] = make([]float64, mm)
-		m.Answered[i] = make([]bool, mm)
+		m.CatPost[i] = postRows[i*mm : (i+1)*mm : (i+1)*mm]
+		m.ContMu[i] = muFlat[i*mm : (i+1)*mm : (i+1)*mm]
+		m.ContVar[i] = varFlat[i*mm : (i+1)*mm : (i+1)*mm]
+		m.Answered[i] = ansFlat[i*mm : (i+1)*mm : (i+1)*mm]
+	}
+	for j := 0; j < mm; j++ {
+		if col := tbl.Schema.Columns[j]; col.Type == tabular.Categorical {
+			m.lnL1[j] = math.Log(float64(col.NumLabels() - 1))
+		}
 	}
 
-	// Column standardisation constants from the answers.
-	perCol := make([][]float64, mm)
-	for _, a := range log.All() {
+	// Column standardisation constants from the answers (count first so
+	// the per-column buffers come out of one backing slice).
+	all := log.All()
+	colCount := make([]int, mm)
+	for _, a := range all {
 		if a.Value.Kind == tabular.Number {
-			perCol[a.Cell.Col] = append(perCol[a.Cell.Col], a.Value.X)
+			colCount[a.Cell.Col]++
+		}
+	}
+	numTotal := 0
+	for _, c := range colCount {
+		numTotal += c
+	}
+	colBuf := make([]float64, 0, numTotal)
+	perCol := make([][]float64, mm)
+	for j := 0; j < mm; j++ {
+		lo := len(colBuf)
+		perCol[j] = colBuf[lo : lo : lo+colCount[j]]
+		colBuf = colBuf[:lo+colCount[j]]
+	}
+	for _, a := range all {
+		if a.Value.Kind == tabular.Number {
+			j := a.Cell.Col
+			perCol[j] = append(perCol[j], a.Value.X)
 		}
 	}
 	for j := 0; j < mm; j++ {
@@ -246,7 +433,8 @@ func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model,
 	}
 
 	// Decode answers, applying the mode filter.
-	for _, a := range log.All() {
+	m.ans = make([]obsAnswer, 0, len(all))
+	for _, a := range all {
 		if a.Cell.Row < 0 || a.Cell.Row >= n || a.Cell.Col < 0 || a.Cell.Col >= mm {
 			return nil, fmt.Errorf("core: answer cell %v outside table", a.Cell)
 		}
@@ -282,15 +470,59 @@ func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model,
 	if len(m.ans) == 0 {
 		return nil, ErrNoAnswers
 	}
-	m.byCell = make([][]int, n*mm)
-	for idx, a := range m.ans {
-		key := a.i*mm + a.j
-		m.byCell[key] = append(m.byCell[key], idx)
+
+	// Sort answers by (cell, worker) so each cell's answers are one
+	// contiguous CSR range and duplicate (i, j, w) variance triples sit
+	// adjacent for the memoised transcendental reuse.
+	sort.Slice(m.ans, func(x, y int) bool {
+		ax, ay := &m.ans[x], &m.ans[y]
+		kx, ky := ax.i*mm+ax.j, ay.i*mm+ay.j
+		if kx != ky {
+			return kx < ky
+		}
+		if ax.w != ay.w {
+			return ax.w < ay.w
+		}
+		if ax.label != ay.label {
+			return ax.label < ay.label
+		}
+		return ax.z < ay.z
+	})
+	m.cellOff = make([]int32, n*mm+1)
+	for idx := range m.ans {
+		m.cellOff[m.ans[idx].i*mm+m.ans[idx].j+1]++
 	}
+	for key := 0; key < n*mm; key++ {
+		m.cellOff[key+1] += m.cellOff[key]
+	}
+
+	// Categorical posteriors live in one arena, assigned per answered
+	// cell and updated in place ever after.
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < mm; j++ {
+			if m.Answered[i][j] && tbl.Schema.Columns[j].Type == tabular.Categorical {
+				total += tbl.Schema.Columns[j].NumLabels()
+			}
+		}
+	}
+	arena := make([]float64, total)
+	off := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < mm; j++ {
+			if m.Answered[i][j] && tbl.Schema.Columns[j].Type == tabular.Categorical {
+				l := tbl.Schema.Columns[j].NumLabels()
+				m.CatPost[i][j] = arena[off : off+l : off+l]
+				off += l
+			}
+		}
+	}
+
 	m.Phi = make([]float64, len(m.WorkerIDs))
 	for k := range m.Phi {
 		m.Phi[k] = o.InitPhi
 	}
+	warmed := false
 	if w := o.Warm; w != nil {
 		if len(w.Alpha) == n && !o.FixDifficulty {
 			copy(m.Alpha, w.Alpha)
@@ -303,32 +535,30 @@ func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model,
 				m.Phi[k] = stats.Clamp(phi, minS, maxS)
 			}
 		}
+		warmed = true
 	}
-	m.warmStart()
+	if !warmed {
+		// Cold start: seed the posteriors from the empirical answer
+		// distribution. Warm starts skip this — run() derives their
+		// posteriors from the warm parameters with one E-step, which both
+		// reflects the previous fit and folds in any new answers.
+		m.warmStart()
+	}
 	return m, nil
 }
 
 // warmStart seeds posteriors from the empirical answer distribution
-// (equal-weight vote / mean), the conventional EM initialisation.
+// (equal-weight vote / mean), the conventional EM initialisation. Vote
+// counts accumulate directly in the posterior arena (categorical) and the
+// ContMu/ContVar fields (continuous) — no temporaries.
 func (m *Model) warmStart() {
 	n, mm := m.Table.NumRows(), m.Table.NumCols()
-	counts := make([][][]float64, n)
-	sum := make([][]float64, n)
-	cnt := make([][]int, n)
-	for i := 0; i < n; i++ {
-		counts[i] = make([][]float64, mm)
-		sum[i] = make([]float64, mm)
-		cnt[i] = make([]int, mm)
-	}
 	for _, a := range m.ans {
 		if a.isCat {
-			if counts[a.i][a.j] == nil {
-				counts[a.i][a.j] = make([]float64, m.Table.Schema.Columns[a.j].NumLabels())
-			}
-			counts[a.i][a.j][a.label]++
+			m.CatPost[a.i][a.j][a.label]++
 		} else {
-			sum[a.i][a.j] += a.z
-			cnt[a.i][a.j]++
+			m.ContMu[a.i][a.j] += a.z // sum of answers
+			m.ContVar[a.i][a.j]++     // answer count
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -336,23 +566,20 @@ func (m *Model) warmStart() {
 			if !m.Answered[i][j] {
 				continue
 			}
-			if counts[i][j] != nil {
+			if post := m.CatPost[i][j]; post != nil {
 				// Add-one smoothing keeps every label alive for the first
 				// M-step.
-				k := len(counts[i][j])
-				post := make([]float64, k)
 				total := 0.0
 				for z := range post {
-					post[z] = counts[i][j][z] + 0.5
+					post[z] += 0.5
 					total += post[z]
 				}
 				for z := range post {
 					post[z] /= total
 				}
-				m.CatPost[i][j] = post
-			} else if cnt[i][j] > 0 {
-				m.ContMu[i][j] = sum[i][j] / float64(cnt[i][j])
-				m.ContVar[i][j] = 1 / float64(cnt[i][j])
+			} else if cnt := m.ContVar[i][j]; cnt > 0 {
+				m.ContMu[i][j] /= cnt
+				m.ContVar[i][j] = 1 / cnt
 			}
 		}
 	}
@@ -362,11 +589,17 @@ func (m *Model) warmStart() {
 // E-step (truth posteriors), until parameters stabilise (Algorithm 1).
 func (m *Model) run() {
 	if m.Opts.Warm != nil {
-		// Warm parameters beat vote-share posteriors: refresh the
+		// Warm parameters beat vote-share posteriors: derive the
 		// posteriors from them before the first M-step.
 		m.eStep()
 	}
-	prev := m.paramSnapshot()
+	d := len(m.Alpha) + len(m.Beta) + len(m.Phi)
+	if cap(m.scr.prevParams) < d {
+		m.scr.prevParams = make([]float64, d)
+		m.scr.curParams = make([]float64, d)
+	}
+	prev := m.paramSnapshot(m.scr.prevParams[:d])
+	cur := m.scr.curParams[:d]
 	for it := 0; it < m.Opts.MaxIter; it++ {
 		m.Iterations = it + 1
 		m.mStep()
@@ -374,24 +607,25 @@ func (m *Model) run() {
 		if m.Opts.TrackObjective {
 			m.ObjTrace = append(m.ObjTrace, m.ELBO())
 		}
-		cur := m.paramSnapshot()
+		cur = m.paramSnapshot(cur)
 		if maxDelta(prev, cur) < m.Opts.Tol {
 			m.Converged = true
 			break
 		}
-		prev = cur
+		prev, cur = cur, prev
 	}
 	// Freeze the median-phi cache now so concurrent readers (parallel
 	// assignment scoring) never write to the model.
 	m.medianPhi = m.MedianPhi()
 }
 
-func (m *Model) paramSnapshot() []float64 {
-	out := make([]float64, 0, len(m.Alpha)+len(m.Beta)+len(m.Phi))
-	out = append(out, m.Alpha...)
-	out = append(out, m.Beta...)
-	out = append(out, m.Phi...)
-	return out
+// paramSnapshot writes the concatenated (alpha, beta, phi) vector into dst.
+func (m *Model) paramSnapshot(dst []float64) []float64 {
+	dst = dst[:0]
+	dst = append(dst, m.Alpha...)
+	dst = append(dst, m.Beta...)
+	dst = append(dst, m.Phi...)
+	return dst
 }
 
 func maxDelta(a, b []float64) float64 {

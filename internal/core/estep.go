@@ -35,57 +35,74 @@ func logQ(eps, s float64) (lnQ, lnNotQ float64) {
 }
 
 // eStep recomputes every answered cell's posterior truth distribution
-// (Eq. 4) given the current parameters.
+// (Eq. 4) given the current parameters. Posteriors are written in place
+// (the categorical arena and the ContMu/ContVar fields), so the steady
+// state allocates nothing.
 func (m *Model) eStep() {
 	if w := m.effectiveParallelism(); w > 1 {
 		m.eStepParallel(w)
 		return
 	}
-	n, mm := m.Table.NumRows(), m.Table.NumCols()
-	for i := 0; i < n; i++ {
-		for j := 0; j < mm; j++ {
-			idxs := m.byCell[i*mm+j]
-			if len(idxs) == 0 {
-				continue
-			}
-			if m.ans[idxs[0]].isCat {
-				m.updateCatCell(i, j, idxs)
-			} else {
-				m.updateContCell(i, j, idxs)
-			}
+	m.eStepCells(0, m.Table.NumRows()*m.Table.NumCols())
+}
+
+// eStepCells updates the posteriors of cell keys [loKey, hiKey).
+func (m *Model) eStepCells(loKey, hiKey int) {
+	mm := m.Table.NumCols()
+	for key := loKey; key < hiKey; key++ {
+		lo, hi := int(m.cellOff[key]), int(m.cellOff[key+1])
+		if lo == hi {
+			continue
+		}
+		i, j := key/mm, key%mm
+		if m.ans[lo].isCat {
+			m.updateCatCell(i, j, lo, hi)
+		} else {
+			m.updateContCell(i, j, lo, hi)
 		}
 	}
 }
 
 // updateCatCell computes P(T_ij = z) as the normalised product over
 // answers of q^{1[a=z]} * ((1-q)/(|L|-1))^{1[a!=z]} (uniform prior).
-func (m *Model) updateCatCell(i, j int, idxs []int) {
-	l := m.Table.Schema.Columns[j].NumLabels()
-	logp := make([]float64, l)
-	lnL1 := math.Log(float64(l - 1))
-	for _, idx := range idxs {
-		a := m.ans[idx]
-		s := m.cellVariance(i, j, a.w)
-		lnQ, lnNotQ := logQ(m.Opts.Eps, s)
-		lnWrong := lnNotQ - lnL1
-		for z := 0; z < l; z++ {
+// Log-probabilities accumulate directly in the cell's posterior slice and
+// are normalised in place; answers are sorted by worker, so repeated
+// answers from one worker reuse the variance triple's erf/log work.
+func (m *Model) updateCatCell(i, j, lo, hi int) {
+	post := m.CatPost[i][j]
+	for z := range post {
+		post[z] = 0
+	}
+	lnL1 := m.lnL1[j]
+	prevW := -1
+	var lnQ, lnWrong float64
+	for idx := lo; idx < hi; idx++ {
+		a := &m.ans[idx]
+		if a.w != prevW {
+			prevW = a.w
+			s := m.cellVariance(i, j, a.w)
+			var lnNotQ float64
+			lnQ, lnNotQ = logQ(m.Opts.Eps, s)
+			lnWrong = lnNotQ - lnL1
+		}
+		for z := range post {
 			if z == a.label {
-				logp[z] += lnQ
+				post[z] += lnQ
 			} else {
-				logp[z] += lnWrong
+				post[z] += lnWrong
 			}
 		}
 	}
-	m.CatPost[i][j] = stats.NormalizeLogProbs(logp)
+	stats.NormalizeLogProbs(post)
 }
 
 // updateContCell computes the Gaussian posterior of Eq. 4 in standardized
 // units, with the N(0,1) column prior (mu0=0, phi0=1 after z-scoring).
-func (m *Model) updateContCell(i, j int, idxs []int) {
+func (m *Model) updateContCell(i, j, lo, hi int) {
 	precision := 1.0 // prior 1/phi0
 	weighted := 0.0  // prior mu0/phi0 = 0
-	for _, idx := range idxs {
-		a := m.ans[idx]
+	for idx := lo; idx < hi; idx++ {
+		a := &m.ans[idx]
 		s := m.cellVariance(i, j, a.w)
 		precision += 1 / s
 		weighted += a.z / s
@@ -101,30 +118,29 @@ func (m *Model) updateContCell(i, j int, idxs []int) {
 func (m *Model) ELBO() float64 {
 	n, mm := m.Table.NumRows(), m.Table.NumCols()
 	total := m.paramLogPrior(m.Alpha, m.Beta, m.Phi)
-	for i := 0; i < n; i++ {
-		for j := 0; j < mm; j++ {
-			idxs := m.byCell[i*mm+j]
-			if len(idxs) == 0 {
-				continue
-			}
-			if m.ans[idxs[0]].isCat {
-				total += m.elboCatCell(i, j, idxs)
-			} else {
-				total += m.elboContCell(i, j, idxs)
-			}
+	for key := 0; key < n*mm; key++ {
+		lo, hi := int(m.cellOff[key]), int(m.cellOff[key+1])
+		if lo == hi {
+			continue
+		}
+		i, j := key/mm, key%mm
+		if m.ans[lo].isCat {
+			total += m.elboCatCell(i, j, lo, hi)
+		} else {
+			total += m.elboContCell(i, j, lo, hi)
 		}
 	}
 	return total
 }
 
-func (m *Model) elboCatCell(i, j int, idxs []int) float64 {
+func (m *Model) elboCatCell(i, j, lo, hi int) float64 {
 	post := m.CatPost[i][j]
 	l := len(post)
-	lnL1 := math.Log(float64(l - 1))
+	lnL1 := m.lnL1[j]
 	q := 0.0
 	// Expected log-likelihood of the answers.
-	for _, idx := range idxs {
-		a := m.ans[idx]
+	for idx := lo; idx < hi; idx++ {
+		a := &m.ans[idx]
 		s := m.cellVariance(i, j, a.w)
 		lnQ, lnNotQ := logQ(m.Opts.Eps, s)
 		pCorrect := post[a.label]
@@ -136,11 +152,11 @@ func (m *Model) elboCatCell(i, j int, idxs []int) float64 {
 	return q + stats.ShannonEntropy(post)
 }
 
-func (m *Model) elboContCell(i, j int, idxs []int) float64 {
+func (m *Model) elboContCell(i, j, lo, hi int) float64 {
 	mu, v := m.ContMu[i][j], m.ContVar[i][j]
 	q := 0.0
-	for _, idx := range idxs {
-		a := m.ans[idx]
+	for idx := lo; idx < hi; idx++ {
+		a := &m.ans[idx]
 		s := m.cellVariance(i, j, a.w)
 		d := a.z - mu
 		q += -0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s)

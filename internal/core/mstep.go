@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"tcrowd/internal/optimize"
+	"tcrowd/internal/pool"
 	"tcrowd/internal/stats"
 )
 
@@ -13,7 +14,340 @@ import (
 // d/dlog(beta_j) and d/dlog(phi_u), so one pass over the answers yields the
 // full gradient — the M-step is O(|A|) per gradient evaluation as analysed
 // at the end of Sec. 4.3.
+//
+// The production path is fused: optimize.MinimizeFused evaluates the
+// objective and the gradient in a single pass per line-search trial
+// (qFusedRange), sharing the erf/log work of the quality model between the
+// two, with all buffers drawn from the model scratch. The unfused
+// reference path (mStepReference) performs separate value and gradient
+// passes exactly as the paper describes and is retained for the
+// numerical-equivalence tests; both paths compute bit-identical iterates.
 func (m *Model) mStep() {
+	if m.Opts.refMStep {
+		m.mStepReference()
+		return
+	}
+	pv := optimize.DefaultPositiveVec()
+	n, mm, u := len(m.Alpha), len(m.Beta), len(m.Phi)
+	fixed := m.Opts.FixDifficulty
+	dim := u
+	if !fixed {
+		dim += n + mm
+	}
+
+	scr := &m.scr
+	m.ensureMStepScratch(dim)
+	m.prepMStepConsts()
+	theta := scr.theta[:dim]
+	if fixed {
+		pv.ToLog(m.Phi, theta)
+	} else {
+		pv.ToLog(m.Alpha, theta[:n])
+		pv.ToLog(m.Beta, theta[n:n+mm])
+		pv.ToLog(m.Phi, theta[n+mm:])
+	}
+
+	if scr.fg == nil {
+		// One closure pair for the model's lifetime: per-call state lives
+		// in the scratch, not the capture.
+		scr.fg = m.negQFused
+		scr.fv = m.negQValueFast
+	}
+	res := optimize.MinimizeFused(scr.fg, scr.fv, theta, optimize.Options{
+		MaxIter:      m.Opts.MStepIter,
+		GradTol:      1e-7,
+		InitStep:     0.5,
+		AdaptiveStep: true,
+		Work:         &scr.work,
+	})
+	m.splitTheta(res.X, pv)
+	copy(m.Phi, scr.phi)
+	if !fixed {
+		copy(m.Alpha, scr.alpha)
+		copy(m.Beta, scr.beta)
+	}
+}
+
+// ensureMStepScratch sizes the M-step buffers (no-op once warm).
+func (m *Model) ensureMStepScratch(dim int) {
+	scr := &m.scr
+	if cap(scr.theta) < dim {
+		scr.theta = make([]float64, dim)
+	}
+	if len(scr.alpha) != len(m.Alpha) {
+		scr.alpha = make([]float64, len(m.Alpha))
+		scr.ga = make([]float64, len(m.Alpha))
+	}
+	if len(scr.beta) != len(m.Beta) {
+		scr.beta = make([]float64, len(m.Beta))
+		scr.gb = make([]float64, len(m.Beta))
+	}
+	if len(scr.phi) != len(m.Phi) {
+		scr.phi = make([]float64, len(m.Phi))
+		scr.gp = make([]float64, len(m.Phi))
+	}
+	if na := len(m.ans); cap(scr.p) < na {
+		scr.p = make([]float64, na)
+		scr.dv = make([]float64, na)
+	}
+}
+
+// prepMStepConsts precomputes the per-answer quantities that stay constant
+// across every objective/gradient evaluation of one M-step (the posteriors
+// are frozen): the posterior mass on the answered label, and the squared
+// residual plus posterior variance of continuous answers. This hoists the
+// posterior double-indexing and residual arithmetic out of the line-search
+// loop.
+func (m *Model) prepMStepConsts() {
+	scr := &m.scr
+	na := len(m.ans)
+	scr.p, scr.dv = scr.p[:na], scr.dv[:na]
+	for idx := range m.ans {
+		a := &m.ans[idx]
+		if a.isCat {
+			scr.p[idx] = m.CatPost[a.i][a.j][a.label]
+		} else {
+			mu, v := m.ContMu[a.i][a.j], m.ContVar[a.i][a.j]
+			d := a.z - mu
+			scr.dv[idx] = d*d + v
+		}
+	}
+}
+
+// splitTheta unpacks a theta vector into the scratch (alpha, beta, phi)
+// views.
+func (m *Model) splitTheta(theta []float64, pv optimize.PositiveVec) {
+	scr := &m.scr
+	if m.Opts.FixDifficulty {
+		copy(scr.alpha, m.Alpha)
+		copy(scr.beta, m.Beta)
+		pv.FromLog(theta, scr.phi)
+		return
+	}
+	n, mm := len(m.Alpha), len(m.Beta)
+	pv.FromLog(theta[:n], scr.alpha)
+	pv.FromLog(theta[n:n+mm], scr.beta)
+	pv.FromLog(theta[n+mm:], scr.phi)
+}
+
+// negQFused is the fused optimize.FuncGrad of the negated MAP objective:
+// one pass computes -Q and writes -dQ/dtheta into grad.
+func (m *Model) negQFused(theta, grad []float64) float64 {
+	pv := optimize.DefaultPositiveVec()
+	m.splitTheta(theta, pv)
+	scr := &m.scr
+	var ga, gb, gp []float64
+	if m.Opts.FixDifficulty {
+		// alpha/beta gradients accumulate into scratch and are discarded.
+		ga, gb, gp = scr.ga, scr.gb, grad
+		zero(ga)
+		zero(gb)
+		zero(gp)
+	} else {
+		n, mm := len(m.Alpha), len(m.Beta)
+		ga, gb, gp = grad[:n], grad[n:n+mm], grad[n+mm:]
+		zero(grad)
+	}
+	val := m.qFused(scr.alpha, scr.beta, scr.phi, ga, gb, gp)
+	for i := range grad {
+		grad[i] = -grad[i]
+	}
+	return -val
+}
+
+// negQValueFast is the value-only companion of negQFused, used for
+// backtracking retrials where the gradient would be discarded. It computes
+// bit-identically the same objective as negQFused (same expressions, same
+// accumulation order) from the same precomputed per-answer constants.
+func (m *Model) negQValueFast(theta []float64) float64 {
+	pv := optimize.DefaultPositiveVec()
+	m.splitTheta(theta, pv)
+	scr := &m.scr
+	return -m.qValueFast(scr.alpha, scr.beta, scr.phi)
+}
+
+// qValueFast evaluates the MAP objective without gradients, with the same
+// memoisation and per-answer constants as the fused pass.
+func (m *Model) qValueFast(alpha, beta, phi []float64) float64 {
+	if w := m.effectiveParallelism(); w > 1 {
+		m.ensureShards(w)
+		scr := &m.scr
+		na := len(m.ans)
+		pool.Run(w, func(shard int) {
+			lo, hi := pool.ChunkBounds(na, w, shard)
+			scr.shardVal[shard] = m.qValueFastRange(alpha, beta, phi, lo, hi)
+		})
+		val := 0.0
+		for s := 0; s < w; s++ {
+			val += scr.shardVal[s]
+		}
+		return m.paramLogPrior(alpha, beta, phi) + val
+	}
+	return m.paramLogPrior(alpha, beta, phi) + m.qValueFastRange(alpha, beta, phi, 0, len(m.ans))
+}
+
+// qValueFastRange mirrors qFusedRange's value accumulation exactly, minus
+// the gradient work.
+func (m *Model) qValueFastRange(alpha, beta, phi []float64, lo, hi int) float64 {
+	scr := &m.scr
+	eps := m.Opts.Eps
+	q := 0.0
+	prevI, prevJ, prevW := -1, -1, -1
+	var twoS, lnQ, lnNotQ, ln2pis float64
+	for idx := lo; idx < hi; idx++ {
+		a := &m.ans[idx]
+		if a.i != prevI || a.j != prevJ || a.w != prevW {
+			prevI, prevJ, prevW = a.i, a.j, a.w
+			s := stats.Clamp(alpha[a.i]*beta[a.j]*phi[a.w], minS, maxS)
+			if a.isCat {
+				lnQ, lnNotQ = logQ(eps, s)
+			} else {
+				twoS = 2 * s
+				ln2pis = math.Log(2 * math.Pi * s)
+			}
+		}
+		if a.isCat {
+			p := scr.p[idx]
+			q += p*lnQ + (1-p)*(lnNotQ-m.lnL1[a.j])
+		} else {
+			q += -0.5*ln2pis - scr.dv[idx]/twoS
+		}
+	}
+	return q
+}
+
+// qFused evaluates the MAP objective (Eq. 5 plus parameter log-priors) AND
+// accumulates its log-space gradient into (ga, gb, gp) in one pass over
+// the answers.
+func (m *Model) qFused(alpha, beta, phi []float64, ga, gb, gp []float64) float64 {
+	if w := m.effectiveParallelism(); w > 1 {
+		return m.qFusedParallel(alpha, beta, phi, ga, gb, gp, w)
+	}
+	m.priorGradLog(alpha, beta, phi, ga, gb, gp)
+	val := m.qFusedRange(alpha, beta, phi, 0, len(m.ans), ga, gb, gp)
+	return m.paramLogPrior(alpha, beta, phi) + val
+}
+
+// qFusedParallel shards qFusedRange over answer ranges on the worker pool;
+// per-shard partial values and gradients reduce in shard order (results
+// deterministic for a fixed worker count).
+func (m *Model) qFusedParallel(alpha, beta, phi []float64, ga, gb, gp []float64, workers int) float64 {
+	m.ensureShards(workers)
+	scr := &m.scr
+	na := len(m.ans)
+	pool.Run(workers, func(shard int) {
+		lo, hi := pool.ChunkBounds(na, workers, shard)
+		sga, sgb, sgp := scr.shardGA[shard], scr.shardGB[shard], scr.shardGP[shard]
+		zero(sga)
+		zero(sgb)
+		zero(sgp)
+		scr.shardVal[shard] = m.qFusedRange(alpha, beta, phi, lo, hi, sga, sgb, sgp)
+	})
+	m.priorGradLog(alpha, beta, phi, ga, gb, gp)
+	val := 0.0
+	for s := 0; s < workers; s++ {
+		val += scr.shardVal[s]
+		for i := range ga {
+			ga[i] += scr.shardGA[s][i]
+		}
+		for j := range gb {
+			gb[j] += scr.shardGB[s][j]
+		}
+		for k := range gp {
+			gp[k] += scr.shardGP[s][k]
+		}
+	}
+	return m.paramLogPrior(alpha, beta, phi) + val
+}
+
+// catTerms computes every quality-model transcendental a categorical
+// answer needs, sharing the erf/erfc evaluations between the objective and
+// the gradient: (ln q, ln(1-q)) for the value term and the gradient
+// ratios D/q, D/(1-q) with D = x e^{-x^2}/sqrt(pi), so the per-answer
+// gradient is g = (1-p) D/(1-q) - p D/q. In the common branch (x < 20)
+// the ratios are computed directly from erf/erfc — one exp, no logs
+// beyond the value's own; the deep tail falls back to log space where
+// erfc would underflow.
+func catTerms(eps, s float64) (lnQ, lnNotQ, dOverQ, dOverNotQ float64) {
+	x := eps / math.Sqrt(2*s)
+	if x < 20 {
+		e := math.Erf(x)
+		ec := math.Erfc(x)
+		if e < 0.5 {
+			lnQ, lnNotQ = math.Log(e), math.Log1p(-e)
+		} else {
+			lnQ, lnNotQ = math.Log1p(-ec), math.Log(ec)
+		}
+		d := x * math.Exp(-x*x) / math.SqrtPi
+		return lnQ, lnNotQ, d / e, d / ec
+	}
+	lnQ, lnNotQ = stats.LogErf(x), stats.LogErfc(x)
+	lnD := math.Log(x/math.SqrtPi) - x*x
+	return lnQ, lnNotQ, math.Exp(lnD - lnQ), math.Exp(lnD - lnNotQ)
+}
+
+// qFusedRange is the fused hot loop: for answers [lo, hi) it returns the
+// data term of Q and accumulates the per-answer gradient contribution
+// g = s * dQ_a/ds into (ga, gb, gp) — see qValueRange / qGradLogRange for
+// the derivations. The expensive transcendentals (erf, log, exp of the
+// quality model) are computed once per variance triple and shared between
+// value and gradient; consecutive answers with the same (row, column,
+// worker) triple (adjacent after the model's answer sort) reuse them
+// outright.
+func (m *Model) qFusedRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp []float64) float64 {
+	scr := &m.scr
+	eps := m.Opts.Eps
+	q := 0.0
+	prevI, prevJ, prevW := -1, -1, -1
+	var twoS, lnQ, lnNotQ, dOverQ, dOverNotQ, ln2pis float64
+	var clamped bool
+	for idx := lo; idx < hi; idx++ {
+		a := &m.ans[idx]
+		if a.i != prevI || a.j != prevJ || a.w != prevW {
+			prevI, prevJ, prevW = a.i, a.j, a.w
+			raw := alpha[a.i] * beta[a.j] * phi[a.w]
+			clamped = raw < minS || raw > maxS
+			s := stats.Clamp(raw, minS, maxS)
+			if a.isCat {
+				lnQ, lnNotQ, dOverQ, dOverNotQ = catTerms(eps, s)
+			} else {
+				twoS = 2 * s
+				ln2pis = math.Log(2 * math.Pi * s)
+			}
+		}
+		var g float64
+		if a.isCat {
+			p := scr.p[idx]
+			q += p*lnQ + (1-p)*(lnNotQ-m.lnL1[a.j])
+			g = (1-p)*dOverNotQ - p*dOverQ
+		} else {
+			dv := scr.dv[idx]
+			q += -0.5*ln2pis - dv/twoS
+			g = -0.5 + dv/twoS
+		}
+		if clamped {
+			// At the variance clamp the objective is flat; do not push
+			// parameters further out.
+			g = 0
+		}
+		ga[a.i] += g
+		gb[a.j] += g
+		gp[a.w] += g
+	}
+	return q
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// mStepReference is the unfused M-step exactly as in the paper's
+// description: gradient descent with separate objective and gradient
+// passes (qValue / qGradLog). Kept as the ground truth the fused engine is
+// verified against.
+func (m *Model) mStepReference() {
 	pv := optimize.DefaultPositiveVec()
 	n, mm, u := len(m.Alpha), len(m.Beta), len(m.Phi)
 
@@ -72,9 +406,10 @@ func (m *Model) mStep() {
 	}
 
 	res := optimize.Minimize(negQ, negGrad, theta0, optimize.Options{
-		MaxIter:  m.Opts.MStepIter,
-		GradTol:  1e-7,
-		InitStep: 0.5,
+		MaxIter:      m.Opts.MStepIter,
+		GradTol:      1e-7,
+		InitStep:     0.5,
+		AdaptiveStep: !m.Opts.refFixedStep,
 	})
 	split(res.X)
 	copy(m.Phi, phi)
@@ -123,7 +458,8 @@ func (m *Model) paramLogPrior(alpha, beta, phi []float64) float64 {
 
 // qValue evaluates the MAP objective: Q (Eq. 5) plus the parameter
 // log-priors, posteriors fixed. Truth-prior terms are constant w.r.t. the
-// parameters and omitted.
+// parameters and omitted. (Reference path; the production M-step uses
+// qFused.)
 func (m *Model) qValue(alpha, beta, phi []float64) float64 {
 	if w := m.effectiveParallelism(); w > 1 {
 		return m.qValueParallel(alpha, beta, phi, w)
@@ -154,15 +490,15 @@ func (m *Model) qValueRange(alpha, beta, phi []float64, lo, hi int) float64 {
 
 // qGradLog returns dQ/dlog(alpha), dQ/dlog(beta), dQ/dlog(phi). Each answer
 // contributes the same scalar g = s * dQ_a/ds to all three of its
-// coordinates.
+// coordinates. (Reference path; the production M-step uses qFused.)
 //
 // Continuous (from Eq. 5): s*d/ds[-ln(2 pi s)/2 - (d^2+v)/(2s)]
 // = -1/2 + (d^2+v)/(2s).
 //
 // Categorical: with x = eps/sqrt(2 s) and g(s) = erf(x),
 // dg/ds = -(x/(sqrt(pi))) e^{-x^2} / s, so
-// s*dQ_a/ds = (x e^{-x^2}/sqrt(pi)) * [(1-p)/(1-g) - p/g], evaluated in log
-// space so the q -> 1 and q -> 0 tails stay finite.
+// s*dQ_a/ds = (x e^{-x^2}/sqrt(pi)) * [(1-p)/(1-g) - p/g], with the deep
+// q -> 1 tail evaluated in log space so it stays finite (see catTerms).
 func (m *Model) qGradLog(alpha, beta, phi []float64) (ga, gb, gp []float64) {
 	if w := m.effectiveParallelism(); w > 1 {
 		return m.qGradLogParallel(alpha, beta, phi, w)
@@ -202,18 +538,8 @@ func (m *Model) qGradLogRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp
 		var g float64
 		if a.isCat {
 			p := m.CatPost[a.i][a.j][a.label]
-			x := m.Opts.Eps / math.Sqrt(2*s)
-			lnD := math.Log(x/math.SqrtPi) - x*x
-			lnQ, lnNotQ := logQ(m.Opts.Eps, s)
-			termA := 0.0
-			if p > 0 {
-				termA = math.Exp(math.Log(p) + lnD - lnQ)
-			}
-			termB := 0.0
-			if p < 1 {
-				termB = math.Exp(math.Log(1-p) + lnD - lnNotQ)
-			}
-			g = termB - termA
+			_, _, dOverQ, dOverNotQ := catTerms(m.Opts.Eps, s)
+			g = (1-p)*dOverNotQ - p*dOverQ
 		} else {
 			mu, v := m.ContMu[a.i][a.j], m.ContVar[a.i][a.j]
 			d := a.z - mu

@@ -2,74 +2,45 @@ package core
 
 import (
 	"runtime"
-	"sync"
+
+	"tcrowd/internal/pool"
 )
 
 // Parallel EM — the "acceleration of truth inference ... by parallel
 // computation" the paper lists as future work (Sec. 7). Both EM halves
 // decompose cleanly:
 //
-//   - the E-step treats cells independently given the parameters, so cells
-//     shard across goroutines;
+//   - the E-step treats cells independently given the parameters, so cell
+//     ranges shard across workers;
 //   - the M-step objective and gradient are sums over answers, so answer
-//     ranges shard and per-shard partial gradients reduce at the end.
+//     ranges shard and per-shard partials reduce in shard order.
 //
-// Parallelism is opt-in (Options.Parallelism > 1): the sequential path
-// stays allocation-light for the small online refreshes, while full-table
-// inference on large logs gets near-linear speedup.
+// Work runs on the persistent internal/pool goroutine pool (no per-call
+// goroutine spawning) with deterministic pool.ChunkBounds sharding, so a
+// given worker count always produces the same floating-point reduction
+// order. Parallelism is opt-in (Options.Parallelism > 1): the sequential
+// path stays allocation-free for the small online refreshes, while
+// full-table inference on large logs gets near-linear speedup.
 
-// eStepParallel is the sharded version of eStep.
+// eStepParallel is the sharded version of eStep: contiguous cell-key
+// ranges per shard, posteriors written in place (disjoint cells, no
+// synchronisation needed beyond the pool's completion barrier).
 func (m *Model) eStepParallel(workers int) {
-	n, mm := m.Table.NumRows(), m.Table.NumCols()
-	total := n * mm
-	var wg sync.WaitGroup
-	chunk := (total + workers - 1) / workers
-	for start := 0; start < total; start += chunk {
-		end := start + chunk
-		if end > total {
-			end = total
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for key := lo; key < hi; key++ {
-				idxs := m.byCell[key]
-				if len(idxs) == 0 {
-					continue
-				}
-				i, j := key/mm, key%mm
-				if m.ans[idxs[0]].isCat {
-					m.updateCatCell(i, j, idxs)
-				} else {
-					m.updateContCell(i, j, idxs)
-				}
-			}
-		}(start, end)
-	}
-	wg.Wait()
+	total := m.Table.NumRows() * m.Table.NumCols()
+	pool.Run(workers, func(shard int) {
+		lo, hi := pool.ChunkBounds(total, workers, shard)
+		m.eStepCells(lo, hi)
+	})
 }
 
 // qValueParallel shards the M-step objective over answer ranges.
+// (Reference path; the production M-step shards qFusedParallel.)
 func (m *Model) qValueParallel(alpha, beta, phi []float64, workers int) float64 {
 	partial := make([]float64, workers)
-	var wg sync.WaitGroup
-	chunk := (len(m.ans) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if lo >= len(m.ans) {
-			break
-		}
-		if hi > len(m.ans) {
-			hi = len(m.ans)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			partial[w] = m.qValueRange(alpha, beta, phi, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	pool.Run(workers, func(w int) {
+		lo, hi := pool.ChunkBounds(len(m.ans), workers, w)
+		partial[w] = m.qValueRange(alpha, beta, phi, lo, hi)
+	})
 	sum := m.paramLogPrior(alpha, beta, phi)
 	for _, p := range partial {
 		sum += p
@@ -79,35 +50,22 @@ func (m *Model) qValueParallel(alpha, beta, phi []float64, workers int) float64 
 
 // qGradLogParallel shards the gradient over answer ranges with per-shard
 // accumulators reduced at the end (no atomics on the hot path).
+// (Reference path; the production M-step shards qFusedParallel.)
 func (m *Model) qGradLogParallel(alpha, beta, phi []float64, workers int) (ga, gb, gp []float64) {
 	type grads struct {
 		a, b, p []float64
 	}
 	partial := make([]grads, workers)
-	var wg sync.WaitGroup
-	chunk := (len(m.ans) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if lo >= len(m.ans) {
-			break
+	pool.Run(workers, func(w int) {
+		lo, hi := pool.ChunkBounds(len(m.ans), workers, w)
+		g := grads{
+			a: make([]float64, len(alpha)),
+			b: make([]float64, len(beta)),
+			p: make([]float64, len(phi)),
 		}
-		if hi > len(m.ans) {
-			hi = len(m.ans)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			g := grads{
-				a: make([]float64, len(alpha)),
-				b: make([]float64, len(beta)),
-				p: make([]float64, len(phi)),
-			}
-			m.qGradLogRange(alpha, beta, phi, lo, hi, g.a, g.b, g.p)
-			partial[w] = g
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		m.qGradLogRange(alpha, beta, phi, lo, hi, g.a, g.b, g.p)
+		partial[w] = g
+	})
 
 	ga = make([]float64, len(alpha))
 	gb = make([]float64, len(beta))
@@ -136,8 +94,8 @@ func (m *Model) effectiveParallelism() int {
 	if p <= 1 {
 		return 1
 	}
-	if max := runtime.GOMAXPROCS(0); p > max {
-		p = max
+	if procs := runtime.GOMAXPROCS(0); p > procs {
+		p = procs
 	}
 	if p < 1 {
 		p = 1

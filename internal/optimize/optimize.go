@@ -24,6 +24,13 @@ type Func func(x []float64) float64
 // GradFunc writes the gradient of the objective at x into grad.
 type GradFunc func(x, grad []float64)
 
+// FuncGrad evaluates the objective at x AND writes its gradient into grad,
+// returning the objective value. Fusing the two lets an implementation make
+// a single pass over its data and share expensive subexpressions (T-Crowd's
+// M-step shares the erf/log work of the quality model between the value and
+// the gradient), which is why MinimizeFused exists alongside Minimize.
+type FuncGrad func(x, grad []float64) float64
+
 // Options controls Minimize.
 type Options struct {
 	// MaxIter bounds the number of outer gradient steps. Default 200.
@@ -43,6 +50,38 @@ type Options struct {
 	Armijo float64
 	// MaxBacktracks bounds the inner line search. Default 40.
 	MaxBacktracks int
+	// AdaptiveStep enables line-search step memory: each iteration's
+	// first trial starts at twice the previously accepted step (capped at
+	// InitStep) instead of always at InitStep. When the natural step is
+	// far below InitStep this removes nearly all backtracking retrials —
+	// the dominant cost of objectives with expensive evaluations. Off by
+	// default to preserve the exact iterate sequence of existing callers.
+	AdaptiveStep bool
+	// Work, when non-nil, supplies reusable buffers so MinimizeFused runs
+	// allocation-free across repeated calls (one workspace per caller; not
+	// safe for concurrent use). Result.X then aliases workspace memory and
+	// is only valid until the workspace's next use.
+	Work *Workspace
+}
+
+// Workspace holds the scratch vectors of a MinimizeFused run so hot callers
+// (EM loops re-minimising every iteration) avoid per-call allocations.
+type Workspace struct {
+	x, g, trial, gTrial []float64
+}
+
+// ensure sizes the workspace for an n-dimensional problem.
+func (w *Workspace) ensure(n int) {
+	if cap(w.x) < n {
+		w.x = make([]float64, n)
+		w.g = make([]float64, n)
+		w.trial = make([]float64, n)
+		w.gTrial = make([]float64, n)
+	}
+	w.x = w.x[:n]
+	w.g = w.g[:n]
+	w.trial = w.trial[:n]
+	w.gTrial = w.gTrial[:n]
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +133,7 @@ func Minimize(f Func, grad GradFunc, x0 []float64, opts Options) Result {
 		return res
 	}
 
+	lastStep := o.InitStep
 	for it := 0; it < o.MaxIter; it++ {
 		res.Iters = it + 1
 		grad(x, g)
@@ -105,6 +145,9 @@ func Minimize(f Func, grad GradFunc, x0 []float64, opts Options) Result {
 		g2 := dot(g, g)
 
 		step := o.InitStep
+		if o.AdaptiveStep && it > 0 {
+			step = math.Min(o.InitStep, 2*lastStep)
+		}
 		improved := false
 		for bt := 0; bt < o.MaxBacktracks; bt++ {
 			for i := range x {
@@ -113,6 +156,7 @@ func Minimize(f Func, grad GradFunc, x0 []float64, opts Options) Result {
 			ft := f(trial)
 			if !math.IsNaN(ft) && !math.IsInf(ft, 0) && ft <= fx-o.Armijo*step*g2 {
 				copy(x, trial)
+				lastStep = step
 				if relImprovement(fx, ft) < o.FuncTol {
 					fx = ft
 					res.Converged = true
@@ -133,6 +177,106 @@ func Minimize(f Func, grad GradFunc, x0 []float64, opts Options) Result {
 			break
 		}
 	}
+	res.F = fx
+	res.X = x
+	return res
+}
+
+// MinimizeFused runs the same Armijo backtracking descent as Minimize but
+// built around a fused objective+gradient callback. The first line-search
+// trial of each iteration — accepted in the vast majority of steps — is
+// evaluated fused, so an accepting iteration makes ONE pass over the data
+// instead of Minimize's value pass plus a gradient pass at the next
+// iteration. Backtracking retrials use the cheap value-only f (when
+// non-nil); if such a trial is accepted, the gradient is recovered by one
+// fused call at the start of the next iteration, and a stalled search
+// (every trial rejected) never pays for gradients it discards.
+//
+// The step-acceptance decisions are identical to Minimize's whenever
+// f(x) == fg(x, ·) pointwise and both are deterministic: the two routines
+// then return the same iterates, objective values, and iteration counts.
+//
+// With Options.Work set the routine performs no allocations; Result.X then
+// aliases the workspace and is only valid until its next use.
+func MinimizeFused(fg FuncGrad, f Func, x0 []float64, opts Options) Result {
+	o := opts.withDefaults()
+	n := len(x0)
+	w := o.Work
+	if w == nil {
+		w = &Workspace{}
+	}
+	w.ensure(n)
+	x, g, trial, gTrial := w.x, w.g, w.trial, w.gTrial
+	copy(x, x0)
+
+	fx := fg(x, g)
+	gradValid := true
+	res := Result{X: x, F: fx}
+	if math.IsNaN(fx) || math.IsInf(fx, 0) {
+		return res
+	}
+
+	lastStep := o.InitStep
+	for it := 0; it < o.MaxIter; it++ {
+		res.Iters = it + 1
+		if !gradValid {
+			// The previous step was accepted from a value-only trial;
+			// one fused call recovers the gradient (the value matches fx).
+			fg(x, g)
+			gradValid = true
+		}
+		gnorm := maxNorm(g)
+		if gnorm < o.GradTol {
+			res.Converged = true
+			break
+		}
+		g2 := dot(g, g)
+
+		step := o.InitStep
+		if o.AdaptiveStep && it > 0 {
+			step = math.Min(o.InitStep, 2*lastStep)
+		}
+		improved := false
+		for bt := 0; bt < o.MaxBacktracks; bt++ {
+			for i := range x {
+				trial[i] = x[i] - step*g[i]
+			}
+			fused := bt == 0 || f == nil
+			var ft float64
+			if fused {
+				ft = fg(trial, gTrial)
+			} else {
+				ft = f(trial)
+			}
+			if !math.IsNaN(ft) && !math.IsInf(ft, 0) && ft <= fx-o.Armijo*step*g2 {
+				x, trial = trial, x
+				lastStep = step
+				if fused {
+					g, gTrial = gTrial, g
+				} else {
+					gradValid = false
+				}
+				if relImprovement(fx, ft) < o.FuncTol {
+					fx = ft
+					res.Converged = true
+					improved = true
+					break
+				}
+				fx = ft
+				improved = true
+				break
+			}
+			step *= o.Backtrack
+		}
+		if !improved || res.Converged {
+			if !improved {
+				// Line search stalled: we are at numerical precision.
+				res.Converged = true
+			}
+			break
+		}
+	}
+	w.x, w.g, w.trial, w.gTrial = x, g, trial, gTrial
 	res.F = fx
 	res.X = x
 	return res

@@ -44,6 +44,11 @@ type Project struct {
 	refreshEvery int
 	sinceRefresh int
 	rng          *rand.Rand
+	// lastModel caches the latest truth-inference fit so RunInference
+	// warm-starts from it instead of paying a cold start per request;
+	// logAtModel is the log length it was fitted on.
+	lastModel  *core.Model
+	logAtModel int
 }
 
 // Platform hosts projects and is safe for concurrent use.
@@ -265,6 +270,9 @@ type InferenceResult struct {
 }
 
 // RunInference runs T-Crowd truth inference over the project's answers.
+// Repeated calls warm-start from the previous fit (the online loop's
+// answer log only grows between requests), so only the first inference of
+// a project pays the cold-start cost.
 func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 	p.mu.Lock()
 	proj, ok := p.projects[projectID]
@@ -274,12 +282,28 @@ func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 	}
 	tbl := proj.Table
 	log := proj.Log.Clone()
+	// Project logs are append-only and reloads build fresh projects, so
+	// the cached fit is always for a prefix of the current log; no
+	// staleness check beyond the length guard below is needed.
+	prev := proj.lastModel
 	p.mu.Unlock()
 
-	m, err := core.Infer(tbl, log, core.Options{})
+	// Give the warm run the full cold iteration budget: seeding from the
+	// previous fit shortens the path to the optimum, it must not lower
+	// the convergence guarantee of requester-facing estimates (a large
+	// batch since the last fit can need many iterations). Runs that start
+	// near the optimum still stop after a couple of iterations via Tol.
+	m, err := core.InferWarm(prev, tbl, log, core.Options{MaxIter: 50})
 	if err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	if log.Len() >= proj.logAtModel {
+		// Guard against concurrent RunInference calls finishing out of
+		// order: never replace a fit of a newer log with an older one.
+		proj.lastModel, proj.logAtModel = m, log.Len()
+	}
+	p.mu.Unlock()
 	res := &InferenceResult{
 		Estimates:     m.Estimates(),
 		WorkerQuality: make(map[tabular.WorkerID]float64, len(m.WorkerIDs)),

@@ -1,0 +1,106 @@
+// Package pool provides a small persistent worker-goroutine pool for the
+// CPU-bound fan-out/fan-in loops of the EM engine and the assignment
+// scorer. The hot paths previously spawned fresh goroutines on every
+// E-step / objective / gradient evaluation — thousands of spawns per
+// inference run; the pool keeps GOMAXPROCS long-lived workers parked on a
+// channel instead, so a parallel section costs one job handoff.
+//
+// Shards are claimed by atomic counter, and the submitting goroutine works
+// the job too: even if every pool worker is busy (or the pool is saturated
+// by a nested call), the caller alone completes all shards, so Run never
+// deadlocks and needs no sizing guarantees.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one Run invocation: shards [0, total) claimed by atomic counter.
+type job struct {
+	fn    func(int)
+	next  atomic.Int64
+	total int64
+	wg    sync.WaitGroup
+}
+
+// work claims and executes shards until none remain.
+func (j *job) work() {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.total {
+			return
+		}
+		j.fn(int(i))
+		j.wg.Done()
+	}
+}
+
+var (
+	startOnce sync.Once
+	jobs      chan *job
+	size      int
+)
+
+func start() {
+	size = runtime.GOMAXPROCS(0)
+	jobs = make(chan *job, size)
+	for i := 0; i < size; i++ {
+		go func() {
+			for j := range jobs {
+				j.work()
+			}
+		}()
+	}
+}
+
+// Run executes fn(shard) for every shard in [0, shards) across the
+// persistent pool plus the calling goroutine, returning when all shards
+// completed. fn must be safe for concurrent invocation with distinct shard
+// indices; each index runs exactly once, so per-shard scratch indexed by
+// the argument is race-free.
+func Run(shards int, fn func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	if shards == 1 {
+		fn(0)
+		return
+	}
+	startOnce.Do(start)
+	j := &job{fn: fn, total: int64(shards)}
+	j.wg.Add(shards)
+	// Wake at most shards-1 helpers (the caller takes a share); skip
+	// instead of blocking when the queue is full — remaining shards are
+	// simply worked by whoever is free, caller included.
+	for i := 0; i < size && i < shards-1; i++ {
+		select {
+		case jobs <- j:
+		default:
+		}
+	}
+	j.work()
+	j.wg.Wait()
+}
+
+// ChunkBounds splits n items into parts near-equal contiguous chunks and
+// returns the half-open bounds of chunk i: the shared range-sharding helper
+// of the parallel E-step, M-step and scorer (previously copy-pasted at each
+// site). Chunks are deterministic for fixed (n, parts), which keeps
+// parallel floating-point reductions reproducible run to run.
+func ChunkBounds(n, parts, i int) (lo, hi int) {
+	if parts <= 0 {
+		parts = 1
+	}
+	chunk := (n + parts - 1) / parts
+	lo = i * chunk
+	hi = lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

@@ -1,0 +1,70 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunExecutesEachShardOnce checks the atomic shard-claiming protocol:
+// every index in [0, shards) runs exactly once, for shard counts below,
+// at, and far above the pool size.
+func TestRunExecutesEachShardOnce(t *testing.T) {
+	for _, shards := range []int{0, 1, 2, runtime.GOMAXPROCS(0), 64, 1000} {
+		counts := make([]int64, shards+1)
+		Run(shards, func(i int) {
+			atomic.AddInt64(&counts[i], 1)
+		})
+		for i := 0; i < shards; i++ {
+			if c := atomic.LoadInt64(&counts[i]); c != 1 {
+				t.Fatalf("shards=%d: shard %d ran %d times", shards, i, c)
+			}
+		}
+	}
+}
+
+// TestRunNested checks that a Run issued from inside a pool worker cannot
+// deadlock: the calling goroutine works its own job, so progress is
+// guaranteed even with every worker busy.
+func TestRunNested(t *testing.T) {
+	var total atomic.Int64
+	outer := 2 * runtime.GOMAXPROCS(0)
+	Run(outer, func(int) {
+		Run(8, func(int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != int64(outer*8) {
+		t.Fatalf("nested Run executed %d inner shards, want %d", got, outer*8)
+	}
+}
+
+// TestChunkBounds checks the shared range-sharding helper: chunks must be
+// disjoint, ordered, and cover [0, n) exactly, with trailing chunks empty
+// when parts > n.
+func TestChunkBounds(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 7}, {3, 10}, {10, 1}, {10, 0},
+	} {
+		parts := tc.parts
+		if parts <= 0 {
+			parts = 1
+		}
+		next := 0
+		for i := 0; i < parts; i++ {
+			lo, hi := ChunkBounds(tc.n, tc.parts, i)
+			if lo != next && !(lo == tc.n && hi == tc.n) {
+				t.Fatalf("n=%d parts=%d chunk %d: lo=%d, want %d", tc.n, tc.parts, i, lo, next)
+			}
+			if hi < lo || hi > tc.n {
+				t.Fatalf("n=%d parts=%d chunk %d: bad range [%d,%d)", tc.n, tc.parts, i, lo, hi)
+			}
+			if lo < tc.n {
+				next = hi
+			}
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d parts=%d: chunks cover [0,%d), want [0,%d)", tc.n, tc.parts, next, tc.n)
+		}
+	}
+}

@@ -159,6 +159,18 @@ func (cr *Crowd) PartialAssignment(answersPerTask int, budget int) *tabular.Answ
 	return log
 }
 
+// AppendBatch appends n freshly drawn answers on a deterministic
+// worker/cell rotation — the "one more answer batch landed" state that
+// online-refresh benchmarks and warm-start tests replay.
+func (cr *Crowd) AppendBatch(log *tabular.AnswerLog, n int) {
+	rows, cols := cr.DS.Table.NumRows(), cr.DS.Table.NumCols()
+	for k := 0; k < n; k++ {
+		w := &cr.DS.Workers[k%len(cr.DS.Workers)]
+		c := tabular.Cell{Row: (k * 7) % rows, Col: k % cols}
+		log.Add(cr.Answer(w, c))
+	}
+}
+
 // ArrivalOrder returns worker indices in a repeating random-arrival stream:
 // the online assignment simulator pops workers from this sequence as they
 // "show up" asking for HITs.
