@@ -295,6 +295,50 @@ func BenchmarkRefreshWarmVsCold(b *testing.B) {
 	})
 }
 
+// BenchmarkRefreshIncremental measures the streaming refresh path (the
+// cmd/tcrowd-bench ingest/* series): batches append to the SAME log object
+// (untimed) and Refresh takes the incremental route — suffix ingestion into
+// the fitted model's CSR store plus a short warm polish — so the timed cost
+// scales with the batch, not with re-decoding the log. Compare against
+// BenchmarkRefreshWarmVsCold/warm, which rebuilds the model per refresh.
+func BenchmarkRefreshIncremental(b *testing.B) {
+	ds := simulate.Generate(stats.NewRNG(23), simulate.TableConfig{
+		Rows: 100, Cols: 10, CatRatio: 0.5,
+		Population: simulate.PopulationConfig{N: 50},
+	})
+	base := simulate.NewCrowd(ds, 24).FixedAssignment(5)
+	for _, batch := range []int{10, 50, 200} {
+		b.Run(map[int]string{10: "batch-10", 50: "batch-50", 200: "batch-200"}[batch], func(b *testing.B) {
+			crowd := simulate.NewCrowd(ds, 27)
+			log := base.Clone()
+			sys := assign.NewTCrowdSystem(25)
+			if err := sys.Refresh(ds.Table, log); err != nil {
+				b.Fatal(err)
+			}
+			grown := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if grown > 2000 {
+					log = base.Clone()
+					sys = assign.NewTCrowdSystem(25)
+					if err := sys.Refresh(ds.Table, log); err != nil {
+						b.Fatal(err)
+					}
+					grown = 0
+				}
+				crowd.AppendBatch(log, batch)
+				grown += batch
+				b.StartTimer()
+				if err := sys.Refresh(ds.Table, log); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkInfoGainScoring(b *testing.B) {
 	ds, log := benchWorkload(b)
 	m, err := core.Infer(ds.Table, log, core.Options{})

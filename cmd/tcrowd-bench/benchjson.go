@@ -60,6 +60,11 @@ func hotBenches() []struct {
 		{"infer/10k-answers", benchInfer(200)},
 		{"refresh/cold", benchRefresh(false)},
 		{"refresh/warm", benchRefresh(true)},
+		{"ingest/append-50", benchIngestAppend(200, 50)},
+		{"ingest/refresh-batch-10", benchIngestRefresh(200, 10)},
+		{"ingest/refresh-batch-50", benchIngestRefresh(200, 50)},
+		{"ingest/refresh-batch-200", benchIngestRefresh(200, 200)},
+		{"ingest/refresh-5k-log-batch-50", benchIngestRefresh(100, 50)},
 		{"infogain-scoring", benchInfoGain},
 	}
 }
@@ -112,6 +117,88 @@ func benchRefresh(warm bool) func(b *testing.B) {
 	}
 }
 
+// benchIngestRefresh measures the streaming refresh of the online loop:
+// the assignment system is fitted once, then every timed iteration appends
+// a fresh batch to the SAME log object (append untimed) and refreshes —
+// which takes the incremental path: suffix ingest into the fitted model's
+// CSR store plus a short warm polish, with no per-refresh rebuild. The log
+// is reset to its base size periodically (untimed) so per-op cost reflects
+// a steady log size. The refresh/warm series is the rebuild counterpart:
+// same pipeline, full re-decode per refresh.
+func benchIngestRefresh(rows, batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds, base := inferWorkload(rows)
+		crowd := simulate.NewCrowd(ds, 27)
+		var (
+			sys   *assign.TCrowdSystem
+			log   *tabular.AnswerLog
+			grown int
+		)
+		reset := func() {
+			log = base.Clone()
+			sys = assign.NewTCrowdSystem(25)
+			if err := sys.Refresh(ds.Table, log); err != nil {
+				b.Fatal(err)
+			}
+			grown = 0
+		}
+		reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if grown > 2000 {
+				reset()
+			}
+			crowd.AppendBatch(log, batch)
+			grown += batch
+			b.StartTimer()
+			if err := sys.Refresh(ds.Table, log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchIngestAppend isolates raw ingestion cost (decode + in-place CSR
+// merge + dirty tracking, no EM polish): O(batch) work against a large
+// fitted store.
+func benchIngestAppend(rows, batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds, base := inferWorkload(rows)
+		crowd := simulate.NewCrowd(ds, 28)
+		var (
+			m     *core.Model
+			log   *tabular.AnswerLog
+			grown int
+		)
+		reset := func() {
+			log = base.Clone()
+			var err error
+			m, err = core.Infer(ds.Table, log, core.Options{MaxIter: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			grown = 0
+		}
+		reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if grown > 5000 {
+				reset()
+			}
+			crowd.AppendBatch(log, batch)
+			grown += batch
+			b.StartTimer()
+			if _, err := m.IngestFrom(log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func benchInfoGain(b *testing.B) {
 	ds, log := inferWorkload(60)
 	m, err := core.Infer(ds.Table, log, core.Options{})
@@ -131,6 +218,13 @@ func benchInfoGain(b *testing.B) {
 
 // runBenchJSON executes the hot-path benchmarks and writes BENCH_<n>.json.
 func runBenchJSON(n int) error {
+	return runBenchFile(fmt.Sprintf("BENCH_%d.json", n), n)
+}
+
+// runBenchFile executes the hot-path benchmarks and writes the results to
+// an arbitrary path (the CI perf gate benches the PR into a scratch file
+// and compares it against the latest committed baseline).
+func runBenchFile(path string, n int) error {
 	out := benchFile{
 		Index:      n,
 		GoVersion:  runtime.Version(),
@@ -150,7 +244,6 @@ func runBenchJSON(n int) error {
 		fmt.Fprintf(os.Stderr, "  %s: %.0f ns/op  %d B/op  %d allocs/op\n",
 			hb.name, out.Benchmarks[hb.name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
-	path := fmt.Sprintf("BENCH_%d.json", n)
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

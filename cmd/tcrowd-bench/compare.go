@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Perf-regression gate: `tcrowd-bench -compare BASELINE.json CANDIDATE.json`
+// compares two -bench-json result files and fails (non-zero exit) when a
+// gated series regressed. Gated series are selected by name prefix
+// (default infer/, refresh/ and ingest/ — the serving hot paths whose
+// budgets the repo commits to); a series regresses when its ns/op grows
+// by more than the allowed fraction (default 25%, absorbing CI-runner
+// timing noise) or its allocs/op grows AT ALL (allocation counts are
+// deterministic, so any increase is a real regression). Gated series
+// present in the baseline must exist in the candidate; series new in the
+// candidate are reported but never gate.
+
+// compareConfig parameterises runCompare.
+type compareConfig struct {
+	// gates are the series-name prefixes under the regression gate.
+	gates []string
+	// maxNsRegress is the allowed fractional ns/op growth (0.25 = +25%).
+	maxNsRegress float64
+}
+
+// loadBenchFile reads a -bench-json result file.
+func loadBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &bf, nil
+}
+
+// gated reports whether a series name falls under any gate prefix.
+func (c compareConfig) gated(name string) bool {
+	for _, g := range c.gates {
+		if strings.HasPrefix(name, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// runCompare prints a comparison table and returns an error when any gated
+// series regressed.
+func runCompare(basePath, candPath string, cfg compareConfig) error {
+	base, err := loadBenchFile(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadBenchFile(candPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(cand.Benchmarks))
+	for name := range cand.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("baseline %s (index %d, %s) vs candidate %s\n",
+		basePath, base.Index, base.GoVersion, candPath)
+	fmt.Printf("%-32s %14s %14s %8s %14s %8s\n",
+		"benchmark", "base ns/op", "cand ns/op", "ns Δ", "allocs b/c", "gate")
+
+	var failures []string
+	for _, name := range names {
+		c := cand.Benchmarks[name]
+		b, inBase := base.Benchmarks[name]
+		if !inBase {
+			fmt.Printf("%-32s %14s %14.0f %8s %8s/%-5d %8s\n",
+				name, "-", c.NsPerOp, "new", "-", c.AllocsPerOp, "-")
+			continue
+		}
+		nsDelta := c.NsPerOp/b.NsPerOp - 1
+		status := "ok"
+		if cfg.gated(name) {
+			if nsDelta > cfg.maxNsRegress {
+				status = "FAIL ns"
+				failures = append(failures,
+					fmt.Sprintf("%s: ns/op regressed %.1f%% (limit %.0f%%)", name, 100*nsDelta, 100*cfg.maxNsRegress))
+			}
+			if c.AllocsPerOp > b.AllocsPerOp {
+				if status == "ok" {
+					status = "FAIL allocs"
+				} else {
+					status += "+allocs"
+				}
+				failures = append(failures,
+					fmt.Sprintf("%s: allocs/op regressed %d -> %d", name, b.AllocsPerOp, c.AllocsPerOp))
+			}
+		} else {
+			status = "ungated"
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %8d/%-5d %8s\n",
+			name, b.NsPerOp, c.NsPerOp, 100*nsDelta, b.AllocsPerOp, c.AllocsPerOp, status)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cand.Benchmarks[name]; !ok && cfg.gated(name) {
+			failures = append(failures, fmt.Sprintf("%s: gated series missing from candidate", name))
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Printf("REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d perf regression(s)", len(failures))
+	}
+	fmt.Println("\nno gated regressions")
+	return nil
+}

@@ -8,6 +8,11 @@
 //	tcrowd-bench -exp all -trials 3    # everything, 3 trials per sweep
 //	tcrowd-bench -list                 # show available experiment ids
 //	tcrowd-bench -bench-json 0         # hot-path micro-benches -> BENCH_0.json
+//	tcrowd-bench -bench-out out.json   # same benches, arbitrary output path
+//	tcrowd-bench -compare BENCH_1.json out.json
+//	                                   # perf-regression gate: fail on >25%
+//	                                   # ns/op or any allocs/op growth in
+//	                                   # the gated (infer/, refresh/, ingest/) series
 package main
 
 import (
@@ -22,14 +27,44 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		seed   = flag.Int64("seed", 1, "random seed")
-		trials = flag.Int("trials", 0, "trials per sweep point (0 = default)")
-		quick  = flag.Bool("quick", false, "shrunken workloads (smoke mode)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		bench  = flag.Int("bench-json", -1, "run hot-path micro-benches and write BENCH_<n>.json")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed     = flag.Int64("seed", 1, "random seed")
+		trials   = flag.Int("trials", 0, "trials per sweep point (0 = default)")
+		quick    = flag.Bool("quick", false, "shrunken workloads (smoke mode)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		bench    = flag.Int("bench-json", -1, "run hot-path micro-benches and write BENCH_<n>.json")
+		benchOut = flag.String("bench-out", "", "run hot-path micro-benches and write the results to this path")
+		compare  = flag.Bool("compare", false, "compare two -bench-json files (args: baseline candidate); exit non-zero on gated regressions")
+		gates    = flag.String("gate", "infer/,refresh/,ingest/", "comma-separated series-name prefixes under the -compare regression gate")
+		maxNs    = flag.Float64("max-ns-regress", 0.25, "allowed fractional ns/op growth for gated series in -compare")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "tcrowd-bench: -compare needs exactly two args: baseline.json candidate.json")
+			os.Exit(2)
+		}
+		cfg := compareConfig{maxNsRegress: *maxNs}
+		for _, g := range strings.Split(*gates, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				cfg.gates = append(cfg.gates, g)
+			}
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "tcrowd-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchOut != "" {
+		if err := runBenchFile(*benchOut, -1); err != nil {
+			fmt.Fprintf(os.Stderr, "tcrowd-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench >= 0 {
 		if err := runBenchJSON(*bench); err != nil {

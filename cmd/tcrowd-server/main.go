@@ -13,6 +13,29 @@
 //	POST /projects/{id}/answers     submit a worker answer
 //	GET  /projects/{id}/estimates   run truth inference
 //	GET  /projects/{id}/stats       collection progress
+//
+// # Streaming semantics
+//
+// The answer path is built for continuous collection. POST /answers is an
+// O(1) validated append to the project's append-only log — it never waits
+// on inference. The expensive model work happens on read, incrementally:
+//
+//   - GET /estimates pays one cold EM fit on the project's first call;
+//     every later call streams only the answers submitted since the
+//     previous call into the cached model (core.Ingest merges them into
+//     the fitted CSR store in place) and re-converges it with a warm
+//     incremental polish. Refresh latency therefore scales with the
+//     submission delta, not with the accumulated log. With no new answers
+//     the cached estimates are served directly.
+//   - GET /tasks refreshes the assignment engine the same way: the
+//     T-Crowd system ingests the log's new suffix into its fitted model
+//     (O(batch)) instead of re-decoding the full log per refresh. Unlike
+//     /estimates, this refresh runs under the platform lock, so the
+//     incremental path's speed directly bounds how long concurrent
+//     submissions can stall behind a task request.
+//
+// Estimate runs are serialised per project and run off the platform lock:
+// workers can keep answering while a /estimates refresh is in flight.
 package main
 
 import (

@@ -34,13 +34,44 @@ func NewTCrowdSystem(seed int64) *TCrowdSystem {
 // Name implements System.
 func (t *TCrowdSystem) Name() string { return "T-Crowd" }
 
-// Refresh implements System.
+// Refresh implements System. Three tiers, fastest first:
+//
+//   - streaming: when the previous fit was made on this very log object
+//     (grown in place — the serving loop's normal shape), the new suffix is
+//     ingested into the fitted model's CSR store and a short incremental
+//     polish re-converges it; refresh cost is O(batch), not O(log);
+//   - warm rebuild: a different (but shape-compatible) log re-decodes from
+//     scratch with EM seeded at the previous optimum;
+//   - cold: no usable previous model.
 func (t *TCrowdSystem) Refresh(tbl *tabular.Table, log *tabular.AnswerLog) error {
 	if t.Policy == nil {
 		t.Policy = StructureIG{}
 	}
 	if t.tieBreak == nil {
 		t.tieBreak = stats.NewRNG(t.Seed)
+	}
+	if prev := t.Model(); t.Opts.Warm == nil && prev.CanIngestFrom(tbl, log) {
+		if n, err := prev.IngestFrom(log); err == nil {
+			if n == 0 {
+				// Nothing landed since the last refresh: the fitted state
+				// is current, skip the polish and the Estimates /
+				// BuildErrorModel rebuild entirely.
+				return nil
+			}
+			// Default (zero Opts) serving keeps the online-EM single
+			// polish iteration; an explicitly configured EM budget keeps
+			// the warm tier's convergence level (capped like the warm
+			// rebuild below, stopping early on Tol).
+			polish := 0
+			if t.Opts.MaxIter > 0 {
+				polish = min(t.Opts.MaxIter, 5)
+			}
+			prev.RefreshIncremental(polish)
+			t.setState(prev, log)
+			return nil
+		}
+		// Ingestion failure (e.g. a malformed answer) falls through to the
+		// rebuild path, which re-validates the whole log.
 	}
 	opts := t.Opts
 	if opts.MaxIter == 0 {
@@ -69,13 +100,17 @@ func (t *TCrowdSystem) Refresh(tbl *tabular.Table, log *tabular.AnswerLog) error
 	if err != nil {
 		return err
 	}
-	est := m.Estimates()
-	st := &State{Model: m, Log: log, Est: est, RNG: t.tieBreak}
+	t.setState(m, log)
+	return nil
+}
+
+// setState rebuilds the assignment state around a freshly (re)fitted model.
+func (t *TCrowdSystem) setState(m *core.Model, log *tabular.AnswerLog) {
+	st := &State{Model: m, Log: log, Est: m.Estimates(), RNG: t.tieBreak}
 	if _, isStruct := t.Policy.(StructureIG); isStruct {
 		st.Err = BuildErrorModel(m)
 	}
 	t.st = st
-	return nil
 }
 
 // Select implements System.

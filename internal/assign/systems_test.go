@@ -1,0 +1,100 @@
+package assign
+
+import (
+	"testing"
+
+	"tcrowd/internal/simulate"
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+func refreshWorkload(seed int64) (*simulate.Dataset, *tabular.AnswerLog) {
+	ds := simulate.Generate(stats.NewRNG(seed), simulate.TableConfig{
+		Rows: 20, Cols: 6, CatRatio: 0.5,
+		Population: simulate.PopulationConfig{N: 15},
+	})
+	return ds, simulate.NewCrowd(ds, seed+1).FixedAssignment(4)
+}
+
+// TestRefreshStreamsGrownLog pins the streaming fast path: refreshing on
+// the same log object grown in place keeps the fitted model and ingests
+// only the suffix, instead of rebuilding a new model per refresh.
+func TestRefreshStreamsGrownLog(t *testing.T) {
+	ds, log := refreshWorkload(500)
+	sys := NewTCrowdSystem(1)
+	if err := sys.Refresh(ds.Table, log); err != nil {
+		t.Fatal(err)
+	}
+	first := sys.Model()
+	if first == nil {
+		t.Fatal("no model after first refresh")
+	}
+
+	crowd := simulate.NewCrowd(ds, 502)
+	for round := 0; round < 3; round++ {
+		crowd.AppendBatch(log, 30)
+		if err := sys.Refresh(ds.Table, log); err != nil {
+			t.Fatal(err)
+		}
+		if sys.Model() != first {
+			t.Fatalf("round %d: refresh rebuilt the model instead of streaming", round)
+		}
+	}
+	if got, want := first.NumAnswersUsed(), log.Len(); got != want {
+		t.Fatalf("model holds %d answers, log has %d", got, want)
+	}
+
+	// A refresh with no new answers is a no-op: the polish and the state
+	// rebuild (Estimates + BuildErrorModel) are skipped entirely.
+	stBefore := sys.st
+	if err := sys.Refresh(ds.Table, log); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Model() != first || sys.st != stBefore {
+		t.Fatal("no-growth refresh re-ran inference")
+	}
+	if cells := sys.Select(ds.Workers[0].ID, 4, log); len(cells) == 0 {
+		t.Fatal("streamed system selects no tasks")
+	}
+
+	// A different log object (even with identical content) must trigger a
+	// rebuild, not a bogus incremental ingest.
+	clone := log.Clone()
+	simulate.NewCrowd(ds, 503).AppendBatch(clone, 10)
+	if err := sys.Refresh(ds.Table, clone); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Model() == first {
+		t.Fatal("refresh on a foreign log reused the streamed model")
+	}
+}
+
+// TestRefreshStreamingMatchesRebuild checks the streamed system produces a
+// usable state equivalent in shape to a rebuilt one (estimates present for
+// every answered cell).
+func TestRefreshStreamingMatchesRebuild(t *testing.T) {
+	ds, log := refreshWorkload(510)
+	streamed := NewTCrowdSystem(1)
+	if err := streamed.Refresh(ds.Table, log); err != nil {
+		t.Fatal(err)
+	}
+	crowd := simulate.NewCrowd(ds, 512)
+	crowd.AppendBatch(log, 40)
+	if err := streamed.Refresh(ds.Table, log); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := NewTCrowdSystem(1)
+	if err := rebuilt.Refresh(ds.Table, log); err != nil {
+		t.Fatal(err)
+	}
+
+	se, re := streamed.Estimates(), rebuilt.Estimates()
+	for i := 0; i < ds.Table.NumRows(); i++ {
+		for j := 0; j < ds.Table.NumCols(); j++ {
+			if (se[i][j].IsNone()) != (re[i][j].IsNone()) {
+				t.Fatalf("estimate presence diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+}

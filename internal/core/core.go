@@ -64,14 +64,24 @@
 // (rows added/removed, labels redefined) or bulk log rewrites, run a full
 // cold Infer instead — InferWarm falls back to cold automatically when
 // the dimensions no longer match.
+//
+// # Streaming ingestion
+//
+// InferWarm still rebuilds the decoded answer store (decode + sort + index)
+// from the raw log on every call — O(log) work per refresh. The streaming
+// path removes that too: a fitted Model can absorb answer batches in place
+// via Ingest/IngestFrom (the internal/ingest CSR store merges the batch and
+// tracks dirty cells) and then RefreshIncremental re-runs the E-step on the
+// dirty posteriors only before a short warm EM polish. Ingestion cost is
+// O(batch), not O(log); see stream.go.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
+	"tcrowd/internal/ingest"
 	"tcrowd/internal/optimize"
 	"tcrowd/internal/stats"
 	"tcrowd/internal/tabular"
@@ -134,11 +144,25 @@ type Options struct {
 	// previous Model and picks warm-appropriate iteration caps.
 	Warm *Warm
 	// Parallelism shards the E-step over cells and the M-step
-	// objective/gradient over answers when > 1 (capped at GOMAXPROCS),
-	// on a persistent goroutine pool. The paper lists parallel truth
-	// inference as future work (Sec. 7); results are identical up to
-	// floating-point summation order.
+	// objective/gradient over answers on a persistent goroutine pool. The
+	// paper lists parallel truth inference as future work (Sec. 7);
+	// results are identical up to floating-point summation order.
+	//
+	//	 0  auto: parallelise at GOMAXPROCS once the decoded answer count
+	//	    reaches AutoParallelMinAnswers, run serial below it — servers
+	//	    no longer run big logs serial by default;
+	//	 1  explicitly serial (the opt-out);
+	//	>1  explicit worker count, capped at GOMAXPROCS.
 	Parallelism int
+
+	// MStepGradTol overrides the M-step gradient-norm stopping tolerance
+	// (default 1e-7). Values below 1e-10 also tighten the optimizer's
+	// relative objective-improvement cutoff to match (never the reverse:
+	// loosening MStepGradTol keeps the default objective cutoff).
+	// Equivalence tests tighten it together with Tol so two EM runs
+	// converging to the same optimum agree to more digits than the
+	// optimizer's default precision.
+	MStepGradTol float64
 
 	// refMStep switches the M-step to the unfused reference
 	// implementation (separate objective and gradient passes, fresh
@@ -240,13 +264,20 @@ type Model struct {
 	// Converged reports whether the parameter-change tolerance fired.
 	Converged bool
 
-	// ans holds the decoded answers sorted by (cell, worker), so a cell's
-	// answers are contiguous and duplicate (row, column, worker) variance
-	// triples are adjacent (enabling transcendental memoisation).
-	ans []obsAnswer
-	// cellOff is the CSR index into ans: cell key i*M+j owns
-	// ans[cellOff[key]:cellOff[key+1]].
-	cellOff []int32
+	// ilog is the streaming CSR answer store: decoded answers sorted by
+	// (cell, worker), so a cell's answers are contiguous and duplicate
+	// (row, column, worker) variance triples are adjacent (enabling
+	// transcendental memoisation). It grows in place via Ingest.
+	ilog *ingest.Log
+	// colAcc[j] is the running Welford accumulator of column j's raw
+	// numeric answers — the same left fold stats.MeanVariance performs,
+	// kept as state so streaming batches extend the standardisation
+	// constants in O(batch), bit-identically to a cold recompute over the
+	// grown log.
+	colAcc []colAcc
+	// decoded counts the source-log entries consumed so far (including
+	// answers dropped by the mode filter); IngestFrom resumes there.
+	decoded int
 	// lnL1[j] caches ln(numLabels-1) for categorical columns.
 	lnL1 []float64
 	// medianPhi caches MedianPhi across hot assignment loops.
@@ -274,6 +305,10 @@ type scratch struct {
 	work optimize.Workspace
 	fg   optimize.FuncGrad
 	fv   optimize.Func
+	// dec is the reusable decode buffer of Ingest (batch staging);
+	// colChanged is its per-column changed-constants flag set.
+	dec        []ingest.Answer
+	colChanged []bool
 	// Per-shard parallel state (index = shard id): M-step partial values
 	// and partial gradients.
 	shardVal []float64
@@ -282,7 +317,9 @@ type scratch struct {
 	shardGP  [][]float64
 }
 
-// ensureShards sizes the per-shard scratch for w parallel workers.
+// ensureShards sizes the per-shard scratch for w parallel workers. The phi
+// dimension can grow between refreshes (streaming batches may introduce new
+// workers), so existing shards are re-sized when stale.
 func (m *Model) ensureShards(w int) {
 	scr := &m.scr
 	for len(scr.shardGA) < w {
@@ -290,19 +327,15 @@ func (m *Model) ensureShards(w int) {
 		scr.shardGB = append(scr.shardGB, make([]float64, len(m.Beta)))
 		scr.shardGP = append(scr.shardGP, make([]float64, len(m.Phi)))
 	}
+	for s := range scr.shardGP {
+		if len(scr.shardGP[s]) != len(m.Phi) {
+			scr.shardGP[s] = make([]float64, len(m.Phi))
+		}
+	}
 	if cap(scr.shardVal) < w {
 		scr.shardVal = make([]float64, w)
 	}
 	scr.shardVal = scr.shardVal[:w]
-}
-
-// obsAnswer is a decoded answer: indices resolved, continuous values
-// standardized.
-type obsAnswer struct {
-	w, i, j int
-	isCat   bool
-	label   int
-	z       float64
 }
 
 // ErrNoAnswers is returned when the log has no usable answers for the
@@ -395,109 +428,48 @@ func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model,
 		}
 	}
 
-	// Column standardisation constants from the answers (count first so
-	// the per-column buffers come out of one backing slice).
+	// Column standardisation constants from the answers, folded through
+	// the per-column accumulators (kept on the model so streaming batches
+	// extend the same fold).
 	all := log.All()
-	colCount := make([]int, mm)
+	m.colAcc = make([]colAcc, mm)
 	for _, a := range all {
 		if a.Value.Kind == tabular.Number {
-			colCount[a.Cell.Col]++
-		}
-	}
-	numTotal := 0
-	for _, c := range colCount {
-		numTotal += c
-	}
-	colBuf := make([]float64, 0, numTotal)
-	perCol := make([][]float64, mm)
-	for j := 0; j < mm; j++ {
-		lo := len(colBuf)
-		perCol[j] = colBuf[lo : lo : lo+colCount[j]]
-		colBuf = colBuf[:lo+colCount[j]]
-	}
-	for _, a := range all {
-		if a.Value.Kind == tabular.Number {
-			j := a.Cell.Col
-			perCol[j] = append(perCol[j], a.Value.X)
+			m.colAcc[a.Cell.Col].add(a.Value.X)
 		}
 	}
 	for j := 0; j < mm; j++ {
-		m.ColStd[j] = 1
-		if tbl.Schema.Columns[j].Type == tabular.Continuous && len(perCol[j]) > 0 {
-			mean, v := stats.MeanVariance(perCol[j])
-			m.ColMean[j] = mean
-			if v > 1e-12 {
-				m.ColStd[j] = math.Sqrt(v)
-			}
-		}
+		m.setColConstants(j)
 	}
 
 	// Decode answers, applying the mode filter.
-	m.ans = make([]obsAnswer, 0, len(all))
+	dec := make([]ingest.Answer, 0, len(all))
 	for _, a := range all {
-		if a.Cell.Row < 0 || a.Cell.Row >= n || a.Cell.Col < 0 || a.Cell.Col >= mm {
-			return nil, fmt.Errorf("core: answer cell %v outside table", a.Cell)
+		oa, use, err := m.decodeAnswer(a)
+		if err != nil {
+			return nil, err
 		}
-		col := tbl.Schema.Columns[a.Cell.Col]
-		isCat := col.Type == tabular.Categorical
-		if isCat && o.Mode == ModeOnlyContinuous {
+		if !use {
 			continue
 		}
-		if !isCat && o.Mode == ModeOnlyCategorical {
-			continue
-		}
-		k, ok := m.workerIdx[a.Worker]
-		if !ok {
-			k = len(m.WorkerIDs)
-			m.workerIdx[a.Worker] = k
-			m.WorkerIDs = append(m.WorkerIDs, a.Worker)
-		}
-		oa := obsAnswer{w: k, i: a.Cell.Row, j: a.Cell.Col, isCat: isCat}
-		if isCat {
-			if a.Value.Kind != tabular.Label {
-				return nil, fmt.Errorf("core: non-label answer in categorical column %q", col.Name)
-			}
-			oa.label = a.Value.L
-		} else {
-			if a.Value.Kind != tabular.Number {
-				return nil, fmt.Errorf("core: non-number answer in continuous column %q", col.Name)
-			}
-			oa.z = stats.Standardize(a.Value.X, m.ColMean[a.Cell.Col], m.ColStd[a.Cell.Col])
-		}
-		m.ans = append(m.ans, oa)
+		dec = append(dec, oa)
 		m.Answered[a.Cell.Row][a.Cell.Col] = true
 	}
-	if len(m.ans) == 0 {
+	m.decoded = len(all)
+	if len(dec) == 0 {
 		return nil, ErrNoAnswers
 	}
 
-	// Sort answers by (cell, worker) so each cell's answers are one
-	// contiguous CSR range and duplicate (i, j, w) variance triples sit
-	// adjacent for the memoised transcendental reuse.
-	sort.Slice(m.ans, func(x, y int) bool {
-		ax, ay := &m.ans[x], &m.ans[y]
-		kx, ky := ax.i*mm+ax.j, ay.i*mm+ay.j
-		if kx != ky {
-			return kx < ky
-		}
-		if ax.w != ay.w {
-			return ax.w < ay.w
-		}
-		if ax.label != ay.label {
-			return ax.label < ay.label
-		}
-		return ax.z < ay.z
-	})
-	m.cellOff = make([]int32, n*mm+1)
-	for idx := range m.ans {
-		m.cellOff[m.ans[idx].i*mm+m.ans[idx].j+1]++
-	}
-	for key := 0; key < n*mm; key++ {
-		m.cellOff[key+1] += m.cellOff[key]
-	}
+	// Bulk-load the CSR store: answers sorted by (cell, worker) so each
+	// cell's answers are one contiguous run and duplicate (i, j, w)
+	// variance triples sit adjacent for the memoised transcendental reuse.
+	m.ilog = ingest.NewLog(n, mm)
+	m.ilog.Rebuild(dec)
 
 	// Categorical posteriors live in one arena, assigned per answered
-	// cell and updated in place ever after.
+	// cell and updated in place ever after. (Cells first answered by a
+	// later streamed batch get their own small slices — the clean arena
+	// prefix is never reallocated.)
 	total := 0
 	for i := 0; i < n; i++ {
 		for j := 0; j < mm; j++ {
@@ -547,18 +519,71 @@ func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model,
 	return m, nil
 }
 
+// checkAnswer validates one raw answer against the table: cell bounds plus
+// the schema's own value check (kind AND label range — an out-of-range
+// label would otherwise index out of the posterior arena much later, after
+// Ingest already merged it). Validation is separate from decoding so
+// Ingest can reject a bad batch before mutating any model state.
+func (m *Model) checkAnswer(a tabular.Answer) error {
+	if a.Cell.Row < 0 || a.Cell.Row >= m.Table.NumRows() ||
+		a.Cell.Col < 0 || a.Cell.Col >= m.Table.NumCols() {
+		return fmt.Errorf("core: answer cell %v outside table", a.Cell)
+	}
+	if err := a.Value.CheckAgainst(m.Table.Schema.Columns[a.Cell.Col]); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// decodeAnswer resolves one checked raw answer: mode filter applied, worker
+// index assigned (first-seen workers are appended, with the initial
+// variance when the parameter vector already exists), continuous values
+// standardized with the current column constants. use is false when the
+// mode filter drops the answer.
+func (m *Model) decodeAnswer(a tabular.Answer) (oa ingest.Answer, use bool, err error) {
+	if err := m.checkAnswer(a); err != nil {
+		return ingest.Answer{}, false, err
+	}
+	col := m.Table.Schema.Columns[a.Cell.Col]
+	isCat := col.Type == tabular.Categorical
+	if (isCat && m.Opts.Mode == ModeOnlyContinuous) ||
+		(!isCat && m.Opts.Mode == ModeOnlyCategorical) {
+		return ingest.Answer{}, false, nil
+	}
+	k, ok := m.workerIdx[a.Worker]
+	if !ok {
+		k = len(m.WorkerIDs)
+		m.workerIdx[a.Worker] = k
+		m.WorkerIDs = append(m.WorkerIDs, a.Worker)
+		if m.Phi != nil {
+			// Streaming arrival after the cold fit sized Phi: a fresh
+			// worker starts at the initial variance, like a cold start.
+			m.Phi = append(m.Phi, m.Opts.InitPhi)
+		}
+	}
+	oa = ingest.Answer{W: k, I: a.Cell.Row, J: a.Cell.Col, IsCat: isCat}
+	if isCat {
+		oa.Label = a.Value.L
+	} else {
+		oa.X = a.Value.X
+		oa.Z = stats.Standardize(a.Value.X, m.ColMean[a.Cell.Col], m.ColStd[a.Cell.Col])
+	}
+	return oa, true, nil
+}
+
 // warmStart seeds posteriors from the empirical answer distribution
 // (equal-weight vote / mean), the conventional EM initialisation. Vote
 // counts accumulate directly in the posterior arena (categorical) and the
 // ContMu/ContVar fields (continuous) — no temporaries.
 func (m *Model) warmStart() {
 	n, mm := m.Table.NumRows(), m.Table.NumCols()
-	for _, a := range m.ans {
-		if a.isCat {
-			m.CatPost[a.i][a.j][a.label]++
+	for idx := range m.ilog.Ans {
+		a := &m.ilog.Ans[idx]
+		if a.IsCat {
+			m.CatPost[a.I][a.J][a.Label]++
 		} else {
-			m.ContMu[a.i][a.j] += a.z // sum of answers
-			m.ContVar[a.i][a.j]++     // answer count
+			m.ContMu[a.I][a.J] += a.Z // sum of answers
+			m.ContVar[a.I][a.J]++     // answer count
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -593,6 +618,16 @@ func (m *Model) run() {
 		// posteriors from them before the first M-step.
 		m.eStep()
 	}
+	m.emLoop(m.Opts.MaxIter)
+	// Freeze the median-phi cache now so concurrent readers (parallel
+	// assignment scoring) never write to the model.
+	m.medianPhi = m.MedianPhi()
+}
+
+// emLoop alternates M- and E-steps for at most maxIter iterations or until
+// the parameter-change tolerance fires — the shared engine of the cold run
+// and the streaming polish (RefreshIncremental).
+func (m *Model) emLoop(maxIter int) {
 	d := len(m.Alpha) + len(m.Beta) + len(m.Phi)
 	if cap(m.scr.prevParams) < d {
 		m.scr.prevParams = make([]float64, d)
@@ -600,7 +635,8 @@ func (m *Model) run() {
 	}
 	prev := m.paramSnapshot(m.scr.prevParams[:d])
 	cur := m.scr.curParams[:d]
-	for it := 0; it < m.Opts.MaxIter; it++ {
+	m.Converged = false
+	for it := 0; it < maxIter; it++ {
 		m.Iterations = it + 1
 		m.mStep()
 		m.eStep()
@@ -614,9 +650,6 @@ func (m *Model) run() {
 		}
 		prev, cur = cur, prev
 	}
-	// Freeze the median-phi cache now so concurrent readers (parallel
-	// assignment scoring) never write to the model.
-	m.medianPhi = m.MedianPhi()
 }
 
 // paramSnapshot writes the concatenated (alpha, beta, phi) vector into dst.

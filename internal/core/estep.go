@@ -50,12 +50,12 @@ func (m *Model) eStep() {
 func (m *Model) eStepCells(loKey, hiKey int) {
 	mm := m.Table.NumCols()
 	for key := loKey; key < hiKey; key++ {
-		lo, hi := int(m.cellOff[key]), int(m.cellOff[key+1])
+		lo, hi := int(m.ilog.CellOff[key]), int(m.ilog.CellOff[key+1])
 		if lo == hi {
 			continue
 		}
 		i, j := key/mm, key%mm
-		if m.ans[lo].isCat {
+		if m.ilog.Ans[lo].IsCat {
 			m.updateCatCell(i, j, lo, hi)
 		} else {
 			m.updateContCell(i, j, lo, hi)
@@ -77,16 +77,16 @@ func (m *Model) updateCatCell(i, j, lo, hi int) {
 	prevW := -1
 	var lnQ, lnWrong float64
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ans[idx]
-		if a.w != prevW {
-			prevW = a.w
-			s := m.cellVariance(i, j, a.w)
+		a := &m.ilog.Ans[idx]
+		if a.W != prevW {
+			prevW = a.W
+			s := m.cellVariance(i, j, a.W)
 			var lnNotQ float64
 			lnQ, lnNotQ = logQ(m.Opts.Eps, s)
 			lnWrong = lnNotQ - lnL1
 		}
 		for z := range post {
-			if z == a.label {
+			if z == a.Label {
 				post[z] += lnQ
 			} else {
 				post[z] += lnWrong
@@ -102,10 +102,10 @@ func (m *Model) updateContCell(i, j, lo, hi int) {
 	precision := 1.0 // prior 1/phi0
 	weighted := 0.0  // prior mu0/phi0 = 0
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ans[idx]
-		s := m.cellVariance(i, j, a.w)
+		a := &m.ilog.Ans[idx]
+		s := m.cellVariance(i, j, a.W)
 		precision += 1 / s
-		weighted += a.z / s
+		weighted += a.Z / s
 	}
 	v := 1 / precision
 	m.ContVar[i][j] = v
@@ -119,12 +119,12 @@ func (m *Model) ELBO() float64 {
 	n, mm := m.Table.NumRows(), m.Table.NumCols()
 	total := m.paramLogPrior(m.Alpha, m.Beta, m.Phi)
 	for key := 0; key < n*mm; key++ {
-		lo, hi := int(m.cellOff[key]), int(m.cellOff[key+1])
+		lo, hi := int(m.ilog.CellOff[key]), int(m.ilog.CellOff[key+1])
 		if lo == hi {
 			continue
 		}
 		i, j := key/mm, key%mm
-		if m.ans[lo].isCat {
+		if m.ilog.Ans[lo].IsCat {
 			total += m.elboCatCell(i, j, lo, hi)
 		} else {
 			total += m.elboContCell(i, j, lo, hi)
@@ -140,10 +140,10 @@ func (m *Model) elboCatCell(i, j, lo, hi int) float64 {
 	q := 0.0
 	// Expected log-likelihood of the answers.
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ans[idx]
-		s := m.cellVariance(i, j, a.w)
+		a := &m.ilog.Ans[idx]
+		s := m.cellVariance(i, j, a.W)
 		lnQ, lnNotQ := logQ(m.Opts.Eps, s)
-		pCorrect := post[a.label]
+		pCorrect := post[a.Label]
 		q += pCorrect*lnQ + (1-pCorrect)*(lnNotQ-lnL1)
 	}
 	// Uniform prior term.
@@ -156,9 +156,9 @@ func (m *Model) elboContCell(i, j, lo, hi int) float64 {
 	mu, v := m.ContMu[i][j], m.ContVar[i][j]
 	q := 0.0
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ans[idx]
-		s := m.cellVariance(i, j, a.w)
-		d := a.z - mu
+		a := &m.ilog.Ans[idx]
+		s := m.cellVariance(i, j, a.W)
+		d := a.Z - mu
 		q += -0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s)
 	}
 	// Standard-normal prior: E[ln N(T; 0, 1)].

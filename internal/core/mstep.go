@@ -55,7 +55,8 @@ func (m *Model) mStep() {
 	}
 	res := optimize.MinimizeFused(scr.fg, scr.fv, theta, optimize.Options{
 		MaxIter:      m.Opts.MStepIter,
-		GradTol:      1e-7,
+		GradTol:      m.gradTol(),
+		FuncTol:      m.funcTol(),
 		InitStep:     0.5,
 		AdaptiveStep: true,
 		Work:         &scr.work,
@@ -68,11 +69,31 @@ func (m *Model) mStep() {
 	}
 }
 
-// ensureMStepScratch sizes the M-step buffers (no-op once warm).
+// gradTol resolves the M-step gradient-norm stopping tolerance.
+func (m *Model) gradTol() float64 {
+	if m.Opts.MStepGradTol > 0 {
+		return m.Opts.MStepGradTol
+	}
+	return 1e-7
+}
+
+// funcTol resolves the M-step objective-improvement stopping tolerance: a
+// sub-default MStepGradTol tightens it in lockstep (an ultra-precise
+// gradient tolerance is pointless while the coarser objective cutoff still
+// fires first), but a loosened gradient tolerance never loosens it.
+func (m *Model) funcTol() float64 {
+	if gt := m.Opts.MStepGradTol; gt > 0 && gt < 1e-10 {
+		return gt
+	}
+	return 0 // optimizer default (1e-10)
+}
+
+// ensureMStepScratch sizes the M-step buffers (no-op once warm; grown with
+// headroom so streaming ingestion doesn't reallocate every batch).
 func (m *Model) ensureMStepScratch(dim int) {
 	scr := &m.scr
 	if cap(scr.theta) < dim {
-		scr.theta = make([]float64, dim)
+		scr.theta = make([]float64, dim+dim/4+16)
 	}
 	if len(scr.alpha) != len(m.Alpha) {
 		scr.alpha = make([]float64, len(m.Alpha))
@@ -86,9 +107,9 @@ func (m *Model) ensureMStepScratch(dim int) {
 		scr.phi = make([]float64, len(m.Phi))
 		scr.gp = make([]float64, len(m.Phi))
 	}
-	if na := len(m.ans); cap(scr.p) < na {
-		scr.p = make([]float64, na)
-		scr.dv = make([]float64, na)
+	if na := len(m.ilog.Ans); cap(scr.p) < na {
+		scr.p = make([]float64, na+na/4+64)
+		scr.dv = make([]float64, na+na/4+64)
 	}
 }
 
@@ -100,15 +121,15 @@ func (m *Model) ensureMStepScratch(dim int) {
 // loop.
 func (m *Model) prepMStepConsts() {
 	scr := &m.scr
-	na := len(m.ans)
+	na := len(m.ilog.Ans)
 	scr.p, scr.dv = scr.p[:na], scr.dv[:na]
-	for idx := range m.ans {
-		a := &m.ans[idx]
-		if a.isCat {
-			scr.p[idx] = m.CatPost[a.i][a.j][a.label]
+	for idx := range m.ilog.Ans {
+		a := &m.ilog.Ans[idx]
+		if a.IsCat {
+			scr.p[idx] = m.CatPost[a.I][a.J][a.Label]
 		} else {
-			mu, v := m.ContMu[a.i][a.j], m.ContVar[a.i][a.j]
-			d := a.z - mu
+			mu, v := m.ContMu[a.I][a.J], m.ContVar[a.I][a.J]
+			d := a.Z - mu
 			scr.dv[idx] = d*d + v
 		}
 	}
@@ -172,7 +193,7 @@ func (m *Model) qValueFast(alpha, beta, phi []float64) float64 {
 	if w := m.effectiveParallelism(); w > 1 {
 		m.ensureShards(w)
 		scr := &m.scr
-		na := len(m.ans)
+		na := len(m.ilog.Ans)
 		pool.Run(w, func(shard int) {
 			lo, hi := pool.ChunkBounds(na, w, shard)
 			scr.shardVal[shard] = m.qValueFastRange(alpha, beta, phi, lo, hi)
@@ -183,7 +204,7 @@ func (m *Model) qValueFast(alpha, beta, phi []float64) float64 {
 		}
 		return m.paramLogPrior(alpha, beta, phi) + val
 	}
-	return m.paramLogPrior(alpha, beta, phi) + m.qValueFastRange(alpha, beta, phi, 0, len(m.ans))
+	return m.paramLogPrior(alpha, beta, phi) + m.qValueFastRange(alpha, beta, phi, 0, len(m.ilog.Ans))
 }
 
 // qValueFastRange mirrors qFusedRange's value accumulation exactly, minus
@@ -195,20 +216,20 @@ func (m *Model) qValueFastRange(alpha, beta, phi []float64, lo, hi int) float64 
 	prevI, prevJ, prevW := -1, -1, -1
 	var twoS, lnQ, lnNotQ, ln2pis float64
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ans[idx]
-		if a.i != prevI || a.j != prevJ || a.w != prevW {
-			prevI, prevJ, prevW = a.i, a.j, a.w
-			s := stats.Clamp(alpha[a.i]*beta[a.j]*phi[a.w], minS, maxS)
-			if a.isCat {
+		a := &m.ilog.Ans[idx]
+		if a.I != prevI || a.J != prevJ || a.W != prevW {
+			prevI, prevJ, prevW = a.I, a.J, a.W
+			s := stats.Clamp(alpha[a.I]*beta[a.J]*phi[a.W], minS, maxS)
+			if a.IsCat {
 				lnQ, lnNotQ = logQ(eps, s)
 			} else {
 				twoS = 2 * s
 				ln2pis = math.Log(2 * math.Pi * s)
 			}
 		}
-		if a.isCat {
+		if a.IsCat {
 			p := scr.p[idx]
-			q += p*lnQ + (1-p)*(lnNotQ-m.lnL1[a.j])
+			q += p*lnQ + (1-p)*(lnNotQ-m.lnL1[a.J])
 		} else {
 			q += -0.5*ln2pis - scr.dv[idx]/twoS
 		}
@@ -224,7 +245,7 @@ func (m *Model) qFused(alpha, beta, phi []float64, ga, gb, gp []float64) float64
 		return m.qFusedParallel(alpha, beta, phi, ga, gb, gp, w)
 	}
 	m.priorGradLog(alpha, beta, phi, ga, gb, gp)
-	val := m.qFusedRange(alpha, beta, phi, 0, len(m.ans), ga, gb, gp)
+	val := m.qFusedRange(alpha, beta, phi, 0, len(m.ilog.Ans), ga, gb, gp)
 	return m.paramLogPrior(alpha, beta, phi) + val
 }
 
@@ -234,7 +255,7 @@ func (m *Model) qFused(alpha, beta, phi []float64, ga, gb, gp []float64) float64
 func (m *Model) qFusedParallel(alpha, beta, phi []float64, ga, gb, gp []float64, workers int) float64 {
 	m.ensureShards(workers)
 	scr := &m.scr
-	na := len(m.ans)
+	na := len(m.ilog.Ans)
 	pool.Run(workers, func(shard int) {
 		lo, hi := pool.ChunkBounds(na, workers, shard)
 		sga, sgb, sgp := scr.shardGA[shard], scr.shardGB[shard], scr.shardGP[shard]
@@ -302,13 +323,13 @@ func (m *Model) qFusedRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp [
 	var twoS, lnQ, lnNotQ, dOverQ, dOverNotQ, ln2pis float64
 	var clamped bool
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ans[idx]
-		if a.i != prevI || a.j != prevJ || a.w != prevW {
-			prevI, prevJ, prevW = a.i, a.j, a.w
-			raw := alpha[a.i] * beta[a.j] * phi[a.w]
+		a := &m.ilog.Ans[idx]
+		if a.I != prevI || a.J != prevJ || a.W != prevW {
+			prevI, prevJ, prevW = a.I, a.J, a.W
+			raw := alpha[a.I] * beta[a.J] * phi[a.W]
 			clamped = raw < minS || raw > maxS
 			s := stats.Clamp(raw, minS, maxS)
-			if a.isCat {
+			if a.IsCat {
 				lnQ, lnNotQ, dOverQ, dOverNotQ = catTerms(eps, s)
 			} else {
 				twoS = 2 * s
@@ -316,9 +337,9 @@ func (m *Model) qFusedRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp [
 			}
 		}
 		var g float64
-		if a.isCat {
+		if a.IsCat {
 			p := scr.p[idx]
-			q += p*lnQ + (1-p)*(lnNotQ-m.lnL1[a.j])
+			q += p*lnQ + (1-p)*(lnNotQ-m.lnL1[a.J])
 			g = (1-p)*dOverNotQ - p*dOverQ
 		} else {
 			dv := scr.dv[idx]
@@ -330,9 +351,9 @@ func (m *Model) qFusedRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp [
 			// parameters further out.
 			g = 0
 		}
-		ga[a.i] += g
-		gb[a.j] += g
-		gp[a.w] += g
+		ga[a.I] += g
+		gb[a.J] += g
+		gp[a.W] += g
 	}
 	return q
 }
@@ -407,7 +428,8 @@ func (m *Model) mStepReference() {
 
 	res := optimize.Minimize(negQ, negGrad, theta0, optimize.Options{
 		MaxIter:      m.Opts.MStepIter,
-		GradTol:      1e-7,
+		GradTol:      m.gradTol(),
+		FuncTol:      m.funcTol(),
 		InitStep:     0.5,
 		AdaptiveStep: !m.Opts.refFixedStep,
 	})
@@ -464,24 +486,24 @@ func (m *Model) qValue(alpha, beta, phi []float64) float64 {
 	if w := m.effectiveParallelism(); w > 1 {
 		return m.qValueParallel(alpha, beta, phi, w)
 	}
-	return m.paramLogPrior(alpha, beta, phi) + m.qValueRange(alpha, beta, phi, 0, len(m.ans))
+	return m.paramLogPrior(alpha, beta, phi) + m.qValueRange(alpha, beta, phi, 0, len(m.ilog.Ans))
 }
 
 // qValueRange evaluates the data term of Q over the answer range [lo, hi).
 func (m *Model) qValueRange(alpha, beta, phi []float64, lo, hi int) float64 {
 	q := 0.0
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ans[idx]
-		s := stats.Clamp(alpha[a.i]*beta[a.j]*phi[a.w], minS, maxS)
-		if a.isCat {
-			post := m.CatPost[a.i][a.j]
+		a := &m.ilog.Ans[idx]
+		s := stats.Clamp(alpha[a.I]*beta[a.J]*phi[a.W], minS, maxS)
+		if a.IsCat {
+			post := m.CatPost[a.I][a.J]
 			l := len(post)
 			lnQ, lnNotQ := logQ(m.Opts.Eps, s)
-			p := post[a.label]
+			p := post[a.Label]
 			q += p*lnQ + (1-p)*(lnNotQ-math.Log(float64(l-1)))
 		} else {
-			mu, v := m.ContMu[a.i][a.j], m.ContVar[a.i][a.j]
-			d := a.z - mu
+			mu, v := m.ContMu[a.I][a.J], m.ContVar[a.I][a.J]
+			d := a.Z - mu
 			q += -0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s)
 		}
 	}
@@ -507,7 +529,7 @@ func (m *Model) qGradLog(alpha, beta, phi []float64) (ga, gb, gp []float64) {
 	gb = make([]float64, len(beta))
 	gp = make([]float64, len(phi))
 	m.priorGradLog(alpha, beta, phi, ga, gb, gp)
-	m.qGradLogRange(alpha, beta, phi, 0, len(m.ans), ga, gb, gp)
+	m.qGradLogRange(alpha, beta, phi, 0, len(m.ilog.Ans), ga, gb, gp)
 	return ga, gb, gp
 }
 
@@ -531,18 +553,18 @@ func (m *Model) priorGradLog(alpha, beta, phi, ga, gb, gp []float64) {
 // qGradLogRange accumulates the data-term gradients for answers [lo, hi).
 func (m *Model) qGradLogRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp []float64) {
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ans[idx]
-		s := alpha[a.i] * beta[a.j] * phi[a.w]
+		a := &m.ilog.Ans[idx]
+		s := alpha[a.I] * beta[a.J] * phi[a.W]
 		clamped := s < minS || s > maxS
 		s = stats.Clamp(s, minS, maxS)
 		var g float64
-		if a.isCat {
-			p := m.CatPost[a.i][a.j][a.label]
+		if a.IsCat {
+			p := m.CatPost[a.I][a.J][a.Label]
 			_, _, dOverQ, dOverNotQ := catTerms(m.Opts.Eps, s)
 			g = (1-p)*dOverNotQ - p*dOverQ
 		} else {
-			mu, v := m.ContMu[a.i][a.j], m.ContVar[a.i][a.j]
-			d := a.z - mu
+			mu, v := m.ContMu[a.I][a.J], m.ContVar[a.I][a.J]
+			d := a.Z - mu
 			g = -0.5 + (d*d+v)/(2*s)
 		}
 		if clamped {
@@ -550,8 +572,8 @@ func (m *Model) qGradLogRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp
 			// parameters further out.
 			g = 0
 		}
-		ga[a.i] += g
-		gb[a.j] += g
-		gp[a.w] += g
+		ga[a.I] += g
+		gb[a.J] += g
+		gp[a.W] += g
 	}
 }

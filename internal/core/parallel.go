@@ -38,7 +38,7 @@ func (m *Model) eStepParallel(workers int) {
 func (m *Model) qValueParallel(alpha, beta, phi []float64, workers int) float64 {
 	partial := make([]float64, workers)
 	pool.Run(workers, func(w int) {
-		lo, hi := pool.ChunkBounds(len(m.ans), workers, w)
+		lo, hi := pool.ChunkBounds(len(m.ilog.Ans), workers, w)
 		partial[w] = m.qValueRange(alpha, beta, phi, lo, hi)
 	})
 	sum := m.paramLogPrior(alpha, beta, phi)
@@ -57,7 +57,7 @@ func (m *Model) qGradLogParallel(alpha, beta, phi []float64, workers int) (ga, g
 	}
 	partial := make([]grads, workers)
 	pool.Run(workers, func(w int) {
-		lo, hi := pool.ChunkBounds(len(m.ans), workers, w)
+		lo, hi := pool.ChunkBounds(len(m.ilog.Ans), workers, w)
 		g := grads{
 			a: make([]float64, len(alpha)),
 			b: make([]float64, len(beta)),
@@ -88,17 +88,26 @@ func (m *Model) qGradLogParallel(alpha, beta, phi []float64, workers int) (ga, g
 	return ga, gb, gp
 }
 
-// effectiveParallelism resolves the Parallelism option.
+// AutoParallelMinAnswers is the decoded-answer count above which inference
+// parallelises automatically when Options.Parallelism is 0 (auto). Below
+// it the sharding overhead outweighs the fan-out win and the serial path's
+// zero-allocation property matters more; above it servers should not
+// silently run serial (set Parallelism to 1 to opt out explicitly).
+const AutoParallelMinAnswers = 16384
+
+// effectiveParallelism resolves the Parallelism option: 0 auto-enables at
+// GOMAXPROCS once the log is AutoParallelMinAnswers answers or larger,
+// 1 (or negative) forces serial, larger values are capped at GOMAXPROCS.
 func (m *Model) effectiveParallelism() int {
 	p := m.Opts.Parallelism
+	if p == 0 && len(m.ilog.Ans) >= AutoParallelMinAnswers {
+		p = runtime.GOMAXPROCS(0)
+	}
 	if p <= 1 {
 		return 1
 	}
 	if procs := runtime.GOMAXPROCS(0); p > procs {
 		p = procs
-	}
-	if p < 1 {
-		p = 1
 	}
 	return p
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
+	"tcrowd/internal/ingest"
 	"tcrowd/internal/simulate"
 	"tcrowd/internal/stats"
 )
@@ -52,7 +54,7 @@ func TestParallelQValueMatchesSerial(t *testing.T) {
 	alpha := append([]float64(nil), m.Alpha...)
 	beta := append([]float64(nil), m.Beta...)
 	phi := append([]float64(nil), m.Phi...)
-	want := m.paramLogPrior(alpha, beta, phi) + m.qValueRange(alpha, beta, phi, 0, len(m.ans))
+	want := m.paramLogPrior(alpha, beta, phi) + m.qValueRange(alpha, beta, phi, 0, len(m.ilog.Ans))
 	for _, workers := range []int{2, 3, 8} {
 		got := m.qValueParallel(alpha, beta, phi, workers)
 		if math.Abs(got-want) > 1e-6*math.Abs(want) {
@@ -73,7 +75,7 @@ func TestParallelGradMatchesSerial(t *testing.T) {
 	gb := make([]float64, len(beta))
 	gp := make([]float64, len(phi))
 	m.priorGradLog(alpha, beta, phi, ga, gb, gp)
-	m.qGradLogRange(alpha, beta, phi, 0, len(m.ans), ga, gb, gp)
+	m.qGradLogRange(alpha, beta, phi, 0, len(m.ilog.Ans), ga, gb, gp)
 
 	pa, pb, pp := m.qGradLogParallel(alpha, beta, phi, 4)
 	check := func(name string, a, b []float64) {
@@ -118,5 +120,37 @@ func TestParallelELBOMonotone(t *testing.T) {
 		if m.ObjTrace[k] < m.ObjTrace[k-1]-1e-6 {
 			t.Fatalf("parallel ELBO decreased at %d", k)
 		}
+	}
+}
+
+// TestAutoParallelism pins the Parallelism resolution rules: 0 is auto
+// (serial below AutoParallelMinAnswers, GOMAXPROCS at or above it), 1 is
+// the explicit serial opt-out.
+func TestAutoParallelism(t *testing.T) {
+	ds, log := equivDataset(2060, 20)
+	m, err := Infer(ds.Table, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ilog.Ans) >= AutoParallelMinAnswers {
+		t.Fatalf("test premise broken: workload has %d answers", len(m.ilog.Ans))
+	}
+	if got := m.effectiveParallelism(); got != 1 {
+		t.Fatalf("auto parallelism on a small log = %d, want 1", got)
+	}
+
+	// Simulate a store past the threshold (only the length is read).
+	m.ilog.Ans = make([]ingest.Answer, AutoParallelMinAnswers)
+	want := runtime.GOMAXPROCS(0)
+	if got := m.effectiveParallelism(); got != want {
+		t.Fatalf("auto parallelism on a big log = %d, want GOMAXPROCS (%d)", got, want)
+	}
+	m.Opts.Parallelism = 1 // explicit opt-out wins over auto
+	if got := m.effectiveParallelism(); got != 1 {
+		t.Fatalf("explicit serial opt-out = %d, want 1", got)
+	}
+	m.Opts.Parallelism = want + 7 // explicit counts cap at GOMAXPROCS
+	if got := m.effectiveParallelism(); got != want {
+		t.Fatalf("oversubscribed parallelism = %d, want %d", got, want)
 	}
 }

@@ -1,0 +1,213 @@
+// Package ingest is the streaming answer store of the EM engine: a mutable
+// CSR (compressed sparse row) layout of decoded answers that grows in place
+// as answer batches land, instead of being rebuilt from the raw log on every
+// refresh.
+//
+// Motivation. Online serving re-infers after every small answer batch. The
+// cold path decodes the whole answer log, sorts it and rebuilds every index
+// per refresh — O(|log| log |log|) work to absorb a handful of answers. The
+// streaming store keeps the decoded answers permanently in CSR order and
+// absorbs a batch with one in-place merge: O(|batch| log |batch|) to sort
+// the batch plus a single linear move of the tail, never touching the
+// relative order of the clean prefix. Cells that received answers are
+// tracked as dirty, so the caller can re-run the E-step on exactly the
+// posteriors that changed.
+//
+// Layout. Ans holds every decoded answer sorted by (cell key, worker,
+// label, z) where key = row*cols + col; CellOff is the CSR index: cell key
+// k owns Ans[CellOff[k]:CellOff[k+1]]. The sort order guarantees two
+// invariants the EM hot loops rely on:
+//
+//   - a cell's answers are one contiguous run (E-step locality), and
+//   - duplicate (row, column, worker) variance triples sit adjacent, so the
+//     fused M-step reuses their transcendental work (memoisation).
+//
+// Concurrency. A Log is not safe for concurrent mutation; the owning model
+// serialises Append against the EM loops. Read-only access from parallel
+// E/M-step shards is safe because shards never mutate the store.
+package ingest
+
+import (
+	"slices"
+)
+
+// Answer is one decoded observation: indices resolved against the model's
+// worker table, continuous values standardized to z-scores. The raw value X
+// is retained so continuous answers can be re-standardized in place when a
+// batch shifts the column's standardisation constants.
+type Answer struct {
+	// W, I, J are the worker, row and column indices.
+	W, I, J int
+	// IsCat marks a categorical answer (Label valid) vs a continuous one
+	// (Z and X valid).
+	IsCat bool
+	// Label is the answered label index of a categorical answer.
+	Label int
+	// Z is the standardized value of a continuous answer.
+	Z float64
+	// X is the raw (natural-unit) value of a continuous answer.
+	X float64
+}
+
+// Log is the mutable CSR answer store. The zero value is not usable; call
+// NewLog.
+type Log struct {
+	// Ans holds the decoded answers in (cell key, worker, label, z) order.
+	// Hot loops index it directly; everyone else should treat it as
+	// read-only and mutate through Rebuild/Append.
+	Ans []Answer
+	// CellOff is the CSR index: cell key k owns Ans[CellOff[k]:CellOff[k+1]].
+	CellOff []int32
+
+	rows, cols int
+	// dirty flags + insertion-ordered key list of cells touched since the
+	// last ClearDirty.
+	dirty     []bool
+	dirtyKeys []int
+}
+
+// NewLog returns an empty store for a rows x cols table.
+func NewLog(rows, cols int) *Log {
+	return &Log{
+		rows:    rows,
+		cols:    cols,
+		CellOff: make([]int32, rows*cols+1),
+		dirty:   make([]bool, rows*cols),
+	}
+}
+
+// Rows and Cols return the table dimensions the store indexes.
+func (l *Log) Rows() int { return l.rows }
+
+// Cols returns the number of table columns.
+func (l *Log) Cols() int { return l.cols }
+
+// Len returns the number of stored answers.
+func (l *Log) Len() int { return len(l.Ans) }
+
+// Key returns the cell key of (i, j).
+func (l *Log) Key(i, j int) int { return i*l.cols + j }
+
+// CellRange returns the half-open Ans range of cell key k.
+func (l *Log) CellRange(key int) (lo, hi int) {
+	return int(l.CellOff[key]), int(l.CellOff[key+1])
+}
+
+// less is the canonical CSR ordering. Ties (identical key, worker, label
+// and z) are fully interchangeable observations, so an unstable sort is
+// fine.
+func (l *Log) less(a, b *Answer) bool {
+	ka, kb := a.I*l.cols+a.J, b.I*l.cols+b.J
+	if ka != kb {
+		return ka < kb
+	}
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.Label != b.Label {
+		return a.Label < b.Label
+	}
+	return a.Z < b.Z
+}
+
+func (l *Log) cmp(a, b Answer) int {
+	if l.less(&a, &b) {
+		return -1
+	}
+	if l.less(&b, &a) {
+		return 1
+	}
+	return 0
+}
+
+// Rebuild bulk-loads the store from an unordered answer set: sort once,
+// rebuild the CSR index, clear the dirty set. This is the cold-start path;
+// Append is the streaming path.
+func (l *Log) Rebuild(ans []Answer) {
+	l.Ans = ans
+	slices.SortFunc(l.Ans, l.cmp)
+	for k := range l.CellOff {
+		l.CellOff[k] = 0
+	}
+	for idx := range l.Ans {
+		a := &l.Ans[idx]
+		l.CellOff[a.I*l.cols+a.J+1]++
+	}
+	for key := 0; key < l.rows*l.cols; key++ {
+		l.CellOff[key+1] += l.CellOff[key]
+	}
+	l.ClearDirty()
+}
+
+// Append merges a batch of decoded answers into the CSR layout in place and
+// marks their cells dirty. The batch is sorted in place (caller's slice is
+// reordered); the store's clean prefix — every run before the first dirty
+// cell — is never re-sorted, only shifted: a single backward merge pass
+// moves each suffix answer at most once, so the cost is O(|batch| log
+// |batch| + moved), not O(|log| log |log|).
+func (l *Log) Append(batch []Answer) {
+	if len(batch) == 0 {
+		return
+	}
+	slices.SortFunc(batch, l.cmp)
+
+	// Mark dirty cells (batch is sorted, so duplicates are adjacent).
+	prevKey := -1
+	for idx := range batch {
+		key := batch[idx].I*l.cols + batch[idx].J
+		if key != prevKey {
+			prevKey = key
+			l.MarkDirty(key)
+		}
+	}
+
+	// Backward in-place merge of the sorted prefix and the sorted batch.
+	// Growth goes through slices.Grow, so steady-state streaming appends
+	// reallocate (and copy the clean prefix) only amortised-O(1) times per
+	// answer.
+	old := len(l.Ans)
+	l.Ans = slices.Grow(l.Ans, len(batch))[:old+len(batch)]
+	i, j := old-1, len(batch)-1
+	for k := old + len(batch) - 1; j >= 0; k-- {
+		if i >= 0 && l.less(&batch[j], &l.Ans[i]) {
+			l.Ans[k] = l.Ans[i]
+			i--
+		} else {
+			l.Ans[k] = batch[j]
+			j--
+		}
+	}
+
+	// Shift the CSR offsets: CellOff[k+1] grows by the number of batch
+	// answers at cells <= k. One linear pass over cells + batch.
+	bi, add := 0, int32(0)
+	cells := l.rows * l.cols
+	for key := 0; key < cells; key++ {
+		for bi < len(batch) && batch[bi].I*l.cols+batch[bi].J == key {
+			bi++
+			add++
+		}
+		l.CellOff[key+1] += add
+	}
+}
+
+// MarkDirty flags a cell key as needing posterior recomputation.
+func (l *Log) MarkDirty(key int) {
+	if !l.dirty[key] {
+		l.dirty[key] = true
+		l.dirtyKeys = append(l.dirtyKeys, key)
+	}
+}
+
+// DirtyKeys returns the cell keys touched since the last ClearDirty, in
+// first-touched order. The slice is owned by the log; callers must not
+// retain it across ClearDirty.
+func (l *Log) DirtyKeys() []int { return l.dirtyKeys }
+
+// ClearDirty resets the dirty set (answers stay).
+func (l *Log) ClearDirty() {
+	for _, key := range l.dirtyKeys {
+		l.dirty[key] = false
+	}
+	l.dirtyKeys = l.dirtyKeys[:0]
+}

@@ -1,0 +1,158 @@
+package ingest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomAnswers draws n random decoded answers over a rows x cols table.
+func randomAnswers(rng *rand.Rand, rows, cols, workers, n int) []Answer {
+	out := make([]Answer, n)
+	for k := range out {
+		a := Answer{
+			W: rng.Intn(workers),
+			I: rng.Intn(rows),
+			J: rng.Intn(cols),
+		}
+		if a.J%2 == 0 {
+			a.IsCat = true
+			a.Label = rng.Intn(4)
+		} else {
+			a.X = rng.NormFloat64() * 10
+			a.Z = a.X / 10
+		}
+		out[k] = a
+	}
+	return out
+}
+
+// checkInvariants asserts the CSR layout: offsets consistent, answers
+// sorted, each cell's run holding exactly its answers.
+func checkInvariants(t *testing.T, l *Log) {
+	t.Helper()
+	if int(l.CellOff[0]) != 0 || int(l.CellOff[len(l.CellOff)-1]) != len(l.Ans) {
+		t.Fatalf("CSR bounds broken: [%d, %d] over %d answers",
+			l.CellOff[0], l.CellOff[len(l.CellOff)-1], len(l.Ans))
+	}
+	for key := 0; key < l.Rows()*l.Cols(); key++ {
+		lo, hi := l.CellRange(key)
+		if lo > hi {
+			t.Fatalf("cell %d has negative run [%d, %d)", key, lo, hi)
+		}
+		for idx := lo; idx < hi; idx++ {
+			if got := l.Key(l.Ans[idx].I, l.Ans[idx].J); got != key {
+				t.Fatalf("answer %d in run of cell %d belongs to cell %d", idx, key, got)
+			}
+		}
+	}
+	for idx := 1; idx < len(l.Ans); idx++ {
+		if l.less(&l.Ans[idx], &l.Ans[idx-1]) {
+			t.Fatalf("answers out of order at %d", idx)
+		}
+	}
+}
+
+// TestAppendMatchesRebuild is the core streaming property: any batch split
+// of an answer set, appended incrementally, yields exactly the CSR layout a
+// bulk Rebuild of the full set produces.
+func TestAppendMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 3+rng.Intn(8), 2+rng.Intn(5)
+		all := randomAnswers(rng, rows, cols, 6, 40+rng.Intn(200))
+
+		bulk := NewLog(rows, cols)
+		bulk.Rebuild(append([]Answer(nil), all...))
+
+		inc := NewLog(rows, cols)
+		lo := 0
+		for lo < len(all) {
+			hi := lo + 1 + rng.Intn(30)
+			if hi > len(all) {
+				hi = len(all)
+			}
+			inc.Append(append([]Answer(nil), all[lo:hi]...))
+			lo = hi
+		}
+
+		checkInvariants(t, inc)
+		checkInvariants(t, bulk)
+		if len(inc.Ans) != len(bulk.Ans) {
+			t.Fatalf("trial %d: %d answers incremental vs %d bulk", trial, len(inc.Ans), len(bulk.Ans))
+		}
+		for idx := range inc.Ans {
+			if inc.Ans[idx] != bulk.Ans[idx] {
+				t.Fatalf("trial %d: answer %d diverged: %+v vs %+v",
+					trial, idx, inc.Ans[idx], bulk.Ans[idx])
+			}
+		}
+		for key := range inc.CellOff {
+			if inc.CellOff[key] != bulk.CellOff[key] {
+				t.Fatalf("trial %d: CellOff[%d] diverged: %d vs %d",
+					trial, key, inc.CellOff[key], bulk.CellOff[key])
+			}
+		}
+	}
+}
+
+// TestDirtyTracking pins the dirty set: exactly the cells of the appended
+// batch, cleared by ClearDirty, re-markable after.
+func TestDirtyTracking(t *testing.T) {
+	l := NewLog(4, 3)
+	l.Rebuild([]Answer{
+		{W: 0, I: 0, J: 0, IsCat: true},
+		{W: 1, I: 2, J: 1, Z: 0.5, X: 5},
+	})
+	if len(l.DirtyKeys()) != 0 {
+		t.Fatalf("Rebuild left dirty cells: %v", l.DirtyKeys())
+	}
+
+	l.Append([]Answer{
+		{W: 2, I: 0, J: 0, IsCat: true, Label: 1},
+		{W: 2, I: 3, J: 2, Z: 1, X: 10},
+		{W: 0, I: 3, J: 2, Z: -1, X: -10},
+	})
+	want := map[int]bool{l.Key(0, 0): true, l.Key(3, 2): true}
+	got := l.DirtyKeys()
+	if len(got) != len(want) {
+		t.Fatalf("dirty keys %v, want cells %v", got, want)
+	}
+	for _, key := range got {
+		if !want[key] {
+			t.Fatalf("unexpected dirty key %d", key)
+		}
+	}
+
+	l.ClearDirty()
+	if len(l.DirtyKeys()) != 0 {
+		t.Fatal("ClearDirty did not clear")
+	}
+	l.MarkDirty(l.Key(1, 1))
+	l.MarkDirty(l.Key(1, 1))
+	if n := len(l.DirtyKeys()); n != 1 {
+		t.Fatalf("MarkDirty deduplication broken: %d keys", n)
+	}
+}
+
+// TestAppendSteadyStateAllocs pins streaming appends at a small constant
+// number of allocations once capacity headroom is grown — independent of
+// the stored log's size.
+func TestAppendSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	l := NewLog(50, 8)
+	l.Rebuild(randomAnswers(rng, 50, 8, 10, 4000))
+	batch := randomAnswers(rng, 50, 8, 10, 50)
+	// Warm capacity headroom.
+	l.Append(append([]Answer(nil), batch...))
+	l.ClearDirty()
+
+	avg := testing.AllocsPerRun(20, func() {
+		l.Append(batch)
+		l.ClearDirty()
+	})
+	// slices.SortFunc is allocation-free and the store grows with headroom;
+	// the occasional capacity doubling amortises below a handful of allocs.
+	if avg > 4 {
+		t.Fatalf("streaming append allocates %.1f allocs/run in steady state", avg)
+	}
+}

@@ -44,9 +44,15 @@ type Project struct {
 	refreshEvery int
 	sinceRefresh int
 	rng          *rand.Rand
-	// lastModel caches the latest truth-inference fit so RunInference
-	// warm-starts from it instead of paying a cold start per request;
-	// logAtModel is the log length it was fitted on.
+	// inferMu serialises truth inference per project: the cached model is
+	// refreshed incrementally in place, so exactly one RunInference may
+	// touch it at a time (the platform lock stays free meanwhile, so
+	// submissions never wait on EM).
+	inferMu sync.Mutex
+	// lastModel caches the latest truth-inference fit; after the first
+	// cold fit, RunInference streams the answer delta into it
+	// (core.Ingest + RefreshIncremental) instead of re-decoding the log.
+	// logAtModel is the log length the model has absorbed.
 	lastModel  *core.Model
 	logAtModel int
 }
@@ -270,40 +276,67 @@ type InferenceResult struct {
 }
 
 // RunInference runs T-Crowd truth inference over the project's answers.
-// Repeated calls warm-start from the previous fit (the online loop's
-// answer log only grows between requests), so only the first inference of
-// a project pays the cold-start cost.
+// The first call pays a cold fit (on a snapshot, so submissions continue
+// meanwhile); every later call streams only the answers submitted since
+// the previous call into the cached model (core.Ingest) and re-converges
+// it with an incremental polish — refresh cost scales with the submission
+// delta, not the log. With no new answers the cached fit is served as is.
 func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 	p.mu.Lock()
 	proj, ok := p.projects[projectID]
+	p.mu.Unlock()
 	if !ok {
-		p.mu.Unlock()
 		return nil, ErrNoProject
 	}
+
+	// One inference at a time per project: the incremental path mutates
+	// the cached model in place.
+	proj.inferMu.Lock()
+	defer proj.inferMu.Unlock()
+
+	// Snapshot the submission delta under the platform lock. Project logs
+	// are append-only and reloads build fresh projects, so the cached fit
+	// is always for a prefix of the current log.
+	p.mu.Lock()
 	tbl := proj.Table
-	log := proj.Log.Clone()
-	// Project logs are append-only and reloads build fresh projects, so
-	// the cached fit is always for a prefix of the current log; no
-	// staleness check beyond the length guard below is needed.
-	prev := proj.lastModel
+	total := proj.Log.Len()
+	m := proj.lastModel
+	var batch []tabular.Answer
+	if m != nil && total > proj.logAtModel {
+		batch = append([]tabular.Answer(nil), proj.Log.All()[proj.logAtModel:total]...)
+	}
 	p.mu.Unlock()
 
-	// Give the warm run the full cold iteration budget: seeding from the
-	// previous fit shortens the path to the optimum, it must not lower
-	// the convergence guarantee of requester-facing estimates (a large
-	// batch since the last fit can need many iterations). Runs that start
-	// near the optimum still stop after a couple of iterations via Tol.
-	m, err := core.InferWarm(prev, tbl, log, core.Options{MaxIter: 50})
-	if err != nil {
-		return nil, err
+	if m == nil {
+		// Cold start on a snapshot clone: EM may run long, and Submit
+		// must not block behind it.
+		p.mu.Lock()
+		snap := proj.Log.Clone()
+		p.mu.Unlock()
+		fit, err := core.Infer(tbl, snap, core.Options{MaxIter: 50})
+		if err != nil {
+			return nil, err
+		}
+		m = fit
+		p.mu.Lock()
+		proj.lastModel, proj.logAtModel = m, snap.Len()
+		p.mu.Unlock()
+	} else if len(batch) > 0 {
+		// Streaming refresh: absorb the delta in place. The polish keeps
+		// the full iteration budget — seeding at the previous optimum
+		// shortens the path to convergence, it must not lower the
+		// convergence guarantee of requester-facing estimates; runs that
+		// start near the optimum still stop after a couple of iterations
+		// via the tolerance.
+		if err := m.Ingest(batch); err != nil {
+			return nil, err
+		}
+		m.RefreshIncremental(50)
+		p.mu.Lock()
+		proj.logAtModel = total
+		p.mu.Unlock()
 	}
-	p.mu.Lock()
-	if log.Len() >= proj.logAtModel {
-		// Guard against concurrent RunInference calls finishing out of
-		// order: never replace a fit of a newer log with an older one.
-		proj.lastModel, proj.logAtModel = m, log.Len()
-	}
-	p.mu.Unlock()
+
 	res := &InferenceResult{
 		Estimates:     m.Estimates(),
 		WorkerQuality: make(map[tabular.WorkerID]float64, len(m.WorkerIDs)),
