@@ -1,8 +1,8 @@
 package tcrowd
 
 // Benchmarks regenerating each of the paper's evaluation artifacts (one
-// bench per table/figure — see DESIGN.md's per-experiment index) plus the
-// ablation benches for the design choices DESIGN.md calls out and
+// bench per table/figure — see internal/experiments for the index) plus the
+// ablation benches for the documented design choices and
 // micro-benchmarks of the hot paths.
 //
 // Run with: go test -bench=. -benchmem
@@ -132,7 +132,7 @@ func BenchmarkFigure12_InferTime(b *testing.B) {
 	}
 }
 
-// --- Ablation benches (DESIGN.md design choices) ---
+// --- Ablation benches (documented design choices) ---
 
 // benchWorkload builds a mid-size mixed table shared by the ablations.
 func benchWorkload(b *testing.B) (*simulate.Dataset, *tabular.AnswerLog) {

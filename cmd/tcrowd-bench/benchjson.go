@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"tcrowd/internal/assign"
 	"tcrowd/internal/core"
+	"tcrowd/internal/platform"
 	"tcrowd/internal/simulate"
 	"tcrowd/internal/stats"
 	"tcrowd/internal/tabular"
@@ -65,6 +67,9 @@ func hotBenches() []struct {
 		{"ingest/refresh-batch-50", benchIngestRefresh(200, 50)},
 		{"ingest/refresh-batch-200", benchIngestRefresh(200, 200)},
 		{"ingest/refresh-5k-log-batch-50", benchIngestRefresh(100, 50)},
+		{"shard/refresh-16proj-w1", benchShardRefresh(16, 1)},
+		{"shard/refresh-16proj-w2", benchShardRefresh(16, 2)},
+		{"shard/refresh-16proj-w4", benchShardRefresh(16, 4)},
 		{"infogain-scoring", benchInfoGain},
 	}
 }
@@ -195,6 +200,88 @@ func benchIngestAppend(rows, batch int) func(b *testing.B) {
 			if _, err := m.IngestFrom(log); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// benchShardRefresh measures multi-project serving throughput through the
+// shard scheduler: nproj projects (each with its own fitted model and
+// ~900-answer log) live on one platform with the given inference worker
+// count; every timed op appends a 20-answer batch to each project (untimed)
+// and then drives one strongly consistent refresh per project concurrently
+// through the per-shard queues, timing the makespan. Projects are small
+// enough that each EM refresh runs serially, so throughput scaling across
+// the w1/w2/w4 series isolates the scheduler's cross-project parallelism.
+// Logs are reset to their base size periodically (untimed) so per-op cost
+// reflects a steady log size.
+func benchShardRefresh(nproj, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds := simulate.Generate(stats.NewRNG(29), simulate.TableConfig{
+			Rows: 30, Cols: 6, CatRatio: 0.5,
+			Population: simulate.PopulationConfig{N: 20},
+		})
+		base := simulate.NewCrowd(ds, 30).FixedAssignment(5)
+
+		var (
+			p      *platform.Platform
+			ids    []string
+			logs   []*tabular.AnswerLog
+			crowds []*simulate.Crowd
+			grown  int
+		)
+		reset := func() {
+			if p != nil {
+				p.Close()
+			}
+			p = platform.NewWithOptions(1, platform.Options{Workers: workers, QueueDepth: 1024})
+			ids = make([]string, nproj)
+			logs = make([]*tabular.AnswerLog, nproj)
+			crowds = make([]*simulate.Crowd, nproj)
+			for i := 0; i < nproj; i++ {
+				ids[i] = fmt.Sprintf("proj-%02d", i)
+				if _, err := p.CreateProject(ids[i], ds.Table.Schema, platform.ProjectConfig{Rows: ds.Table.NumRows()}); err != nil {
+					b.Fatal(err)
+				}
+				proj, err := p.Project(ids[i])
+				if err != nil {
+					b.Fatal(err)
+				}
+				proj.Log = base.Clone()
+				logs[i] = proj.Log
+				crowds[i] = simulate.NewCrowd(ds, 100+int64(i))
+				// Cold fit now so timed ops measure steady-state
+				// streaming refreshes.
+				if _, err := p.RunInference(ids[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			grown = 0
+		}
+		reset()
+		defer func() { p.Close() }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			b.StopTimer()
+			if grown > 2000 {
+				reset()
+			}
+			for i := range logs {
+				crowds[i].AppendBatch(logs[i], 20)
+			}
+			grown += 20
+			b.StartTimer()
+			var wg sync.WaitGroup
+			for _, id := range ids {
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					if _, err := p.RunInference(id); err != nil {
+						b.Error(err)
+					}
+				}(id)
+			}
+			wg.Wait()
 		}
 	}
 }

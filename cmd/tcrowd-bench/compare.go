@@ -11,13 +11,21 @@ import (
 // Perf-regression gate: `tcrowd-bench -compare BASELINE.json CANDIDATE.json`
 // compares two -bench-json result files and fails (non-zero exit) when a
 // gated series regressed. Gated series are selected by name prefix
-// (default infer/, refresh/ and ingest/ — the serving hot paths whose
-// budgets the repo commits to); a series regresses when its ns/op grows
+// (default infer/, refresh/, ingest/ and shard/ — the serving hot paths
+// whose budgets the repo commits to); a series regresses when its ns/op grows
 // by more than the allowed fraction (default 25%, absorbing CI-runner
-// timing noise) or its allocs/op grows AT ALL (allocation counts are
-// deterministic, so any increase is a real regression). Gated series
-// present in the baseline must exist in the candidate; series new in the
-// candidate are reported but never gate.
+// timing noise) or its allocs/op grows by more than one alloc plus 0.1%.
+// Allocation counts are near-deterministic, but two benign wobbles exist:
+// the EM iteration count a refresh needs can shift by one between runs
+// (observed as ±3 allocs on ~8.7k — inside the fractional slack), and
+// testing.Benchmark's small-N division lets a single stray runtime alloc
+// move the per-op count by one (observed as 58 -> 59 on the infer series —
+// inside the absolute slack). A real regression allocates at least once
+// per work item (answers per op >> 1), far above both slacks; the
+// steady-state-zero-alloc guarantee of the ingest path is pinned exactly by
+// its unit test, not by this gate. Gated series present in the baseline
+// must exist in the candidate; series new in the candidate are reported
+// but never gate.
 
 // compareConfig parameterises runCompare.
 type compareConfig struct {
@@ -25,6 +33,8 @@ type compareConfig struct {
 	gates []string
 	// maxNsRegress is the allowed fractional ns/op growth (0.25 = +25%).
 	maxNsRegress float64
+	// maxAllocRegress is the allowed fractional allocs/op growth.
+	maxAllocRegress float64
 }
 
 // loadBenchFile reads a -bench-json result file.
@@ -93,7 +103,7 @@ func runCompare(basePath, candPath string, cfg compareConfig) error {
 				failures = append(failures,
 					fmt.Sprintf("%s: ns/op regressed %.1f%% (limit %.0f%%)", name, 100*nsDelta, 100*cfg.maxNsRegress))
 			}
-			if c.AllocsPerOp > b.AllocsPerOp {
+			if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+cfg.maxAllocRegress)+1 {
 				if status == "ok" {
 					status = "FAIL allocs"
 				} else {

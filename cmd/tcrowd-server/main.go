@@ -1,66 +1,80 @@
 // Command tcrowd-server runs the AMT-like crowdsourcing platform over HTTP
-// (the system architecture of the paper's Fig. 1).
+// (the system architecture of the paper's Fig. 1), serving many projects
+// from one process through a sharded inference scheduler.
 //
 // Usage:
 //
 //	tcrowd-server -addr :8080
 //	tcrowd-server -addr :8080 -state platform.json   # load + persist state
+//	tcrowd-server -workers 8 -queue-depth 128        # explicit shard sizing
 //
-// Endpoints:
+// Endpoints (full reference: README.md next to this file):
 //
 //	POST /projects                  register a schema
 //	GET  /projects/{id}/tasks       dynamic task assignment (external-HIT)
 //	POST /projects/{id}/answers     submit a worker answer
-//	GET  /projects/{id}/estimates   run truth inference
+//	GET  /projects/{id}/estimates   truth inference (consistent; may wait on EM)
+//	GET  /projects/{id}/snapshot    last published estimates (never blocks on EM)
 //	GET  /projects/{id}/stats       collection progress
+//	GET  /stats                     shard-scheduler metrics
 //
-// # Streaming semantics
+// # Serving architecture
 //
-// The answer path is built for continuous collection. POST /answers is an
-// O(1) validated append to the project's append-only log — it never waits
-// on inference. The expensive model work happens on read, incrementally:
+// Projects are partitioned across -workers inference shards by consistent
+// hashing on the project ID (internal/shard). Each shard is one worker
+// goroutine with a bounded queue of refresh jobs:
 //
-//   - GET /estimates pays one cold EM fit on the project's first call;
-//     every later call streams only the answers submitted since the
-//     previous call into the cached model (core.Ingest merges them into
-//     the fitted CSR store in place) and re-converges it with a warm
-//     incremental polish. Refresh latency therefore scales with the
-//     submission delta, not with the accumulated log. With no new answers
-//     the cached estimates are served directly.
-//   - GET /tasks refreshes the assignment engine the same way: the
-//     T-Crowd system ingests the log's new suffix into its fitted model
-//     (O(batch)) instead of re-decoding the full log per refresh. Unlike
-//     /estimates, this refresh runs under the platform lock, so the
-//     incremental path's speed directly bounds how long concurrent
-//     submissions can stall behind a task request.
+//   - POST /answers is an O(1) validated append to the project's
+//     append-only log plus an asynchronous, coalescing refresh enqueue on
+//     the project's refresh cadence (immediately until a first snapshot
+//     exists, then every RefreshEvery-th answer) — it never waits on
+//     inference. When the project's shard queue is full the server
+//     answers 429 (the answer is still recorded; only its refresh was
+//     shed).
+//   - GET /estimates is the strongly consistent read: it routes a refresh
+//     through the project's shard and waits, so the response reflects
+//     every recorded answer. The refresh itself is incremental — the model
+//     ingests only the submission delta (O(batch), not O(log)).
+//   - GET /snapshot is the non-blocking read: one atomic pointer load of
+//     the last published estimate snapshot (copy-on-publish), immune to
+//     shard backlog. Its answers_seen/fresh fields report staleness.
 //
-// Estimate runs are serialised per project and run off the platform lock:
-// workers can keep answering while a /estimates refresh is in flight.
+// One hot project can saturate only its own shard; other projects keep
+// refreshing (isolation), and queue bounds turn overload into fast 429s
+// instead of unbounded memory growth (backpressure).
+//
+// On SIGINT/SIGTERM the server stops accepting HTTP, drains the shard
+// queues, and (with -state) persists every project's log.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tcrowd/internal/platform"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
-		state = flag.String("state", "", "optional JSON state file (loaded at start, saved on SIGINT/SIGTERM)")
-		seed  = flag.Int64("seed", 1, "assignment tie-breaking seed")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		state   = flag.String("state", "", "optional JSON state file (loaded at start, saved on SIGINT/SIGTERM)")
+		seed    = flag.Int64("seed", 1, "assignment tie-breaking seed")
+		workers = flag.Int("workers", 0, "inference shard workers (0 = GOMAXPROCS-derived)")
+		depth   = flag.Int("queue-depth", 0, "per-shard refresh queue bound (0 = default 64)")
 	)
 	flag.Parse()
 
-	p := platform.New(*seed)
+	opts := platform.Options{Workers: *workers, QueueDepth: *depth}
+	var p *platform.Platform
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
-			loaded, err := platform.Load(f, *seed)
+			loaded, err := platform.LoadWithOptions(f, *seed, opts)
 			f.Close()
 			if err != nil {
 				fatal(fmt.Errorf("loading %s: %w", *state, err))
@@ -71,6 +85,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if p == nil {
+		p = platform.NewWithOptions(*seed, opts)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: platform.NewServer(p)}
 
@@ -78,24 +95,35 @@ func main() {
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-done
-		if *state != "" {
-			f, err := os.Create(*state)
-			if err == nil {
-				err = p.Save(f)
-				f.Close()
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "tcrowd-server: saving state: %v\n", err)
-			} else {
-				fmt.Printf("state saved to %s\n", *state)
-			}
+		// Graceful stop: let in-flight requests finish (a recorded answer
+		// must get its acknowledgment — an aborted connection would make
+		// the client retry into a 409), with a bound so a wedged handler
+		// can't stall shutdown forever.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
 		}
-		srv.Close()
 	}()
 
-	fmt.Printf("tcrowd-server listening on %s\n", *addr)
+	fmt.Printf("tcrowd-server listening on %s (%d inference workers)\n", *addr, p.NumShardWorkers())
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
+	}
+
+	// HTTP is stopped: drain queued refreshes, then persist.
+	p.Close()
+	if *state != "" {
+		f, err := os.Create(*state)
+		if err == nil {
+			err = p.Save(f)
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcrowd-server: saving state: %v\n", err)
+		} else {
+			fmt.Printf("state saved to %s\n", *state)
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+// Package tcrowd is a Go implementation of T-Crowd ("T-Crowd: Effective
+// Crowdsourcing for Tabular Data", Shan et al., ICDE 2018): truth
+// inference and online task assignment for crowdsourced tables whose
+// columns mix categorical and continuous attributes.
+//
+// The package unifies worker quality across datatypes with a single
+// per-worker parameter (one inherent variance phi_u, scaled by per-row and
+// per-column task difficulty), infers cell truths and worker qualities
+// jointly by EM, and assigns tasks to incoming workers by structure-aware
+// information gain that exploits correlations between a worker's errors on
+// attributes of the same entity.
+//
+// # Quick start
+//
+// Define a schema, log answers, infer (see ExampleInfer for a runnable
+// version of exactly this flow):
+//
+//	schema := tcrowd.Schema{
+//	    Key: "Picture",
+//	    Columns: []tcrowd.Column{
+//	        {Name: "Nationality", Type: tcrowd.Categorical, Labels: []string{"US", "CN", "GB"}},
+//	        {Name: "Age", Type: tcrowd.Continuous, Min: 0, Max: 120},
+//	    },
+//	}
+//	table := tcrowd.NewTable(schema, 3)
+//	log := tcrowd.NewAnswerLog()
+//	log.Add(tcrowd.Answer{Worker: "w1", Cell: tcrowd.Cell{Row: 0, Col: 0}, Value: tcrowd.LabelValue(1)})
+//	// ... more answers ...
+//	res, err := tcrowd.Infer(table, log, tcrowd.InferOptions{})
+//
+// res.Estimates holds one estimated Value per cell and res.WorkerQuality
+// the unified per-worker quality in (0, 1].
+//
+// # What lives where
+//
+// This root package is a façade re-exporting the stable surface of the
+// internal packages:
+//
+//   - Data model (Schema, Table, AnswerLog, Value, ...): internal/tabular.
+//   - Truth inference (Infer, InferOptions): the EM engine of the paper's
+//     Sec. 4, internal/core. Streaming ingestion and warm refreshes are
+//     engine features used by the serving layers; library callers just
+//     call Infer per log state.
+//   - Task assignment (Assigner, sim helpers in sim.go/assigner.go): the
+//     Sec. 5 information-gain policies, internal/assign.
+//
+// Beyond the library there are three binaries: cmd/tcrowd-infer (offline
+// inference over a JSON answer log), cmd/tcrowd-server (the AMT-like
+// crowdsourcing platform over HTTP, serving many projects through a
+// sharded inference scheduler — see cmd/tcrowd-server/README.md) and
+// cmd/tcrowd-bench (the paper's evaluation harness plus the tracked
+// hot-path micro-benchmarks).
+//
+// See README.md for a tour, ARCHITECTURE.md for the layer-by-layer design
+// (EM engine internals, streaming refresh tiers, shard scheduler), and the
+// examples directory for complete programs.
+package tcrowd

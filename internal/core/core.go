@@ -11,7 +11,7 @@
 // distributions, Eq. 4) with an M-step that maximises the expected joint
 // log-likelihood Q (Eq. 5) by gradient ascent over log-parameters.
 //
-// Implementation notes (documented deviations, see DESIGN.md):
+// Implementation notes (documented deviations, see ARCHITECTURE.md):
 //
 //   - Continuous columns are z-scored by their answers' mean/std before
 //     inference so one phi_u is commensurable across columns; estimates are

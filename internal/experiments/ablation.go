@@ -13,7 +13,7 @@ import (
 	"tcrowd/internal/stats"
 )
 
-// AblationResult is one named comparison from the DESIGN.md ablation list.
+// AblationResult is one named design-choice comparison.
 type AblationResult struct {
 	Name     string
 	Variant  string
@@ -22,7 +22,7 @@ type AblationResult struct {
 	Comments string
 }
 
-// Ablations runs the design-choice comparisons DESIGN.md calls out:
+// Ablations runs the design-choice comparisons the implementation calls out:
 // unified vs per-datatype inference, cell difficulty on/off, structure-
 // aware vs inherent assignment, M-step budget, and batch top-K size.
 func Ablations(cfg Config) ([]AblationResult, error) {

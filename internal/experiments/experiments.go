@@ -2,7 +2,7 @@
 // evaluation (Sec. 6) on the simulated stand-ins. Each experiment has an
 // id (table6, table7, fig2 ... fig12, ablation), prints the same rows or
 // series the paper reports, and returns structured results for tests and
-// benchmarks. EXPERIMENTS.md records paper-vs-measured values.
+// benchmarks (run them via cmd/tcrowd-bench).
 package experiments
 
 import (

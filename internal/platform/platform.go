@@ -4,6 +4,31 @@
 // dynamically assigned cells (the AMT "external-HIT" pattern, Sec. 3), their
 // answers are logged durably, and truth inference runs over the collected
 // answers on demand.
+//
+// # Multi-project serving
+//
+// A platform hosts many projects and serves them through a shard scheduler
+// (internal/shard): every project has a stable home shard (consistent
+// hashing on the project ID), and each shard is one worker goroutine with a
+// bounded, coalescing queue of refresh jobs. This gives three serving
+// properties the shared-pool design lacked:
+//
+//   - Isolation: a hot project's refresh storm occupies only its own shard;
+//     projects on other shards keep refreshing.
+//   - Backpressure: when a shard queue fills, the platform sheds refresh
+//     work with an error wrapping shard.ErrShardSaturated instead of
+//     queueing it unboundedly (answers are still recorded — data is never
+//     dropped, only inference work is).
+//   - Non-blocking reads: every completed refresh publishes an immutable
+//     InferenceResult snapshot behind an atomic pointer (copy-on-publish);
+//     Snapshot serves the latest one without ever waiting on EM.
+//
+// Submit enqueues an asynchronous refresh on the project's refresh cadence
+// (immediately until a first snapshot exists, then every RefreshEvery-th
+// answer), so published snapshots track the log with bounded lag without
+// running EM per answer. RunInference is the strongly consistent read: it
+// routes through the same per-shard queue and waits, returning estimates
+// that reflect every answer recorded before the call.
 package platform
 
 import (
@@ -15,10 +40,12 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tcrowd/internal/assign"
 	"tcrowd/internal/core"
 	"tcrowd/internal/metrics"
+	"tcrowd/internal/shard"
 	"tcrowd/internal/stats"
 	"tcrowd/internal/tabular"
 )
@@ -28,6 +55,9 @@ var (
 	ErrNoProject       = errors.New("platform: no such project")
 	ErrDuplicateID     = errors.New("platform: project id already exists")
 	ErrAlreadyAnswered = errors.New("platform: worker already answered this cell")
+	// ErrNoSnapshot is returned by Snapshot before the project's first
+	// refresh has published estimates.
+	ErrNoSnapshot = errors.New("platform: no estimates published yet")
 )
 
 // Project is one crowdsourcing campaign: a table to fill plus its answers.
@@ -50,11 +80,16 @@ type Project struct {
 	// submissions never wait on EM).
 	inferMu sync.Mutex
 	// lastModel caches the latest truth-inference fit; after the first
-	// cold fit, RunInference streams the answer delta into it
+	// cold fit, refreshes stream the answer delta into it
 	// (core.Ingest + RefreshIncremental) instead of re-decoding the log.
 	// logAtModel is the log length the model has absorbed.
 	lastModel  *core.Model
 	logAtModel int
+	// snapshot is the copy-on-publish estimate snapshot: every completed
+	// refresh builds a fresh immutable InferenceResult and swaps the
+	// pointer, so readers (Snapshot, the /snapshot endpoint) never block
+	// on EM and never observe a half-updated result.
+	snapshot atomic.Pointer[InferenceResult]
 }
 
 // Platform hosts projects and is safe for concurrent use.
@@ -62,12 +97,51 @@ type Platform struct {
 	mu       sync.Mutex
 	projects map[string]*Project
 	seed     int64
+	// sched partitions per-project refresh work across shard workers; all
+	// model mutation funnels through it (see the package comment).
+	sched *shard.Scheduler
 }
 
-// New returns an empty platform; seed drives assignment tie-breaking.
-func New(seed int64) *Platform {
-	return &Platform{projects: make(map[string]*Project), seed: seed}
+// Options configures the platform's serving layer. The zero value gives
+// the shard scheduler's defaults (GOMAXPROCS-derived worker count, queue
+// depth 64).
+type Options struct {
+	// Workers is the number of inference shard workers.
+	Workers int
+	// QueueDepth bounds each shard's pending refresh queue; a full queue
+	// sheds refresh work with shard.ErrShardSaturated.
+	QueueDepth int
 }
+
+// New returns an empty platform with default serving options; seed drives
+// assignment tie-breaking.
+func New(seed int64) *Platform { return NewWithOptions(seed, Options{}) }
+
+// NewWithOptions returns an empty platform with an explicitly sized shard
+// scheduler.
+func NewWithOptions(seed int64, opts Options) *Platform {
+	return &Platform{
+		projects: make(map[string]*Project),
+		seed:     seed,
+		sched: shard.New(shard.Options{
+			Workers:    opts.Workers,
+			QueueDepth: opts.QueueDepth,
+		}),
+	}
+}
+
+// Close drains the shard scheduler: queued refreshes run to completion and
+// the workers exit. Submissions and strongly consistent reads after Close
+// fail with shard.ErrClosed; snapshot reads keep working.
+func (p *Platform) Close() { p.sched.Close() }
+
+// ShardMetrics snapshots the scheduler's per-shard counters (queue depth,
+// coalesced/rejected/completed jobs, refresh latency) for the /stats
+// endpoint and operational monitoring.
+func (p *Platform) ShardMetrics() []shard.Metrics { return p.sched.Metrics() }
+
+// NumShardWorkers returns the inference worker count.
+func (p *Platform) NumShardWorkers() int { return p.sched.NumShards() }
 
 // ProjectConfig configures CreateProject.
 type ProjectConfig struct {
@@ -78,8 +152,10 @@ type ProjectConfig struct {
 	// UseTCrowdAssignment enables the structure-aware T-Crowd assignment
 	// engine; otherwise tasks are served fewest-answers-first.
 	UseTCrowdAssignment bool
-	// RefreshEvery bounds submissions between inference refreshes of the
-	// assignment engine (default 25).
+	// RefreshEvery bounds submissions between inference refreshes: both
+	// the assignment engine's refresh (on the next task request) and the
+	// asynchronous estimate-snapshot refresh Submit enqueues (default 25;
+	// use 1 for a refresh per answer).
 	RefreshEvery int
 }
 
@@ -232,6 +308,21 @@ func (proj *Project) fewestAnswersFirst(u tabular.WorkerID, k int) []tabular.Cel
 
 // Submit records worker u's answer for (row, column). Values are validated
 // against the schema, and double answers by the same worker are rejected.
+//
+// Accepted answers also keep the published estimate snapshot warm: an
+// asynchronous refresh is enqueued on the project's shard on the project's
+// refresh cadence — immediately while no snapshot exists yet, then every
+// RefreshEvery-th submission (coalesced: a burst of submissions costs one
+// queued refresh). Cadence gating keeps write-only projects from running
+// EM per answer; published snapshots lag the log by at most RefreshEvery
+// answers plus the in-flight refresh, and strongly consistent reads
+// (RunInference) always see everything.
+//
+// When the shard queue is saturated, the ANSWER IS STILL RECORDED — only
+// the refresh is shed — and Submit returns an error wrapping
+// shard.ErrShardSaturated so callers can apply backpressure (the HTTP
+// layer maps it to 429). The same applies to shard.ErrClosed during
+// shutdown.
 func (p *Platform) Submit(projectID string, u tabular.WorkerID, row int, column string, value tabular.Value) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -261,11 +352,22 @@ func (p *Platform) Submit(projectID string, u tabular.WorkerID, row int, column 
 	if proj.sinceRefresh >= proj.refreshEvery {
 		proj.sinceRefresh = 0
 	}
+	if proj.sinceRefresh == 0 || proj.snapshot.Load() == nil {
+		if err := p.sched.Submit(projectID, func() error { return p.refreshProject(proj) }); err != nil {
+			// The cadence slot was consumed but no refresh landed: rewind
+			// the counter so the very next submission retries, keeping the
+			// documented staleness bound instead of waiting out another
+			// full RefreshEvery window (or forever, if traffic stops).
+			proj.sinceRefresh = proj.refreshEvery - 1
+			return fmt.Errorf("platform: answer recorded, refresh shed: %w", err)
+		}
+	}
 	return nil
 }
 
 // InferenceResult is the requester-facing output: estimates plus worker
-// qualities.
+// qualities. Results are immutable once published — refreshes build a new
+// one and swap the project's snapshot pointer (copy-on-publish).
 type InferenceResult struct {
 	Estimates metrics.Estimates
 	// WorkerQuality maps workers to their unified quality q_u.
@@ -273,14 +375,25 @@ type InferenceResult struct {
 	// Iterations and Converged report EM behaviour.
 	Iterations int
 	Converged  bool
+	// AnswersSeen is the number of log answers these estimates reflect
+	// (compare with Stats.Answers for staleness).
+	AnswersSeen int
 }
 
-// RunInference runs T-Crowd truth inference over the project's answers.
-// The first call pays a cold fit (on a snapshot, so submissions continue
-// meanwhile); every later call streams only the answers submitted since
-// the previous call into the cached model (core.Ingest) and re-converges
-// it with an incremental polish — refresh cost scales with the submission
-// delta, not the log. With no new answers the cached fit is served as is.
+// RunInference runs T-Crowd truth inference over the project's answers and
+// returns estimates reflecting every answer recorded before the call — the
+// strongly consistent read. It routes through the project's shard queue
+// (waiting its turn behind, or coalescing into, queued refreshes), so all
+// model mutation stays on the project's home shard worker. It fails with an
+// error wrapping shard.ErrShardSaturated when the shard queue is full.
+//
+// The first refresh pays a cold fit (on a log snapshot, so submissions
+// continue meanwhile); every later one streams only the answers submitted
+// since the previous refresh into the cached model (core.Ingest) and
+// re-converges it with an incremental polish — refresh cost scales with the
+// submission delta, not the log. With no new answers the published
+// snapshot is served as is. For a read that never blocks on EM, use
+// Snapshot.
 func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 	p.mu.Lock()
 	proj, ok := p.projects[projectID]
@@ -288,9 +401,41 @@ func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 	if !ok {
 		return nil, ErrNoProject
 	}
+	if err := p.sched.SubmitWait(projectID, func() error { return p.refreshProject(proj) }); err != nil {
+		return nil, err
+	}
+	res := proj.snapshot.Load()
+	if res == nil {
+		// Unreachable: a successful refresh always publishes.
+		return nil, ErrNoSnapshot
+	}
+	return res, nil
+}
 
-	// One inference at a time per project: the incremental path mutates
-	// the cached model in place.
+// Snapshot returns the project's last published estimates without ever
+// blocking on inference: it is a single atomic pointer read, safe to call
+// at any rate from any goroutine. The result may lag the answer log by the
+// refreshes still queued (compare AnswersSeen with Stats.Answers); before
+// the first completed refresh it fails with ErrNoSnapshot.
+func (p *Platform) Snapshot(projectID string) (*InferenceResult, error) {
+	p.mu.Lock()
+	proj, ok := p.projects[projectID]
+	p.mu.Unlock()
+	if !ok {
+		return nil, ErrNoProject
+	}
+	res := proj.snapshot.Load()
+	if res == nil {
+		return nil, ErrNoSnapshot
+	}
+	return res, nil
+}
+
+// refreshProject brings the project's cached model up to date with its
+// answer log and publishes a fresh estimate snapshot. It runs on the
+// project's shard worker; inferMu additionally serialises it against any
+// direct callers so the in-place model mutation is never concurrent.
+func (p *Platform) refreshProject(proj *Project) error {
 	proj.inferMu.Lock()
 	defer proj.inferMu.Unlock()
 
@@ -307,7 +452,8 @@ func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 	}
 	p.mu.Unlock()
 
-	if m == nil {
+	switch {
+	case m == nil:
 		// Cold start on a snapshot clone: EM may run long, and Submit
 		// must not block behind it.
 		p.mu.Lock()
@@ -315,13 +461,13 @@ func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 		p.mu.Unlock()
 		fit, err := core.Infer(tbl, snap, core.Options{MaxIter: 50})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m = fit
 		p.mu.Lock()
 		proj.lastModel, proj.logAtModel = m, snap.Len()
 		p.mu.Unlock()
-	} else if len(batch) > 0 {
+	case len(batch) > 0:
 		// Streaming refresh: absorb the delta in place. The polish keeps
 		// the full iteration budget — seeding at the previous optimum
 		// shortens the path to convergence, it must not lower the
@@ -329,12 +475,18 @@ func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 		// start near the optimum still stop after a couple of iterations
 		// via the tolerance.
 		if err := m.Ingest(batch); err != nil {
-			return nil, err
+			return err
 		}
 		m.RefreshIncremental(50)
 		p.mu.Lock()
 		proj.logAtModel = total
 		p.mu.Unlock()
+	default:
+		// Nothing new since the last publish: keep the current snapshot
+		// (skipping the Estimates rebuild keeps idle refreshes O(1)).
+		if proj.snapshot.Load() != nil {
+			return nil
+		}
 	}
 
 	res := &InferenceResult{
@@ -342,11 +494,13 @@ func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 		WorkerQuality: make(map[tabular.WorkerID]float64, len(m.WorkerIDs)),
 		Iterations:    m.Iterations,
 		Converged:     m.Converged,
+		AnswersSeen:   proj.logAtModel,
 	}
 	for _, u := range m.WorkerIDs {
 		res.WorkerQuality[u] = m.WorkerQuality(u)
 	}
-	return res, nil
+	proj.snapshot.Store(res)
+	return nil
 }
 
 // Stats summarises collection progress.
@@ -384,6 +538,9 @@ type projectJSON struct {
 	Entities []string        `json:"entities"`
 	Answers  json.RawMessage `json:"answers"`
 	TCrowd   bool            `json:"tcrowd_assignment"`
+	// RefreshEvery persists the project's refresh cadence (0 in state
+	// files predating the field decodes to the default).
+	RefreshEvery int `json:"refresh_every,omitempty"`
 }
 
 type platformJSON struct {
@@ -402,11 +559,12 @@ func (p *Platform) Save(w io.Writer) error {
 			return err
 		}
 		out.Projects = append(out.Projects, projectJSON{
-			ID:       proj.ID,
-			Schema:   proj.Table.Schema,
-			Entities: proj.Table.Entities,
-			Answers:  json.RawMessage(buf.Bytes()),
-			TCrowd:   proj.sys != nil,
+			ID:           proj.ID,
+			Schema:       proj.Table.Schema,
+			Entities:     proj.Table.Entities,
+			Answers:      json.RawMessage(buf.Bytes()),
+			TCrowd:       proj.sys != nil,
+			RefreshEvery: proj.refreshEvery,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -423,24 +581,35 @@ func (p *Platform) projectIDsLocked() []string {
 	return out
 }
 
-// Load restores a platform previously written by Save.
+// Load restores a platform previously written by Save, with default
+// serving options.
 func Load(r io.Reader, seed int64) (*Platform, error) {
+	return LoadWithOptions(r, seed, Options{})
+}
+
+// LoadWithOptions restores a platform previously written by Save with an
+// explicitly sized shard scheduler. Cached models and snapshots are not
+// persisted; the first post-load refresh of each project pays a cold fit.
+func LoadWithOptions(r io.Reader, seed int64, opts Options) (*Platform, error) {
 	var in platformJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, err
 	}
-	p := New(seed)
+	p := NewWithOptions(seed, opts)
 	for _, pj := range in.Projects {
 		proj, err := p.CreateProject(pj.ID, pj.Schema, ProjectConfig{
 			Rows:                len(pj.Entities),
 			Entities:            pj.Entities,
 			UseTCrowdAssignment: pj.TCrowd,
+			RefreshEvery:        pj.RefreshEvery,
 		})
 		if err != nil {
+			p.Close() // release the scheduler workers of the abandoned platform
 			return nil, err
 		}
 		log, err := tabular.DecodeAnswers(bytes.NewReader(pj.Answers), pj.Schema)
 		if err != nil {
+			p.Close()
 			return nil, err
 		}
 		proj.Log = log

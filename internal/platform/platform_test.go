@@ -204,7 +204,7 @@ func TestTCrowdAssignmentEngine(t *testing.T) {
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	p := New(7)
-	if _, err := p.CreateProject("a", demoSchema(), ProjectConfig{Rows: 2}); err != nil {
+	if _, err := p.CreateProject("a", demoSchema(), ProjectConfig{Rows: 2, RefreshEvery: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.Submit("a", "w1", 0, "category", tabular.LabelValue(2)); err != nil {
@@ -231,6 +231,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	a := proj.Log.At(0)
 	if a.Worker != "w1" || !a.Value.Equal(tabular.LabelValue(2)) {
 		t.Fatalf("answer mangled: %+v", a)
+	}
+	if proj.refreshEvery != 3 {
+		t.Fatalf("refresh cadence lost across save/load: %d", proj.refreshEvery)
 	}
 	// Corrupt input.
 	if _, err := Load(bytes.NewBufferString("not json"), 1); err == nil {

@@ -6,18 +6,26 @@ import (
 	"fmt"
 	"net/http"
 
+	"tcrowd/internal/shard"
 	"tcrowd/internal/tabular"
 )
 
 // Server exposes the platform over HTTP — the interface a crowdsourcing
-// frontend (or AMT external-HIT iframe) would talk to.
+// frontend (or AMT external-HIT iframe) would talk to. See
+// cmd/tcrowd-server/README.md for the full API reference.
 //
 //	POST /projects                     {"id", "schema", "rows"}
 //	GET  /projects                     -> ["id", ...]
 //	GET  /projects/{id}/tasks?worker=u&count=k
 //	POST /projects/{id}/answers        {"worker", "row", "column", "label"|"number"}
-//	GET  /projects/{id}/estimates      -> inferred truth + worker quality
-//	GET  /projects/{id}/stats
+//	GET  /projects/{id}/estimates      -> inferred truth + worker quality (consistent; may wait on EM)
+//	GET  /projects/{id}/snapshot       -> last published estimates (never blocks on EM)
+//	GET  /projects/{id}/stats          -> collection progress
+//	GET  /stats                        -> shard-scheduler metrics
+//
+// Backpressure: endpoints that need shard-queue capacity (POST .../answers
+// for the async refresh, GET .../estimates for the consistent read) answer
+// 429 Too Many Requests when the project's shard is saturated.
 type Server struct {
 	p   *Platform
 	mux *http.ServeMux
@@ -31,7 +39,9 @@ func NewServer(p *Platform) *Server {
 	s.mux.HandleFunc("GET /projects/{id}/tasks", s.tasks)
 	s.mux.HandleFunc("POST /projects/{id}/answers", s.submit)
 	s.mux.HandleFunc("GET /projects/{id}/estimates", s.estimates)
+	s.mux.HandleFunc("GET /projects/{id}/snapshot", s.snapshot)
 	s.mux.HandleFunc("GET /projects/{id}/stats", s.stats)
+	s.mux.HandleFunc("GET /stats", s.shardStats)
 	return s
 }
 
@@ -47,10 +57,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrNoProject):
+	case errors.Is(err, ErrNoProject), errors.Is(err, ErrNoSnapshot):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrAlreadyAnswered):
 		status = http.StatusConflict
+	case errors.Is(err, shard.ErrShardSaturated):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, shard.ErrClosed):
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -60,6 +75,9 @@ type createProjectReq struct {
 	Schema tabular.Schema `json:"schema"`
 	Rows   int            `json:"rows"`
 	TCrowd bool           `json:"tcrowd_assignment"`
+	// RefreshEvery bounds submissions between inference refreshes
+	// (0 = default 25, 1 = refresh per answer).
+	RefreshEvery int `json:"refresh_every"`
 }
 
 func (s *Server) createProject(w http.ResponseWriter, r *http.Request) {
@@ -75,6 +93,7 @@ func (s *Server) createProject(w http.ResponseWriter, r *http.Request) {
 	_, err := s.p.CreateProject(req.ID, req.Schema, ProjectConfig{
 		Rows:                req.Rows,
 		UseTCrowdAssignment: req.TCrowd,
+		RefreshEvery:        req.RefreshEvery,
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -156,6 +175,27 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.p.Submit(id, tabular.WorkerID(req.Worker), req.Row, req.Column, v); err != nil {
+		// On both backpressure (429) and shutdown (503) the answer WAS
+		// recorded; only its estimate refresh was shed. The body keeps
+		// the status:"recorded" marker so clients don't resubmit (that
+		// would 409) — slow down before the NEXT submission instead.
+		if errors.Is(err, shard.ErrShardSaturated) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{
+				"status":  "recorded",
+				"refresh": "deferred",
+				"error":   err.Error(),
+			})
+			return
+		}
+		if errors.Is(err, shard.ErrClosed) {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status":  "recorded",
+				"refresh": "shutdown",
+				"error":   err.Error(),
+			})
+			return
+		}
 		writeErr(w, err)
 		return
 	}
@@ -174,24 +214,21 @@ type estimatesResp struct {
 	WorkerQuality map[string]float64 `json:"worker_quality"`
 	Iterations    int                `json:"iterations"`
 	Converged     bool               `json:"converged"`
+	// AnswersSeen is the log length the estimates reflect; Fresh reports
+	// whether that equals the current log length (snapshot reads may lag).
+	AnswersSeen int  `json:"answers_seen"`
+	Fresh       bool `json:"fresh"`
 }
 
-func (s *Server) estimates(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	proj, err := s.p.Project(id)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	res, err := s.p.RunInference(id)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
+// renderEstimates converts an InferenceResult into the wire shape shared by
+// the /estimates (consistent) and /snapshot (non-blocking) endpoints.
+func renderEstimates(proj *Project, res *InferenceResult, answersNow int) estimatesResp {
 	resp := estimatesResp{
 		WorkerQuality: make(map[string]float64, len(res.WorkerQuality)),
 		Iterations:    res.Iterations,
 		Converged:     res.Converged,
+		AnswersSeen:   res.AnswersSeen,
+		Fresh:         res.AnswersSeen == answersNow,
 	}
 	for u, q := range res.WorkerQuality {
 		resp.WorkerQuality[string(u)] = q
@@ -212,6 +249,79 @@ func (s *Server) estimates(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.Estimates = append(resp.Estimates, ej)
 		}
+	}
+	return resp
+}
+
+func (s *Server) estimates(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	proj, err := s.p.Project(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.p.RunInference(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, _ := s.p.Stats(id)
+	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers))
+}
+
+// snapshot serves the last published estimates without ever waiting on
+// inference — the read path that stays fast no matter how backlogged the
+// project's shard is. 404 until the first refresh publishes.
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	proj, err := s.p.Project(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.p.Snapshot(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, _ := s.p.Stats(id)
+	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers))
+}
+
+// shardStatsResp is the GET /stats payload: per-shard scheduler counters
+// plus process-wide totals.
+type shardStatsResp struct {
+	Workers int             `json:"workers"`
+	Shards  []shard.Metrics `json:"shards"`
+	Totals  shardTotals     `json:"totals"`
+}
+
+// shardTotals aggregates the per-shard counters.
+type shardTotals struct {
+	Depth     int     `json:"depth"`
+	Enqueued  uint64  `json:"enqueued"`
+	Coalesced uint64  `json:"coalesced"`
+	Rejected  uint64  `json:"rejected"`
+	Completed uint64  `json:"completed"`
+	Failed    uint64  `json:"failed"`
+	BusyNs    int64   `json:"busy_ns"`
+	AvgJobMs  float64 `json:"avg_job_ms"`
+}
+
+func (s *Server) shardStats(w http.ResponseWriter, r *http.Request) {
+	ms := s.p.ShardMetrics()
+	resp := shardStatsResp{Workers: s.p.NumShardWorkers(), Shards: ms}
+	for _, m := range ms {
+		resp.Totals.Depth += m.Depth
+		resp.Totals.Enqueued += m.Enqueued
+		resp.Totals.Coalesced += m.Coalesced
+		resp.Totals.Rejected += m.Rejected
+		resp.Totals.Completed += m.Completed
+		resp.Totals.Failed += m.Failed
+		resp.Totals.BusyNs += m.BusyNs
+	}
+	if resp.Totals.Completed > 0 {
+		resp.Totals.AvgJobMs = float64(resp.Totals.BusyNs) / float64(resp.Totals.Completed) / 1e6
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

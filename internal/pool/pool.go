@@ -55,6 +55,16 @@ func start() {
 	}
 }
 
+// Size returns the number of persistent pool workers (GOMAXPROCS at pool
+// start), starting the pool if needed. It is the shared GOMAXPROCS-derived
+// sizing default for the layers above — notably the shard scheduler's
+// worker count — so every parallelism decision in the process derives from
+// the same number.
+func Size() int {
+	startOnce.Do(start)
+	return size
+}
+
 // Run executes fn(shard) for every shard in [0, shards) across the
 // persistent pool plus the calling goroutine, returning when all shards
 // completed. fn must be safe for concurrent invocation with distinct shard

@@ -9,7 +9,7 @@ import (
 )
 
 // TestTable6Statistics pins the stand-ins to the published dataset shapes
-// (Table 6 of the paper). This is experiment id "table6" of DESIGN.md.
+// (Table 6 of the paper). This is experiment id "table6" of the harness.
 func TestTable6Statistics(t *testing.T) {
 	tests := []struct {
 		name           string

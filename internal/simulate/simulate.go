@@ -10,7 +10,7 @@
 // table dimensions, datatype mix, answers per task — with worker behaviour
 // drawn from the same model the paper assumes and validates (consistent
 // per-worker quality across attributes, long-tail quality distribution,
-// correlated within-row errors). See DESIGN.md for the substitution notes.
+// correlated within-row errors). See ARCHITECTURE.md for the substitution notes.
 package simulate
 
 import (

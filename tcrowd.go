@@ -1,31 +1,3 @@
-// Package tcrowd is a Go implementation of T-Crowd ("T-Crowd: Effective
-// Crowdsourcing for Tabular Data", ICDE 2018): truth inference and online
-// task assignment for crowdsourced tables whose columns mix categorical and
-// continuous attributes.
-//
-// The package unifies worker quality across datatypes with a single
-// per-worker parameter, models per-row and per-column task difficulty,
-// infers cell truths by EM, and assigns tasks to incoming workers by
-// structure-aware information gain that exploits correlations between a
-// worker's errors on attributes of the same entity.
-//
-// # Quick start
-//
-//	schema := tcrowd.Schema{
-//	    Key: "Picture",
-//	    Columns: []tcrowd.Column{
-//	        {Name: "Nationality", Type: tcrowd.Categorical, Labels: []string{"US", "CN", "GB"}},
-//	        {Name: "Age", Type: tcrowd.Continuous, Min: 0, Max: 120},
-//	    },
-//	}
-//	table := tcrowd.NewTable(schema, 3)
-//	log := tcrowd.NewAnswerLog()
-//	log.Add(tcrowd.Answer{Worker: "w1", Cell: tcrowd.Cell{Row: 0, Col: 0}, Value: tcrowd.LabelValue(1)})
-//	// ... more answers ...
-//	res, err := tcrowd.Infer(table, log, tcrowd.InferOptions{})
-//
-// See the examples directory for complete programs, DESIGN.md for the
-// architecture and EXPERIMENTS.md for the reproduced evaluation.
 package tcrowd
 
 import (
