@@ -1,0 +1,253 @@
+// Package api defines the versioned (/v1) wire contract of tcrowd-server:
+// request and response bodies, the typed error envelope, and the stable
+// machine-readable error codes. It depends only on the standard library so
+// that clients (package client, external SDKs) can share the exact types
+// the server serializes.
+//
+// Every error response has the shape
+//
+//	{"error": {"code": "...", "message": "...", "retryable": true|false}}
+//
+// where code is one of the Code* constants below — clients dispatch on the
+// code, never on the human-readable message. The full (HTTP status, code,
+// retryable) table is committed at docs/api-routes.txt and drift-checked
+// in CI.
+package api
+
+import "fmt"
+
+// Stable machine-readable error codes. Codes are append-only: a published
+// code never changes meaning or disappears within /v1.
+const (
+	// CodeBadRequest covers malformed bodies, unknown columns/labels,
+	// out-of-range rows, mistyped values and unparseable query parameters.
+	CodeBadRequest = "bad_request"
+	// CodeNoProject: the {id} path element names no registered project.
+	CodeNoProject = "no_project"
+	// CodeNoSnapshot: /snapshot before the project's first refresh has
+	// published estimates. Retryable — a snapshot appears once a refresh
+	// completes.
+	CodeNoSnapshot = "no_snapshot"
+	// CodeDuplicateProject: POST /v1/projects with an id already in use.
+	CodeDuplicateProject = "duplicate_project"
+	// CodeAlreadyAnswered: this worker already answered this cell.
+	CodeAlreadyAnswered = "already_answered"
+	// CodeShardSaturated: the project's inference shard queue is full.
+	// Retryable — back off per the Retry-After header. For answer
+	// submission this code never surfaces on /v1 (answers are recorded
+	// and only the refresh is shed; see SubmitAnswersResponse.Refresh).
+	CodeShardSaturated = "shard_saturated"
+	// CodeShuttingDown: the server is draining for shutdown. Retryable
+	// against a restarted or different replica.
+	CodeShuttingDown = "shutting_down"
+	// CodeBatchRejected: a batch POST .../answers failed validation and
+	// nothing was recorded; Error.Items pinpoints the offending rows.
+	CodeBatchRejected = "batch_rejected"
+	// CodeInternal: a server-side fault (e.g. a panicking inference job)
+	// — not a request mistake. Not retryable: the same request will very
+	// likely hit the same fault.
+	CodeInternal = "internal"
+)
+
+// Error is the typed error payload carried by every non-2xx response.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail. Not machine-stable.
+	Message string `json:"message"`
+	// Retryable reports whether an identical request may succeed later
+	// without modification.
+	Retryable bool `json:"retryable"`
+	// Items carries per-answer failures for CodeBatchRejected.
+	Items []ItemError `json:"items,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// ItemError locates one invalid answer inside a rejected batch.
+type ItemError struct {
+	// Index is the answer's position in the submitted answers array.
+	Index int `json:"index"`
+	// Code is the item's own error code (e.g. CodeAlreadyAnswered).
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the body of every non-2xx response.
+type ErrorEnvelope struct {
+	Err Error `json:"error"`
+}
+
+// Column describes one attribute in a project schema.
+type Column struct {
+	Name string `json:"name"`
+	// Type is "categorical" or "continuous".
+	Type string `json:"type"`
+	// Labels is the answer domain of a categorical column.
+	Labels []string `json:"labels,omitempty"`
+	// Min and Max bound a continuous column's domain (advisory).
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+}
+
+// Schema is the table structure a requester registers.
+type Schema struct {
+	// Key names the entity attribute; key values identify rows and are
+	// not crowdsourced.
+	Key     string   `json:"key"`
+	Columns []Column `json:"columns"`
+}
+
+// CreateProjectRequest is the body of POST /v1/projects.
+type CreateProjectRequest struct {
+	ID     string `json:"id"`
+	Schema Schema `json:"schema"`
+	Rows   int    `json:"rows"`
+	// TCrowdAssignment enables the structure-aware assignment engine;
+	// default is fewest-answers-first.
+	TCrowdAssignment bool `json:"tcrowd_assignment,omitempty"`
+	// RefreshEvery bounds submissions between inference refreshes
+	// (0 = server default 25, 1 = refresh per answer).
+	RefreshEvery int `json:"refresh_every,omitempty"`
+}
+
+// CreateProjectResponse is the 201 body of POST /v1/projects.
+type CreateProjectResponse struct {
+	ID string `json:"id"`
+}
+
+// Task is one assigned cell: everything needed to render the question.
+type Task struct {
+	Row    int      `json:"row"`
+	Entity string   `json:"entity"`
+	Column string   `json:"column"`
+	Type   string   `json:"type"`
+	Labels []string `json:"labels,omitempty"`
+}
+
+// Answer is one worker answer. Exactly one of Label or Number must be set
+// (Label for categorical columns, Number for continuous ones).
+type Answer struct {
+	Worker string   `json:"worker"`
+	Row    int      `json:"row"`
+	Column string   `json:"column"`
+	Label  *string  `json:"label,omitempty"`
+	Number *float64 `json:"number,omitempty"`
+}
+
+// LabelAnswer builds a categorical Answer.
+func LabelAnswer(worker string, row int, column, label string) Answer {
+	return Answer{Worker: worker, Row: row, Column: column, Label: &label}
+}
+
+// NumberAnswer builds a continuous Answer.
+func NumberAnswer(worker string, row int, column string, number float64) Answer {
+	return Answer{Worker: worker, Row: row, Column: column, Number: &number}
+}
+
+// SubmitAnswersRequest is the body of POST /v1/projects/{id}/answers.
+// Either the single-answer fields (Worker/Row/Column/Label/Number) or the
+// Answers batch must be set, not both. A batch is validated in full before
+// anything is recorded: on any invalid row the whole batch is rejected
+// (CodeBatchRejected, per-item detail) and nothing is recorded.
+type SubmitAnswersRequest struct {
+	Answer
+	Answers []Answer `json:"answers,omitempty"`
+}
+
+// Refresh states reported by SubmitAnswersResponse.Refresh.
+const (
+	// RefreshEnqueued: an inference refresh was enqueued (or coalesced
+	// into one already queued) on the project's shard.
+	RefreshEnqueued = "enqueued"
+	// RefreshNone: the submission is mid-cadence; no refresh was due.
+	RefreshNone = "none"
+	// RefreshDeferred: the shard queue was saturated, so the due refresh
+	// was shed. The answers ARE recorded; published snapshots lag until
+	// the next refresh lands. Treat as a backpressure hint.
+	RefreshDeferred = "deferred"
+	// RefreshShutdown: the server is draining; answers are recorded and
+	// will be persisted, but no refresh will run.
+	RefreshShutdown = "shutdown"
+)
+
+// SubmitAnswersResponse is the 201 body of POST /v1/projects/{id}/answers.
+// Unlike the legacy route, /v1 never answers 429 for submissions: recorded
+// answers are acknowledged 201 and shard backpressure surfaces as
+// Refresh == RefreshDeferred (plus a Retry-After header).
+type SubmitAnswersResponse struct {
+	Status string `json:"status"`
+	// Recorded is the number of answers appended to the log.
+	Recorded int `json:"recorded"`
+	// Refresh is one of the Refresh* states above.
+	Refresh string `json:"refresh"`
+}
+
+// Estimate is one inferred cell value.
+type Estimate struct {
+	Entity string   `json:"entity"`
+	Column string   `json:"column"`
+	Label  *string  `json:"label,omitempty"`
+	Number *float64 `json:"number,omitempty"`
+}
+
+// EstimatesResponse is the body of GET /v1/projects/{id}/estimates and
+// .../snapshot. With ?cursor=&limit= the estimates list is one page of the
+// row-major cell walk and NextCursor resumes it; worker-level fields are
+// repeated on every page.
+type EstimatesResponse struct {
+	Estimates     []Estimate         `json:"estimates"`
+	WorkerQuality map[string]float64 `json:"worker_quality"`
+	Iterations    int                `json:"iterations"`
+	Converged     bool               `json:"converged"`
+	// AnswersSeen is the log length the estimates reflect; Fresh reports
+	// whether that equals the current log length (snapshot reads may lag).
+	AnswersSeen int  `json:"answers_seen"`
+	Fresh       bool `json:"fresh"`
+	// NextCursor, when non-zero, is the ?cursor= value of the next page.
+	NextCursor int `json:"next_cursor,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/projects/{id}/stats.
+type StatsResponse struct {
+	Rows           int     `json:"rows"`
+	Columns        int     `json:"columns"`
+	Cells          int     `json:"cells"`
+	Answers        int     `json:"answers"`
+	Workers        int     `json:"workers"`
+	AnswersPerTask float64 `json:"answers_per_task"`
+}
+
+// ShardMetrics is one inference shard's counters in GET /v1/stats.
+type ShardMetrics struct {
+	Shard     int    `json:"shard"`
+	Depth     int    `json:"depth"`
+	Enqueued  uint64 `json:"enqueued"`
+	Coalesced uint64 `json:"coalesced"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	BusyNs    int64  `json:"busy_ns"`
+	LastJobNs int64  `json:"last_job_ns"`
+}
+
+// ShardTotals aggregates the per-shard counters.
+type ShardTotals struct {
+	Depth     int     `json:"depth"`
+	Enqueued  uint64  `json:"enqueued"`
+	Coalesced uint64  `json:"coalesced"`
+	Rejected  uint64  `json:"rejected"`
+	Completed uint64  `json:"completed"`
+	Failed    uint64  `json:"failed"`
+	BusyNs    int64   `json:"busy_ns"`
+	AvgJobMs  float64 `json:"avg_job_ms"`
+}
+
+// ShardStatsResponse is the body of GET /v1/stats.
+type ShardStatsResponse struct {
+	Workers int            `json:"workers"`
+	Shards  []ShardMetrics `json:"shards"`
+	Totals  ShardTotals    `json:"totals"`
+}

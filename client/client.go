@@ -1,0 +1,324 @@
+// Package client is the official Go SDK for the tcrowd-server /v1 wire
+// API (package api defines the shared types). It supports contexts on
+// every call, surfaces server errors as typed *APIError values mirroring
+// the error envelope, honours Retry-After backoff automatically on 429
+// responses, and offers batch submission helpers.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	err := c.CreateProject(ctx, api.CreateProjectRequest{ID: "books", ...})
+//	tasks, err := c.Tasks(ctx, "books", "w1", 4)
+//	res, err := c.SubmitAnswers(ctx, "books", batch) // one POST, one refresh
+//	est, err := c.AllEstimates(ctx, "books", 10_000) // paginates transparently
+//
+// Error handling dispatches on the stable machine code:
+//
+//	var ae *client.APIError
+//	if errors.As(err, &ae) && ae.Code == api.CodeAlreadyAnswered { ... }
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"tcrowd/api"
+)
+
+// Client talks to one tcrowd-server. It is safe for concurrent use.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	maxWait    time.Duration
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts,
+// transports, instrumentation).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries sets how many times a retryable 429 is retried after
+// honouring its Retry-After delay (default 3; 0 disables backoff).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithMaxRetryWait caps a single Retry-After sleep (default 5s), guarding
+// against a server asking for pathological delays.
+func WithMaxRetryWait(d time.Duration) Option { return func(c *Client) { c.maxWait = d } }
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"); a trailing slash is trimmed.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:       trimSlash(baseURL),
+		hc:         http.DefaultClient,
+		maxRetries: 3,
+		maxWait:    5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// APIError is a non-2xx server response, decoded from the typed error
+// envelope. Responses without a parseable envelope (proxies, panics)
+// yield Code api.CodeBadRequest with the raw body as Message.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable machine-readable error code (api.Code*).
+	Code string
+	// Message is the human-readable detail.
+	Message string
+	// Retryable mirrors the envelope's retryable flag.
+	Retryable bool
+	// Items carries per-answer failures for api.CodeBatchRejected.
+	Items []api.ItemError
+	// RetryAfter is the server's Retry-After hint (0 when absent).
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("tcrowd: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// do issues one request (with 429 backoff) and decodes a 2xx body into
+// out (skipped when out is nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("tcrowd: encoding request: %w", err)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		ae, ok := err.(*APIError)
+		if !ok || !ae.Retryable || ae.Status != http.StatusTooManyRequests || attempt >= c.maxRetries {
+			return err
+		}
+		wait := ae.RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		if wait > c.maxWait {
+			wait = c.maxWait
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeErr(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeErr builds the *APIError for a non-2xx response.
+func decodeErr(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	ae := &APIError{Status: resp.StatusCode}
+	var env api.ErrorEnvelope
+	if json.Unmarshal(raw, &env) == nil && env.Err.Code != "" {
+		ae.Code = env.Err.Code
+		ae.Message = env.Err.Message
+		ae.Retryable = env.Err.Retryable
+		ae.Items = env.Err.Items
+	} else {
+		ae.Code = api.CodeBadRequest
+		ae.Message = string(raw)
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
+// CreateProject registers a new campaign.
+func (c *Client) CreateProject(ctx context.Context, req api.CreateProjectRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/projects", req, nil)
+}
+
+// Projects lists registered project ids, sorted.
+func (c *Client) Projects(ctx context.Context) ([]string, error) {
+	var ids []string
+	err := c.do(ctx, http.MethodGet, "/v1/projects", nil, &ids)
+	return ids, err
+}
+
+// Tasks requests up to count dynamically assigned cells for worker
+// (count 0 = server default: one per column).
+func (c *Client) Tasks(ctx context.Context, project, worker string, count int) ([]api.Task, error) {
+	q := url.Values{"worker": {worker}}
+	if count > 0 {
+		q.Set("count", strconv.Itoa(count))
+	}
+	var tasks []api.Task
+	err := c.do(ctx, http.MethodGet, "/v1/projects/"+url.PathEscape(project)+"/tasks?"+q.Encode(), nil, &tasks)
+	return tasks, err
+}
+
+// SubmitAnswer records a single answer.
+func (c *Client) SubmitAnswer(ctx context.Context, project string, a api.Answer) (*api.SubmitAnswersResponse, error) {
+	var out api.SubmitAnswersResponse
+	err := c.do(ctx, http.MethodPost, "/v1/projects/"+url.PathEscape(project)+"/answers",
+		api.SubmitAnswersRequest{Answer: a}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitAnswers records a batch atomically in one round trip: all answers
+// are validated up front (an *APIError with Code api.CodeBatchRejected and
+// per-item detail reports every invalid row, and nothing is recorded), and
+// an accepted batch enqueues at most one coalesced inference refresh
+// however large it is. Response.Refresh == api.RefreshDeferred signals
+// shard backpressure — the answers ARE recorded; slow down before the next
+// batch rather than resubmitting.
+func (c *Client) SubmitAnswers(ctx context.Context, project string, answers []api.Answer) (*api.SubmitAnswersResponse, error) {
+	var out api.SubmitAnswersResponse
+	err := c.do(ctx, http.MethodPost, "/v1/projects/"+url.PathEscape(project)+"/answers",
+		api.SubmitAnswersRequest{Answers: answers}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Estimates fetches one page of the strongly consistent truth estimates
+// (cursor 0 starts; limit 0 = everything). 429s are retried with backoff;
+// persistent saturation surfaces as *APIError{Code:
+// api.CodeShardSaturated} — fall back to Snapshot for a non-blocking read.
+func (c *Client) Estimates(ctx context.Context, project string, cursor, limit int) (*api.EstimatesResponse, error) {
+	return c.estimates(ctx, project, "estimates", cursor, limit)
+}
+
+// Snapshot fetches one page of the last published estimates without ever
+// waiting on inference (check Fresh for staleness).
+func (c *Client) Snapshot(ctx context.Context, project string, cursor, limit int) (*api.EstimatesResponse, error) {
+	return c.estimates(ctx, project, "snapshot", cursor, limit)
+}
+
+func (c *Client) estimates(ctx context.Context, project, kind string, cursor, limit int) (*api.EstimatesResponse, error) {
+	q := url.Values{}
+	if cursor > 0 {
+		q.Set("cursor", strconv.Itoa(cursor))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/projects/" + url.PathEscape(project) + "/" + kind
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out api.EstimatesResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AllEstimates walks the estimates pagination to completion, fetching
+// pageSize estimates per request (0 = one unpaginated request), and
+// returns the merged result.
+//
+// Each page is an independent strongly consistent read, so answers
+// submitted mid-walk would make later pages reflect a newer model than
+// earlier ones. AllEstimates detects that via AnswersSeen and restarts
+// the walk (up to 3 attempts); if writes outpace every attempt, the last
+// merged result is returned with Fresh forced to false so callers can
+// tell the body spans model states. For a cheap read of one stable
+// published state, page Snapshot instead.
+func (c *Client) AllEstimates(ctx context.Context, project string, pageSize int) (*api.EstimatesResponse, error) {
+	const walkAttempts = 3
+	var out *api.EstimatesResponse
+	for attempt := 0; attempt < walkAttempts; attempt++ {
+		first, err := c.Estimates(ctx, project, 0, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		out = first
+		coherent := true
+		for out.NextCursor > 0 {
+			page, err := c.Estimates(ctx, project, out.NextCursor, pageSize)
+			if err != nil {
+				return nil, err
+			}
+			if page.AnswersSeen != first.AnswersSeen {
+				coherent = false
+			}
+			out.Estimates = append(out.Estimates, page.Estimates...)
+			out.NextCursor = page.NextCursor
+		}
+		if coherent {
+			return out, nil
+		}
+	}
+	out.Fresh = false
+	return out, nil
+}
+
+// Stats fetches a project's collection progress.
+func (c *Client) Stats(ctx context.Context, project string) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/projects/"+url.PathEscape(project)+"/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ShardStats fetches the server's shard-scheduler metrics.
+func (c *Client) ShardStats(ctx context.Context) (*api.ShardStatsResponse, error) {
+	var out api.ShardStatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,256 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tcrowd/api"
+	"tcrowd/internal/platform"
+)
+
+// newTestServer spins a real platform behind httptest and returns a client
+// pointed at it — the e2e harness the acceptance criteria call for.
+func newTestServer(t *testing.T) (*Client, *platform.Platform) {
+	t.Helper()
+	p := platform.New(7)
+	srv := httptest.NewServer(platform.NewServer(p))
+	t.Cleanup(func() { srv.Close(); p.Close() })
+	return New(srv.URL), p
+}
+
+func schema() api.Schema {
+	return api.Schema{
+		Key: "item",
+		Columns: []api.Column{
+			{Name: "category", Type: "categorical", Labels: []string{"book", "movie", "game"}},
+			{Name: "price", Type: "continuous", Min: 0, Max: 500},
+		},
+	}
+}
+
+// TestClientEndToEnd drives every /v1 endpoint through the SDK against a
+// live server: create, list, tasks, single + batch submission, consistent
+// estimates with pagination, snapshot, project stats, shard stats.
+func TestClientEndToEnd(t *testing.T) {
+	c, _ := newTestServer(t)
+	ctx := context.Background()
+
+	if err := c.CreateProject(ctx, api.CreateProjectRequest{ID: "books", Schema: schema(), Rows: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate create -> typed conflict.
+	err := c.CreateProject(ctx, api.CreateProjectRequest{ID: "books", Schema: schema(), Rows: 4})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeDuplicateProject || ae.Status != http.StatusConflict {
+		t.Fatalf("duplicate create: %v", err)
+	}
+
+	ids, err := c.Projects(ctx)
+	if err != nil || len(ids) != 1 || ids[0] != "books" {
+		t.Fatalf("projects: %v %v", ids, err)
+	}
+
+	// Unknown project -> typed not-found.
+	if _, err := c.Tasks(ctx, "ghost", "w1", 1); !errors.As(err, &ae) || ae.Code != api.CodeNoProject {
+		t.Fatalf("ghost tasks: %v", err)
+	}
+
+	tasks, err := c.Tasks(ctx, "books", "w1", 3)
+	if err != nil || len(tasks) != 3 {
+		t.Fatalf("tasks: %v %v", tasks, err)
+	}
+	for _, task := range tasks {
+		if task.Type == "categorical" && len(task.Labels) == 0 {
+			t.Fatalf("categorical task without labels: %+v", task)
+		}
+	}
+
+	// Single submission.
+	res, err := c.SubmitAnswer(ctx, "books", api.LabelAnswer("w1", 0, "category", "movie"))
+	if err != nil || res.Status != "recorded" || res.Recorded != 1 {
+		t.Fatalf("single submit: %+v %v", res, err)
+	}
+
+	// Double answer -> typed conflict with the item's own code.
+	_, err = c.SubmitAnswer(ctx, "books", api.LabelAnswer("w1", 0, "category", "book"))
+	if !errors.As(err, &ae) || ae.Code != api.CodeAlreadyAnswered || ae.Status != http.StatusConflict {
+		t.Fatalf("double submit: %v", err)
+	}
+
+	// Batch submission: two more workers agree on row 0.
+	batch := []api.Answer{
+		api.LabelAnswer("w2", 0, "category", "movie"),
+		api.LabelAnswer("w3", 0, "category", "movie"),
+		api.NumberAnswer("w1", 0, "price", 99),
+		api.NumberAnswer("w2", 0, "price", 100),
+		api.NumberAnswer("w3", 0, "price", 101),
+	}
+	bres, err := c.SubmitAnswers(ctx, "books", batch)
+	if err != nil || bres.Recorded != len(batch) {
+		t.Fatalf("batch submit: %+v %v", bres, err)
+	}
+
+	// Rejected batch: every bad row reported, nothing recorded.
+	stBefore, err := c.Stats(ctx, "books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.SubmitAnswers(ctx, "books", []api.Answer{
+		api.LabelAnswer("w9", 0, "category", "movie"),
+		api.LabelAnswer("w9", 99, "category", "movie"),
+		api.LabelAnswer("w9", 1, "category", "spaceship"),
+	})
+	if !errors.As(err, &ae) || ae.Code != api.CodeBatchRejected {
+		t.Fatalf("bad batch: %v", err)
+	}
+	if len(ae.Items) != 2 || ae.Items[0].Index != 1 || ae.Items[1].Index != 2 ||
+		ae.Items[0].Code != api.CodeBadRequest {
+		t.Fatalf("bad batch items: %+v", ae.Items)
+	}
+	// Log-level failures (double answers, incl. duplicates inside the
+	// batch itself) reject atomically too, with their own code.
+	_, err = c.SubmitAnswers(ctx, "books", []api.Answer{
+		api.LabelAnswer("w9", 1, "category", "movie"),
+		api.LabelAnswer("w9", 1, "category", "movie"), // intra-batch duplicate
+	})
+	if !errors.As(err, &ae) || ae.Code != api.CodeBatchRejected ||
+		len(ae.Items) != 1 || ae.Items[0].Index != 1 || ae.Items[0].Code != api.CodeAlreadyAnswered {
+		t.Fatalf("duplicate batch: %v", err)
+	}
+	st, err := c.Stats(ctx, "books")
+	if err != nil || st.Answers != stBefore.Answers {
+		t.Fatalf("rejected batch recorded answers: %+v -> %+v (%v)", stBefore, st, err)
+	}
+
+	// Consistent estimates, full read.
+	est, err := c.Estimates(ctx, "books", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Fresh || est.NextCursor != 0 {
+		t.Fatalf("estimates staleness/pagination: %+v", est)
+	}
+	assertRow0(t, est)
+	if len(est.WorkerQuality) != 3 {
+		t.Fatalf("worker quality: %+v", est.WorkerQuality)
+	}
+
+	// Paginated walk merges to the same estimates.
+	paged, err := c.AllEstimates(ctx, "books", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paged.Estimates) != len(est.Estimates) {
+		t.Fatalf("paged walk: %d vs %d estimates", len(paged.Estimates), len(est.Estimates))
+	}
+	for i := range paged.Estimates {
+		if paged.Estimates[i] != est.Estimates[i] &&
+			(paged.Estimates[i].Entity != est.Estimates[i].Entity ||
+				paged.Estimates[i].Column != est.Estimates[i].Column) {
+			t.Fatalf("paged walk diverged at %d: %+v vs %+v", i, paged.Estimates[i], est.Estimates[i])
+		}
+	}
+
+	// Snapshot (non-blocking read) serves the published estimates.
+	snap, err := c.Snapshot(ctx, "books", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRow0(t, snap)
+
+	// Shard stats are visible through the SDK.
+	ss, err := c.ShardStats(ctx)
+	if err != nil || ss.Workers == 0 || len(ss.Shards) != ss.Workers {
+		t.Fatalf("shard stats: %+v %v", ss, err)
+	}
+	if ss.Totals.Completed == 0 {
+		t.Fatalf("no completed refreshes in totals: %+v", ss.Totals)
+	}
+}
+
+// assertRow0 checks the unanimous row-0 truth: category "movie", price
+// near 100.
+func assertRow0(t *testing.T, est *api.EstimatesResponse) {
+	t.Helper()
+	foundCat, foundPrice := false, false
+	for _, e := range est.Estimates {
+		if e.Entity != "item-1" {
+			continue
+		}
+		switch e.Column {
+		case "category":
+			foundCat = true
+			if e.Label == nil || *e.Label != "movie" {
+				t.Fatalf("category estimate: %+v", e)
+			}
+		case "price":
+			foundPrice = true
+			if e.Number == nil || *e.Number < 95 || *e.Number > 105 {
+				t.Fatalf("price estimate: %+v", e)
+			}
+		}
+	}
+	if !foundCat || !foundPrice {
+		t.Fatalf("row-0 estimates incomplete: %+v", est.Estimates)
+	}
+}
+
+// TestClientRetryAfterBackoff pins the automatic 429 handling: the client
+// honours Retry-After and retries, succeeding once the server recovers,
+// and gives up with the typed error when retries are exhausted.
+func TestClientRetryAfterBackoff(t *testing.T) {
+	var calls int
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/projects/p/estimates", func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = writeJSONBody(w, api.ErrorEnvelope{Err: api.Error{
+				Code: api.CodeShardSaturated, Message: "busy", Retryable: true}})
+			return
+		}
+		_ = writeJSONBody(w, api.EstimatesResponse{AnswersSeen: 42, Fresh: true})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL, WithMaxRetries(3), WithMaxRetryWait(10*time.Millisecond))
+	est, err := c.Estimates(context.Background(), "p", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.AnswersSeen != 42 || calls != 3 {
+		t.Fatalf("retry outcome: %+v after %d calls", est, calls)
+	}
+
+	// Exhausted retries surface the typed error.
+	calls = -10
+	c2 := New(srv.URL, WithMaxRetries(1), WithMaxRetryWait(time.Millisecond))
+	_, err = c2.Estimates(context.Background(), "p", 0, 0)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeShardSaturated || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("exhausted retries: %v", err)
+	}
+
+	// A cancelled context aborts the backoff wait.
+	calls = -10
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c3 := New(srv.URL, WithMaxRetries(5))
+	if _, err := c3.Estimates(ctx, "p", 0, 0); err == nil {
+		t.Fatal("cancelled context did not abort")
+	}
+}
+
+func writeJSONBody(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}

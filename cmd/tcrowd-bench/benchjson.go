@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
 	"testing"
 
+	"tcrowd/api"
+	"tcrowd/client"
 	"tcrowd/internal/assign"
 	"tcrowd/internal/core"
 	"tcrowd/internal/platform"
@@ -70,6 +74,9 @@ func hotBenches() []struct {
 		{"shard/refresh-16proj-w1", benchShardRefresh(16, 1)},
 		{"shard/refresh-16proj-w2", benchShardRefresh(16, 2)},
 		{"shard/refresh-16proj-w4", benchShardRefresh(16, 4)},
+		{"server/submit-batch-1", benchServerSubmitBatch(1)},
+		{"server/submit-batch-50", benchServerSubmitBatch(50)},
+		{"server/submit-batch-200", benchServerSubmitBatch(200)},
 		{"infogain-scoring", benchInfoGain},
 	}
 }
@@ -282,6 +289,95 @@ func benchShardRefresh(nproj, workers int) func(b *testing.B) {
 				}(id)
 			}
 			wg.Wait()
+		}
+	}
+}
+
+// benchServerSubmitBatch measures one wire-level answer submission of the
+// given batch size through the full stack: the v1 client SDK -> JSON ->
+// HTTP -> server validation -> atomic log append -> one coalesced refresh
+// enqueue. The project refreshes every answer (RefreshEvery 1), so a
+// batch of N amortizes both the per-request JSON/HTTP overhead and the
+// refresh enqueue N ways — the batch-200 series costs far less than 200x
+// the batch-1 series, which is the amortization claim the BENCH series
+// pins. Every op submits from a fresh worker id (double answers would
+// 409); the platform is rebuilt periodically (untimed) to keep log size
+// steady.
+func benchServerSubmitBatch(batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		schema := tabular.Schema{
+			Key: "item",
+			Columns: []tabular.Column{
+				{Name: "c0", Type: tabular.Categorical, Labels: []string{"a", "b", "c"}},
+				{Name: "c1", Type: tabular.Continuous, Min: 0, Max: 100},
+				{Name: "c2", Type: tabular.Categorical, Labels: []string{"x", "y"}},
+				{Name: "c3", Type: tabular.Continuous, Min: 0, Max: 100},
+			},
+		}
+		const rows = 60 // 240 cells >= the largest batch
+		cols := schema.Columns
+		// One reusable batch template; only the worker id changes per op.
+		answers := make([]api.Answer, batch)
+		for i := range answers {
+			row, j := i/len(cols), i%len(cols)
+			if cols[j].Type == tabular.Categorical {
+				answers[i] = api.LabelAnswer("", row, cols[j].Name, cols[j].Labels[i%len(cols[j].Labels)])
+			} else {
+				answers[i] = api.NumberAnswer("", row, cols[j].Name, float64(10+i%80))
+			}
+		}
+		var (
+			p    *platform.Platform
+			srv  *httptest.Server
+			c    *client.Client
+			op   int
+			sent int
+		)
+		reset := func() {
+			if srv != nil {
+				srv.Close()
+				p.Close()
+			}
+			p = platform.NewWithOptions(1, platform.Options{Workers: 1, QueueDepth: 4096})
+			srv = httptest.NewServer(platform.NewServer(p))
+			c = client.New(srv.URL)
+			if _, err := p.CreateProject("bench", schema, platform.ProjectConfig{Rows: rows, RefreshEvery: 1}); err != nil {
+				b.Fatal(err)
+			}
+			sent = 0
+		}
+		reset()
+		defer func() { srv.Close(); p.Close() }()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			b.StopTimer()
+			if sent > 4000 {
+				reset()
+			}
+			w := fmt.Sprintf("w%07d", op)
+			op++
+			for i := range answers {
+				answers[i].Worker = w
+			}
+			sent += batch
+			b.StartTimer()
+			var (
+				res *api.SubmitAnswersResponse
+				err error
+			)
+			if batch == 1 {
+				res, err = c.SubmitAnswer(ctx, "bench", answers[0])
+			} else {
+				res, err = c.SubmitAnswers(ctx, "bench", answers)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Recorded != batch {
+				b.Fatalf("recorded %d/%d", res.Recorded, batch)
+			}
 		}
 	}
 }

@@ -8,40 +8,55 @@
 //	tcrowd-server -addr :8080 -state platform.json   # load + persist state
 //	tcrowd-server -workers 8 -queue-depth 128        # explicit shard sizing
 //
-// Endpoints (full reference: README.md next to this file):
+// Endpoints — the versioned /v1 wire API (full reference: README.md next
+// to this file; wire types: package api; official Go SDK: package client;
+// the same paths without /v1 are deprecated aliases kept for one release):
 //
-//	POST /projects                  register a schema
-//	GET  /projects/{id}/tasks       dynamic task assignment (external-HIT)
-//	POST /projects/{id}/answers     submit a worker answer
-//	GET  /projects/{id}/estimates   truth inference (consistent; may wait on EM)
-//	GET  /projects/{id}/snapshot    last published estimates (never blocks on EM)
-//	GET  /projects/{id}/stats       collection progress
-//	GET  /stats                     shard-scheduler metrics
+//	POST /v1/projects                  register a schema
+//	GET  /v1/projects/{id}/tasks       dynamic task assignment (external-HIT)
+//	POST /v1/projects/{id}/answers     submit one answer or an atomic batch
+//	GET  /v1/projects/{id}/estimates   truth inference (consistent; ?cursor=&limit=)
+//	GET  /v1/projects/{id}/snapshot    last published estimates (never blocks on EM)
+//	GET  /v1/projects/{id}/stats       collection progress
+//	GET  /v1/stats                     shard-scheduler metrics
+//
+// Every non-2xx body is a typed error envelope
+// {"error":{"code","message","retryable"}} with stable machine codes
+// (docs/api-routes.txt lists the full surface and is drift-checked in CI).
 //
 // # Serving architecture
 //
 // Projects are partitioned across -workers inference shards by consistent
 // hashing on the project ID (internal/shard). Each shard is one worker
-// goroutine with a bounded queue of refresh jobs:
+// goroutine with a bounded queue of coalescing jobs:
 //
-//   - POST /answers is an O(1) validated append to the project's
-//     append-only log plus an asynchronous, coalescing refresh enqueue on
-//     the project's refresh cadence (immediately until a first snapshot
-//     exists, then every RefreshEvery-th answer) — it never waits on
-//     inference. When the project's shard queue is full the server
-//     answers 429 (the answer is still recorded; only its refresh was
-//     shed).
-//   - GET /estimates is the strongly consistent read: it routes a refresh
-//     through the project's shard and waits, so the response reflects
-//     every recorded answer. The refresh itself is incremental — the model
-//     ingests only the submission delta (O(batch), not O(log)).
-//   - GET /snapshot is the non-blocking read: one atomic pointer load of
-//     the last published estimate snapshot (copy-on-publish), immune to
-//     shard backlog. Its answers_seen/fresh fields report staleness.
+//   - POST /v1/.../answers validates the whole submission up front
+//     (batches are atomic: any invalid row rejects everything with
+//     per-item detail), appends to the project's append-only log, and
+//     enqueues at most ONE coalescing refresh per request on the
+//     project's refresh cadence — it never waits on inference. Recorded
+//     answers are always acknowledged 201; a saturated shard surfaces as
+//     refresh:"deferred" in-body (the legacy alias keeps its historical
+//     per-answer 429).
+//   - GET /v1/.../tasks routes any due assignment-engine refresh through
+//     the project's shard worker (same coalescing and backpressure as
+//     estimate refreshes) — never on the request goroutine under the
+//     platform lock. Under backpressure tasks are served from the stale
+//     assignment state instead of failing.
+//   - GET /v1/.../estimates is the strongly consistent read: it routes a
+//     refresh through the project's shard and waits, so the response
+//     reflects every recorded answer; 429 + Retry-After under
+//     saturation. The refresh itself is incremental — the model ingests
+//     only the submission delta (O(batch), not O(log)). ?cursor=&limit=
+//     pages the estimate list for very large tables.
+//   - GET /v1/.../snapshot is the non-blocking read: one atomic pointer
+//     load of the last published estimate snapshot (copy-on-publish),
+//     immune to shard backlog. Its answers_seen/fresh fields report
+//     staleness.
 //
 // One hot project can saturate only its own shard; other projects keep
-// refreshing (isolation), and queue bounds turn overload into fast 429s
-// instead of unbounded memory growth (backpressure).
+// refreshing (isolation), and queue bounds turn overload into fast,
+// typed backpressure instead of unbounded memory growth.
 //
 // On SIGINT/SIGTERM the server stops accepting HTTP, drains the shard
 // queues, and (with -state) persists every project's log.

@@ -1,22 +1,26 @@
 // Platform: drives the AMT-like HTTP platform end-to-end (the system
-// architecture of the paper's Fig. 1): a requester registers a schema,
-// simulated workers pull dynamically assigned tasks and submit answers
-// over HTTP, and the requester fetches inferred truth plus worker
-// qualities.
+// architecture of the paper's Fig. 1) through the official Go client SDK
+// (package client): a requester registers a schema, simulated workers pull
+// dynamically assigned tasks and submit their answers as one atomic batch
+// per round over the /v1 wire API, and the requester fetches inferred
+// truth plus worker qualities with paginated estimate reads.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 
+	"tcrowd/api"
+	"tcrowd/client"
 	"tcrowd/internal/platform"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Start the platform on an ephemeral local port.
 	p := platform.New(1)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -25,21 +29,24 @@ func main() {
 	}
 	go func() { _ = http.Serve(ln, platform.NewServer(p)) }()
 	base := "http://" + ln.Addr().String()
+	c := client.New(base)
 	fmt.Println("platform listening on", base)
 
 	// The requester registers a project.
-	projectReq := map[string]any{
-		"id":   "books",
-		"rows": 5,
-		"schema": map[string]any{
-			"key": "ISBN",
-			"columns": []map[string]any{
-				{"name": "Genre", "type": "categorical", "labels": []string{"fiction", "nonfiction", "poetry"}},
-				{"name": "Pages", "type": "continuous", "min": 20, "max": 2000},
+	err = c.CreateProject(ctx, api.CreateProjectRequest{
+		ID:   "books",
+		Rows: 5,
+		Schema: api.Schema{
+			Key: "ISBN",
+			Columns: []api.Column{
+				{Name: "Genre", Type: "categorical", Labels: []string{"fiction", "nonfiction", "poetry"}},
+				{Name: "Pages", Type: "continuous", Min: 20, Max: 2000},
 			},
 		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	mustPost(base+"/projects", projectReq)
 	fmt.Println("registered project 'books' (5 rows x 2 attributes)")
 
 	// Ground truth known only to this simulation.
@@ -48,50 +55,54 @@ func main() {
 	labels := []string{"fiction", "nonfiction", "poetry"}
 
 	// Simulated workers pull tasks and answer: w1/w2 are reliable, w3 is
-	// sloppy.
+	// sloppy. Each worker's round is submitted as ONE batch — one HTTP
+	// round trip and at most one coalesced inference refresh, however many
+	// answers it carries.
 	noise := map[string]float64{"w1": 10, "w2": 15, "w3": 150}
 	wrong := map[string]int{"w1": 0, "w2": 0, "w3": 2}
 	for round := 0; round < 3; round++ {
 		for _, w := range []string{"w1", "w2", "w3"} {
-			var tasks []platform.Task
-			mustGet(fmt.Sprintf("%s/projects/books/tasks?worker=%s&count=4", base, w), &tasks)
+			tasks, err := c.Tasks(ctx, "books", w, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			batch := make([]api.Answer, 0, len(tasks))
 			for _, task := range tasks {
-				ans := map[string]any{"worker": w, "row": task.Row, "column": task.Column}
 				if task.Column == "Genre" {
 					g := genres[task.Row]
 					if wrong[w] > 0 {
 						wrong[w]--
 						g = (g + 1) % 3
 					}
-					ans["label"] = labels[g]
+					batch = append(batch, api.LabelAnswer(w, task.Row, task.Column, labels[g]))
 				} else {
-					ans["number"] = pages[task.Row] + noise[w]*float64(task.Row%3-1)
+					x := pages[task.Row] + noise[w]*float64(task.Row%3-1)
+					batch = append(batch, api.NumberAnswer(w, task.Row, task.Column, x))
 				}
-				mustPost(base+"/projects/books/answers", ans)
+			}
+			res, err := c.SubmitAnswers(ctx, "books", batch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Recorded != len(batch) {
+				log.Fatalf("batch recorded %d/%d", res.Recorded, len(batch))
 			}
 		}
 	}
 
-	var st struct {
-		Answers        int     `json:"answers"`
-		Workers        int     `json:"workers"`
-		AnswersPerTask float64 `json:"answers_per_task"`
+	st, err := c.Stats(ctx, "books")
+	if err != nil {
+		log.Fatal(err)
 	}
-	mustGet(base+"/projects/books/stats", &st)
 	fmt.Printf("collected %d answers from %d workers (%.1f per task)\n",
 		st.Answers, st.Workers, st.AnswersPerTask)
 
-	// The requester fetches the inferred truth.
-	var est struct {
-		Estimates []struct {
-			Entity string   `json:"entity"`
-			Column string   `json:"column"`
-			Label  *string  `json:"label"`
-			Number *float64 `json:"number"`
-		} `json:"estimates"`
-		WorkerQuality map[string]float64 `json:"worker_quality"`
+	// The requester fetches the inferred truth, walking the pagination
+	// (page size 3 here just to exercise it; pass 0 for one read).
+	est, err := c.AllEstimates(ctx, "books", 3)
+	if err != nil {
+		log.Fatal(err)
 	}
-	mustGet(base+"/projects/books/estimates", &est)
 
 	fmt.Println("\ninferred values:")
 	for _, e := range est.Estimates {
@@ -105,34 +116,6 @@ func main() {
 	for _, w := range []string{"w1", "w2", "w3"} {
 		fmt.Printf("  %s: %.3f\n", w, est.WorkerQuality[w])
 	}
-	fmt.Println("\n(the platform and its API are importable as tcrowd/internal/platform;")
-	fmt.Printf(" the public inference API is package %q)\n", "tcrowd")
-}
-
-func mustPost(url string, body any) {
-	b, _ := json.Marshal(body)
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var e map[string]string
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("POST %s: %d %v", url, resp.StatusCode, e)
-	}
-}
-
-func mustGet(url string, v any) {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		log.Fatalf("GET %s: %d", url, resp.StatusCode)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println("\n(the wire types are package tcrowd/api, the SDK is package")
+	fmt.Printf(" tcrowd/client; the public inference API is package %q)\n", "tcrowd")
 }

@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"errors"
+	"net/http"
+	"sort"
+
+	"tcrowd/api"
+	"tcrowd/internal/shard"
+)
+
+// errSpec is one row of the exhaustive sentinel-error → wire-error table:
+// the HTTP status, stable machine code and retryability every platform and
+// shard sentinel maps to. writeErr consults this table and nothing else, so
+// the wire behaviour of an error is defined in exactly one place.
+type errSpec struct {
+	status    int
+	code      string
+	retryable bool
+}
+
+// errTable maps every platform/shard sentinel error to its wire spec.
+// Order matters only for documentation; classification uses errors.Is, and
+// the sentinels are disjoint. Errors matching no row are client mistakes
+// (validation failures, malformed bodies) and fall back to badRequestSpec.
+var errTable = []struct {
+	err  error
+	spec errSpec
+}{
+	{ErrNoProject, errSpec{http.StatusNotFound, api.CodeNoProject, false}},
+	{ErrNoSnapshot, errSpec{http.StatusNotFound, api.CodeNoSnapshot, true}},
+	{ErrDuplicateID, errSpec{http.StatusConflict, api.CodeDuplicateProject, false}},
+	{ErrAlreadyAnswered, errSpec{http.StatusConflict, api.CodeAlreadyAnswered, false}},
+	{shard.ErrShardSaturated, errSpec{http.StatusTooManyRequests, api.CodeShardSaturated, true}},
+	{shard.ErrClosed, errSpec{http.StatusServiceUnavailable, api.CodeShuttingDown, true}},
+	{shard.ErrJobPanicked, errSpec{http.StatusInternalServerError, api.CodeInternal, false}},
+}
+
+// badRequestSpec is the fallback for errors outside the sentinel table.
+var badRequestSpec = errSpec{http.StatusBadRequest, api.CodeBadRequest, false}
+
+// classifyErr resolves an error (possibly wrapped) to its wire spec.
+func classifyErr(err error) errSpec {
+	for _, row := range errTable {
+		if errors.Is(err, row.err) {
+			return row.spec
+		}
+	}
+	return badRequestSpec
+}
+
+// ErrorCode is one row of the public wire-error table, exposed for the
+// API-drift check (cmd/tcrowd-apiroutes) and documentation tooling.
+type ErrorCode struct {
+	Code      string
+	Status    int
+	Retryable bool
+}
+
+// ErrorCodes returns the full wire-error code table: every sentinel row
+// plus the bad_request fallback and the batch_rejected composite used by
+// batch submission. The slice is freshly allocated and sorted by code.
+func ErrorCodes() []ErrorCode {
+	out := []ErrorCode{
+		{api.CodeBadRequest, badRequestSpec.status, badRequestSpec.retryable},
+		{api.CodeBatchRejected, http.StatusBadRequest, false},
+	}
+	for _, row := range errTable {
+		out = append(out, ErrorCode{row.spec.code, row.spec.status, row.spec.retryable})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

@@ -41,7 +41,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"tcrowd/api"
 	"tcrowd/internal/assign"
 	"tcrowd/internal/core"
 	"tcrowd/internal/metrics"
@@ -74,6 +76,21 @@ type Project struct {
 	refreshEvery int
 	sinceRefresh int
 	rng          *rand.Rand
+	// labelIdx[j] maps a categorical column's label strings to their
+	// indices (nil for continuous columns). Built once at project
+	// creation and immutable afterwards, so the HTTP layer resolves
+	// labels in O(1) without the platform lock.
+	labelIdx []map[string]int
+	// assignMu serialises the assignment engine: its refresh runs on the
+	// project's shard worker (off the request goroutine and off the
+	// platform lock), while Select runs on request goroutines.
+	assignMu sync.Mutex
+	// assignLog is the engine's shadow answer log: the refresh job grows
+	// it in place from the main log's delta, preserving the pointer
+	// identity the streaming-ingest tier keys on. Guarded by assignMu.
+	assignLog *tabular.AnswerLog
+	// assignAt is the main-log length absorbed into assignLog.
+	assignAt int
 	// inferMu serialises truth inference per project: the cached model is
 	// refreshed incrementally in place, so exactly one RunInference may
 	// touch it at a time (the platform lock stays free meanwhile, so
@@ -161,6 +178,15 @@ type ProjectConfig struct {
 
 // CreateProject registers a new campaign.
 func (p *Platform) CreateProject(id string, schema tabular.Schema, cfg ProjectConfig) (*Project, error) {
+	// Project IDs feed the shard scheduler's coalescing keys, which
+	// namespace job kinds with a control-character suffix — a crafted ID
+	// containing control characters could collide with another project's
+	// job key (and would be miserable in URLs and logs anyway).
+	for _, r := range id {
+		if r < 0x20 || r == 0x7f {
+			return nil, fmt.Errorf("platform: project id contains control character %q", r)
+		}
+	}
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,6 +211,7 @@ func (p *Platform) CreateProject(id string, schema tabular.Schema, cfg ProjectCo
 		Log:          tabular.NewAnswerLog(),
 		refreshEvery: cfg.RefreshEvery,
 		rng:          stats.NewRNG(p.seed + int64(len(p.projects))),
+		labelIdx:     buildLabelIndex(schema),
 	}
 	if proj.refreshEvery <= 0 {
 		proj.refreshEvery = 25
@@ -194,6 +221,35 @@ func (p *Platform) CreateProject(id string, schema tabular.Schema, cfg ProjectCo
 	}
 	p.projects[id] = proj
 	return proj, nil
+}
+
+// buildLabelIndex precomputes per-column label→index maps so answer
+// validation resolves labels in O(1) instead of scanning the label slice
+// per submission.
+func buildLabelIndex(schema tabular.Schema) []map[string]int {
+	out := make([]map[string]int, len(schema.Columns))
+	for j, col := range schema.Columns {
+		if col.Type != tabular.Categorical {
+			continue
+		}
+		m := make(map[string]int, len(col.Labels))
+		for k, lbl := range col.Labels {
+			m[lbl] = k
+		}
+		out[j] = m
+	}
+	return out
+}
+
+// LabelIndex resolves a label string in column j's domain via the map
+// precomputed at project creation. It is safe without the platform lock
+// (the schema is immutable after creation).
+func (proj *Project) LabelIndex(j int, label string) (int, bool) {
+	if j < 0 || j >= len(proj.labelIdx) || proj.labelIdx[j] == nil {
+		return 0, false
+	}
+	idx, ok := proj.labelIdx[j][label]
+	return idx, ok
 }
 
 // Project returns a registered project.
@@ -229,26 +285,92 @@ type Task struct {
 	Labels []string `json:"labels,omitempty"`
 }
 
+// assignJobSuffix distinguishes assignment-refresh jobs from estimate-
+// refresh jobs in the shard scheduler's coalescing map. The route key
+// stays the bare project ID, so both kinds run on the project's home
+// shard; the job key differs, so they never coalesce into each other.
+const assignJobSuffix = "\x00assign"
+
+// assignRefreshWait bounds how long a task request waits for its
+// assignment refresh to complete on the shard worker. An idle shard
+// finishes well within it (strong freshness is the common case); on a
+// busy shard — queued work from co-sharded projects, a long cold fit —
+// the request stops waiting and serves from the engine's previous state
+// while the refresh completes in the background. Without the bound a
+// request could stall behind minutes of queued refreshes that
+// backpressure (which only trips on a FULL queue) never sheds.
+const assignRefreshWait = 2 * time.Second
+
 // RequestTasks assigns up to k cells to worker u (the external-HIT hook):
 // via the project's T-Crowd engine when enabled, otherwise
 // fewest-answers-first with random tie-breaking.
+//
+// When the project's assignment engine is due a refresh (its RefreshEvery
+// cadence, or the very first request), the refresh runs on the project's
+// shard worker — never on the request goroutine under the platform lock —
+// with the same coalescing semantics as estimate refreshes, so a slow
+// assign refresh cannot stall concurrent submissions or other projects'
+// task requests. The request waits for its refresh at most
+// assignRefreshWait; past that — and under shard backpressure (saturated
+// queue, shutdown), where the refresh is shed outright — tasks are served
+// from the engine's previous state: assignment quality degrades
+// gracefully instead of the request hanging or failing.
 func (p *Platform) RequestTasks(projectID string, u tabular.WorkerID, k int) ([]Task, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	proj, ok := p.projects[projectID]
 	if !ok {
+		p.mu.Unlock()
 		return nil, ErrNoProject
 	}
+	needRefresh := proj.sys != nil && proj.sinceRefresh == 0 // covers the very first request
+	logLen := proj.Log.Len()
+	p.mu.Unlock()
+
+	// Skip the shard round trip when the engine has already absorbed the
+	// whole log: idle projects polled for tasks would otherwise enqueue a
+	// no-op refresh per poll (and wait behind whatever the shard queue
+	// holds), consuming queue depth for nothing.
+	if needRefresh && proj.assignUpToDate(logLen) {
+		needRefresh = false
+	}
+	if needRefresh {
+		done, err := p.sched.SubmitNotifyKeyed(projectID, projectID+assignJobSuffix,
+			func() error { return p.refreshAssign(proj) })
+		switch {
+		case errors.Is(err, shard.ErrShardSaturated), errors.Is(err, shard.ErrClosed):
+			// Refresh shed: serve from the previous assignment state.
+		case err != nil:
+			return nil, err
+		default:
+			t := time.NewTimer(assignRefreshWait)
+			select {
+			case err := <-done:
+				t.Stop()
+				if err != nil {
+					return nil, err
+				}
+			case <-t.C:
+				// Refresh still queued or running: serve stale; the job
+				// completes in the background and freshens later requests.
+			}
+		}
+	}
+
+	// Lock order: assignMu before mu, matching refreshAssign. TryLock
+	// keeps the request bounded: when this project's own refresh is still
+	// mid-flight (it holds assignMu while EM runs), don't block behind it
+	// — degrade to fewest-answers-first for this request.
+	useSys := proj.sys != nil && proj.assignMu.TryLock()
+	if useSys {
+		defer proj.assignMu.Unlock()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if k <= 0 {
 		k = proj.Table.NumCols()
 	}
 	var cells []tabular.Cell
-	if proj.sys != nil {
-		if proj.sinceRefresh == 0 { // also covers the very first request
-			if err := proj.sys.Refresh(proj.Table, proj.Log); err != nil {
-				return nil, err
-			}
-		}
+	if useSys {
 		cells = proj.sys.Select(u, k, proj.Log)
 	}
 	if len(cells) == 0 {
@@ -306,6 +428,163 @@ func (proj *Project) fewestAnswersFirst(u tabular.WorkerID, k int) []tabular.Cel
 	return out
 }
 
+// RefreshState reports what a submission did to the project's inference
+// refresh pipeline (mirrored on the wire by api.Refresh*).
+type RefreshState string
+
+// Refresh states returned by SubmitBatch. The values are defined by the
+// wire contract (api.Refresh*) so the two cannot drift.
+const (
+	// RefreshEnqueued: a refresh was enqueued (or coalesced) on the
+	// project's shard.
+	RefreshEnqueued RefreshState = api.RefreshEnqueued
+	// RefreshNone: mid-cadence, no refresh was due.
+	RefreshNone RefreshState = api.RefreshNone
+	// RefreshDeferred: the due refresh was shed by a saturated shard
+	// queue; the answers are recorded regardless.
+	RefreshDeferred RefreshState = api.RefreshDeferred
+	// RefreshShutdown: the scheduler is closed; answers recorded, no
+	// refresh will run.
+	RefreshShutdown RefreshState = api.RefreshShutdown
+)
+
+// BatchItemError locates one invalid answer inside a rejected batch.
+type BatchItemError struct {
+	// Index is the answer's position in the submitted slice.
+	Index int
+	// Err is the per-answer validation error (ErrAlreadyAnswered, unknown
+	// column, ...).
+	Err error
+}
+
+// BatchError reports why SubmitBatch rejected a batch. Batches are atomic:
+// when a BatchError is returned, nothing was recorded.
+type BatchError struct {
+	Items []BatchItemError
+}
+
+// Error implements the error interface.
+func (e *BatchError) Error() string {
+	if len(e.Items) == 1 {
+		return fmt.Sprintf("platform: batch answer %d invalid: %v", e.Items[0].Index, e.Items[0].Err)
+	}
+	return fmt.Sprintf("platform: %d invalid answers in batch (first: answer %d: %v)",
+		len(e.Items), e.Items[0].Index, e.Items[0].Err)
+}
+
+// Unwrap exposes the per-item errors to errors.Is (a single-cause batch
+// rejection matches its underlying sentinel, e.g. ErrAlreadyAnswered).
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Items))
+	for i, it := range e.Items {
+		out[i] = it.Err
+	}
+	return out
+}
+
+// BatchResult reports what an accepted submission recorded and did to the
+// refresh pipeline.
+type BatchResult struct {
+	// Recorded is the number of answers appended to the log.
+	Recorded int
+	// Refresh is the refresh outcome.
+	Refresh RefreshState
+	// RefreshErr is the shard error behind RefreshDeferred/RefreshShutdown
+	// (wraps shard.ErrShardSaturated or shard.ErrClosed), nil otherwise.
+	RefreshErr error
+}
+
+// validateAnswer checks one answer against the project under p.mu; seen
+// holds (worker, cell) pairs earlier in the same batch.
+func validateAnswer(proj *Project, a tabular.Answer, seen map[tabular.Answer]bool) error {
+	j := a.Cell.Col
+	if j < 0 || j >= proj.Table.NumCols() {
+		return fmt.Errorf("platform: column index %d outside schema (%d columns)", j, proj.Table.NumCols())
+	}
+	if a.Cell.Row < 0 || a.Cell.Row >= proj.Table.NumRows() {
+		return fmt.Errorf("platform: row %d outside project (%d rows)", a.Cell.Row, proj.Table.NumRows())
+	}
+	if err := a.Value.CheckAgainst(proj.Table.Schema.Columns[j]); err != nil {
+		return err
+	}
+	if a.Worker == "" {
+		return errors.New("platform: empty worker id")
+	}
+	key := tabular.Answer{Worker: a.Worker, Cell: a.Cell}
+	if seen[key] || proj.Log.HasAnswered(a.Worker, a.Cell) {
+		return ErrAlreadyAnswered
+	}
+	if seen != nil {
+		seen[key] = true
+	}
+	return nil
+}
+
+// SubmitBatch records a batch of answers atomically: every answer is
+// validated up front (schema, row range, double answers — including
+// duplicates within the batch itself), and on any failure the whole batch
+// is rejected with a *BatchError pinpointing the offending rows and
+// NOTHING is recorded. On success all answers append to the log and at
+// most ONE coalesced refresh is enqueued on the project's shard — a
+// 200-answer batch costs one queued refresh, not 200 — following the
+// project's refresh cadence (a refresh is due when the batch crosses a
+// RefreshEvery boundary or while no snapshot has been published yet).
+//
+// Shard backpressure never fails an accepted batch: when the due refresh
+// is shed (saturated queue or shutdown), the result carries
+// RefreshDeferred/RefreshShutdown plus the shard error, and the cadence
+// counter is rewound so the next submission retries the refresh.
+//
+// Answers address cells directly (Cell.Col is a schema column index); the
+// HTTP layer resolves column names and labels via Project.LabelIndex.
+func (p *Platform) SubmitBatch(projectID string, answers []tabular.Answer) (BatchResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, ok := p.projects[projectID]
+	if !ok {
+		return BatchResult{}, ErrNoProject
+	}
+	if len(answers) == 0 {
+		return BatchResult{}, errors.New("platform: empty answer batch")
+	}
+	seen := make(map[tabular.Answer]bool, len(answers))
+	var bad []BatchItemError
+	for i, a := range answers {
+		if err := validateAnswer(proj, a, seen); err != nil {
+			bad = append(bad, BatchItemError{Index: i, Err: err})
+		}
+	}
+	if len(bad) > 0 {
+		return BatchResult{}, &BatchError{Items: bad}
+	}
+	for _, a := range answers {
+		proj.Log.Add(a)
+	}
+	res := BatchResult{Recorded: len(answers), Refresh: RefreshNone}
+	proj.sinceRefresh += len(answers)
+	crossed := proj.sinceRefresh >= proj.refreshEvery
+	if crossed {
+		proj.sinceRefresh = 0
+	}
+	if crossed || proj.snapshot.Load() == nil {
+		if err := p.sched.Submit(projectID, func() error { return p.refreshProject(proj) }); err != nil {
+			// The cadence slot was consumed but no refresh landed: rewind
+			// the counter so the very next submission retries, keeping the
+			// documented staleness bound instead of waiting out another
+			// full RefreshEvery window (or forever, if traffic stops).
+			proj.sinceRefresh = proj.refreshEvery - 1
+			res.RefreshErr = err
+			res.Refresh = RefreshDeferred
+			if errors.Is(err, shard.ErrClosed) {
+				res.Refresh = RefreshShutdown
+			}
+		} else {
+			res.Refresh = RefreshEnqueued
+		}
+	}
+	return res, nil
+}
+
 // Submit records worker u's answer for (row, column). Values are validated
 // against the schema, and double answers by the same worker are rejected.
 //
@@ -320,13 +599,14 @@ func (proj *Project) fewestAnswersFirst(u tabular.WorkerID, k int) []tabular.Cel
 //
 // When the shard queue is saturated, the ANSWER IS STILL RECORDED — only
 // the refresh is shed — and Submit returns an error wrapping
-// shard.ErrShardSaturated so callers can apply backpressure (the HTTP
-// layer maps it to 429). The same applies to shard.ErrClosed during
-// shutdown.
+// shard.ErrShardSaturated so callers can apply backpressure (the legacy
+// HTTP route maps it to 429; /v1 reports it in-body instead). The same
+// applies to shard.ErrClosed during shutdown. SubmitBatch is the
+// batch-oriented equivalent.
 func (p *Platform) Submit(projectID string, u tabular.WorkerID, row int, column string, value tabular.Value) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	proj, ok := p.projects[projectID]
+	p.mu.Unlock()
 	if !ok {
 		return ErrNoProject
 	}
@@ -334,33 +614,17 @@ func (p *Platform) Submit(projectID string, u tabular.WorkerID, row int, column 
 	if j < 0 {
 		return fmt.Errorf("platform: unknown column %q", column)
 	}
-	if row < 0 || row >= proj.Table.NumRows() {
-		return fmt.Errorf("platform: row %d outside project (%d rows)", row, proj.Table.NumRows())
-	}
-	if err := value.CheckAgainst(proj.Table.Schema.Columns[j]); err != nil {
+	a := tabular.Answer{Worker: u, Cell: tabular.Cell{Row: row, Col: j}, Value: value}
+	res, err := p.SubmitBatch(projectID, []tabular.Answer{a})
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) {
+			return be.Items[0].Err
+		}
 		return err
 	}
-	if u == "" {
-		return errors.New("platform: empty worker id")
-	}
-	cell := tabular.Cell{Row: row, Col: j}
-	if proj.Log.HasAnswered(u, cell) {
-		return ErrAlreadyAnswered
-	}
-	proj.Log.Add(tabular.Answer{Worker: u, Cell: cell, Value: value})
-	proj.sinceRefresh++
-	if proj.sinceRefresh >= proj.refreshEvery {
-		proj.sinceRefresh = 0
-	}
-	if proj.sinceRefresh == 0 || proj.snapshot.Load() == nil {
-		if err := p.sched.Submit(projectID, func() error { return p.refreshProject(proj) }); err != nil {
-			// The cadence slot was consumed but no refresh landed: rewind
-			// the counter so the very next submission retries, keeping the
-			// documented staleness bound instead of waiting out another
-			// full RefreshEvery window (or forever, if traffic stops).
-			proj.sinceRefresh = proj.refreshEvery - 1
-			return fmt.Errorf("platform: answer recorded, refresh shed: %w", err)
-		}
+	if res.RefreshErr != nil {
+		return fmt.Errorf("platform: answer recorded, refresh shed: %w", res.RefreshErr)
 	}
 	return nil
 }
@@ -429,6 +693,47 @@ func (p *Platform) Snapshot(projectID string) (*InferenceResult, error) {
 		return nil, ErrNoSnapshot
 	}
 	return res, nil
+}
+
+// assignUpToDate reports whether the assignment engine has refreshed at
+// least once and absorbed the first logLen answers. TryLock: when a
+// refresh is mid-flight the state is in motion — report stale and let the
+// caller's enqueue coalesce into the queued work.
+func (proj *Project) assignUpToDate(logLen int) bool {
+	if !proj.assignMu.TryLock() {
+		return false
+	}
+	defer proj.assignMu.Unlock()
+	return proj.assignLog != nil && proj.assignAt == logLen
+}
+
+// refreshAssign brings the project's assignment engine up to date with the
+// answer log. It runs on the project's shard worker (submitted by
+// RequestTasks under the assign job key) — never on a request goroutine,
+// and never under the platform lock, which it takes only to copy the
+// submission delta. The engine refreshes against a shadow log grown in
+// place from that delta, so the streaming-ingest tier (which keys on
+// source-log pointer identity) stays hot: refresh cost is O(batch since
+// last refresh), not O(log).
+func (p *Platform) refreshAssign(proj *Project) error {
+	proj.assignMu.Lock()
+	defer proj.assignMu.Unlock()
+
+	p.mu.Lock()
+	tbl := proj.Table
+	total := proj.Log.Len()
+	var batch []tabular.Answer
+	if total > proj.assignAt {
+		batch = append([]tabular.Answer(nil), proj.Log.All()[proj.assignAt:total]...)
+	}
+	p.mu.Unlock()
+
+	if proj.assignLog == nil {
+		proj.assignLog = tabular.NewAnswerLog()
+	}
+	proj.assignLog.AddAll(batch)
+	proj.assignAt = total
+	return proj.sys.Refresh(tbl, proj.assignLog)
 }
 
 // refreshProject brings the project's cached model up to date with its

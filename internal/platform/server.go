@@ -5,43 +5,52 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 
+	"tcrowd/api"
 	"tcrowd/internal/shard"
 	"tcrowd/internal/tabular"
 )
 
 // Server exposes the platform over HTTP — the interface a crowdsourcing
 // frontend (or AMT external-HIT iframe) would talk to. See
-// cmd/tcrowd-server/README.md for the full API reference.
+// cmd/tcrowd-server/README.md for the full API reference and package api
+// for the wire types.
 //
-//	POST /projects                     {"id", "schema", "rows"}
-//	GET  /projects                     -> ["id", ...]
-//	GET  /projects/{id}/tasks?worker=u&count=k
-//	POST /projects/{id}/answers        {"worker", "row", "column", "label"|"number"}
-//	GET  /projects/{id}/estimates      -> inferred truth + worker quality (consistent; may wait on EM)
-//	GET  /projects/{id}/snapshot       -> last published estimates (never blocks on EM)
-//	GET  /projects/{id}/stats          -> collection progress
-//	GET  /stats                        -> shard-scheduler metrics
+// The versioned surface (stable within /v1):
 //
-// Backpressure: endpoints that need shard-queue capacity (POST .../answers
-// for the async refresh, GET .../estimates for the consistent read) answer
-// 429 Too Many Requests when the project's shard is saturated.
+//	POST /v1/projects                     {"id", "schema", "rows"}
+//	GET  /v1/projects                     -> ["id", ...]
+//	GET  /v1/projects/{id}/tasks?worker=u&count=k
+//	POST /v1/projects/{id}/answers        one answer or {"answers": [...]} batch
+//	GET  /v1/projects/{id}/estimates      consistent read; ?cursor=&limit= pagination
+//	GET  /v1/projects/{id}/snapshot       last published estimates (never blocks on EM)
+//	GET  /v1/projects/{id}/stats          collection progress
+//	GET  /v1/stats                        shard-scheduler metrics
+//
+// The same paths without the /v1 prefix are deprecated aliases, kept for
+// one release (the legacy POST .../answers keeps its historical
+// single-answer + 429-on-backpressure semantics; everything else shares
+// the v1 handlers).
+//
+// Errors are typed: every non-2xx body is an api.ErrorEnvelope with a
+// stable machine-readable code (see internal/platform/errors.go for the
+// exhaustive sentinel → (status, code, retryable) table). Backpressure:
+// GET .../estimates answers 429 when the project's shard is saturated;
+// POST /v1/.../answers records the answers and reports a shed refresh
+// in-body instead of failing.
 type Server struct {
 	p   *Platform
 	mux *http.ServeMux
+	// deprecated holds one Once per route for legacy-use logging.
+	deprecated []sync.Once
 }
 
 // NewServer wraps a platform with HTTP handlers.
 func NewServer(p *Platform) *Server {
 	s := &Server{p: p, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /projects", s.createProject)
-	s.mux.HandleFunc("GET /projects", s.listProjects)
-	s.mux.HandleFunc("GET /projects/{id}/tasks", s.tasks)
-	s.mux.HandleFunc("POST /projects/{id}/answers", s.submit)
-	s.mux.HandleFunc("GET /projects/{id}/estimates", s.estimates)
-	s.mux.HandleFunc("GET /projects/{id}/snapshot", s.snapshot)
-	s.mux.HandleFunc("GET /projects/{id}/stats", s.stats)
-	s.mux.HandleFunc("GET /stats", s.shardStats)
+	s.registerRoutes()
 	return s
 }
 
@@ -54,20 +63,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeErr renders any error as the typed envelope, resolving status, code
+// and retryability through the exhaustive sentinel table (errors.go). A
+// *BatchError renders as CodeBatchRejected with per-item detail.
 func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	switch {
-	case errors.Is(err, ErrNoProject), errors.Is(err, ErrNoSnapshot):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrAlreadyAnswered):
-		status = http.StatusConflict
-	case errors.Is(err, shard.ErrShardSaturated):
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, shard.ErrClosed):
-		status = http.StatusServiceUnavailable
+	var be *BatchError
+	if errors.As(err, &be) {
+		writeBatchErr(w, be)
+		return
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	spec := classifyErr(err)
+	if spec.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, spec.status, api.ErrorEnvelope{Err: api.Error{
+		Code:      spec.code,
+		Message:   err.Error(),
+		Retryable: spec.retryable,
+	}})
+}
+
+// writeBatchErr renders an atomic batch rejection: 400, CodeBatchRejected,
+// one item per offending answer (each with its own code).
+func writeBatchErr(w http.ResponseWriter, be *BatchError) {
+	items := make([]api.ItemError, len(be.Items))
+	for i, it := range be.Items {
+		items[i] = api.ItemError{
+			Index:   it.Index,
+			Code:    classifyErr(it.Err).code,
+			Message: it.Err.Error(),
+		}
+	}
+	writeJSON(w, http.StatusBadRequest, api.ErrorEnvelope{Err: api.Error{
+		Code:    api.CodeBatchRejected,
+		Message: fmt.Sprintf("%d invalid answer(s); nothing recorded", len(items)),
+		Items:   items,
+	}})
 }
 
 type createProjectReq struct {
@@ -99,7 +130,7 @@ func (s *Server) createProject(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+	writeJSON(w, http.StatusCreated, api.CreateProjectResponse{ID: req.ID})
 }
 
 func (s *Server) listProjects(w http.ResponseWriter, r *http.Request) {
@@ -113,12 +144,10 @@ func (s *Server) tasks(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errors.New("platform: worker query parameter required"))
 		return
 	}
-	count := 0
-	if c := r.URL.Query().Get("count"); c != "" {
-		if _, err := fmt.Sscanf(c, "%d", &count); err != nil {
-			writeErr(w, fmt.Errorf("platform: bad count: %w", err))
-			return
-		}
+	count, err := queryInt(r, "count", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
 	}
 	tasks, err := s.p.RequestTasks(id, tabular.WorkerID(worker), count)
 	if err != nil {
@@ -128,17 +157,85 @@ func (s *Server) tasks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, tasks)
 }
 
-type submitReq struct {
-	Worker string   `json:"worker"`
-	Row    int      `json:"row"`
-	Column string   `json:"column"`
-	Label  *string  `json:"label,omitempty"`
-	Number *float64 `json:"number,omitempty"`
+// queryInt parses an optional non-negative integer query parameter,
+// rejecting trailing garbage ("5x") and negatives with a typed
+// bad_request.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("platform: bad %s %q: %w", name, raw, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("platform: %s must be non-negative, got %d", name, n)
+	}
+	return n, nil
 }
 
-func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+// resolveAnswer converts one wire answer (column by name, label by string)
+// into a platform answer, using the project's precomputed label index.
+// Only immutable project state (schema, label maps) is touched, so it runs
+// without the platform lock.
+func resolveAnswer(proj *Project, a api.Answer) (tabular.Answer, error) {
+	j := proj.Table.Schema.ColumnIndex(a.Column)
+	if j < 0 {
+		return tabular.Answer{}, fmt.Errorf("platform: unknown column %q", a.Column)
+	}
+	if a.Row < 0 || a.Row >= proj.Table.NumRows() {
+		return tabular.Answer{}, fmt.Errorf("platform: row %d outside project (%d rows)", a.Row, proj.Table.NumRows())
+	}
+	var v tabular.Value
+	switch {
+	case a.Label != nil && a.Number != nil:
+		return tabular.Answer{}, errors.New("platform: answer sets both label and number")
+	case a.Label != nil:
+		idx, ok := proj.LabelIndex(j, *a.Label)
+		if !ok {
+			return tabular.Answer{}, fmt.Errorf("platform: unknown label %q", *a.Label)
+		}
+		v = tabular.LabelValue(idx)
+	case a.Number != nil:
+		v = tabular.NumberValue(*a.Number)
+	default:
+		return tabular.Answer{}, errors.New("platform: answer needs label or number")
+	}
+	return tabular.Answer{
+		Worker: tabular.WorkerID(a.Worker),
+		Cell:   tabular.Cell{Row: a.Row, Col: j},
+		Value:  v,
+	}, nil
+}
+
+// resolveBatch resolves a slice of wire answers, collecting per-item
+// errors instead of stopping at the first (batch rejections report every
+// offending row at once).
+func resolveBatch(proj *Project, answers []api.Answer) ([]tabular.Answer, []BatchItemError) {
+	resolved := make([]tabular.Answer, 0, len(answers))
+	var bad []BatchItemError
+	for i, a := range answers {
+		ta, err := resolveAnswer(proj, a)
+		if err != nil {
+			bad = append(bad, BatchItemError{Index: i, Err: err})
+			continue
+		}
+		resolved = append(resolved, ta)
+	}
+	return resolved, bad
+}
+
+// submitV1 handles POST /v1/projects/{id}/answers: one answer or an
+// "answers" batch. Batches are atomic — validated in full (every failure
+// reported, nothing recorded on any failure) and recorded with at most one
+// coalesced refresh enqueue. Recorded answers are always acknowledged 201;
+// shard backpressure surfaces as refresh:"deferred" plus a Retry-After
+// hint, never as a per-answer 429 (that legacy behaviour lives only on the
+// unversioned route).
+func (s *Server) submitV1(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var req submitReq
+	var req api.SubmitAnswersRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, fmt.Errorf("platform: bad request body: %w", err))
 		return
@@ -148,81 +245,118 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	var v tabular.Value
-	switch {
-	case req.Label != nil:
-		j := proj.Table.Schema.ColumnIndex(req.Column)
-		if j < 0 {
-			writeErr(w, fmt.Errorf("platform: unknown column %q", req.Column))
-			return
-		}
-		idx := -1
-		for k, lbl := range proj.Table.Schema.Columns[j].Labels {
-			if lbl == *req.Label {
-				idx = k
-				break
-			}
-		}
-		if idx < 0 {
-			writeErr(w, fmt.Errorf("platform: unknown label %q", *req.Label))
-			return
-		}
-		v = tabular.LabelValue(idx)
-	case req.Number != nil:
-		v = tabular.NumberValue(*req.Number)
-	default:
-		writeErr(w, errors.New("platform: answer needs label or number"))
+	batch := req.Answers != nil
+	if batch && (req.Worker != "" || req.Column != "" || req.Label != nil || req.Number != nil) {
+		writeErr(w, errors.New("platform: set either the single-answer fields or \"answers\", not both"))
 		return
 	}
-	if err := s.p.Submit(id, tabular.WorkerID(req.Worker), req.Row, req.Column, v); err != nil {
+	answers := req.Answers
+	if !batch {
+		answers = []api.Answer{req.Answer}
+	}
+	if len(answers) == 0 {
+		writeErr(w, errors.New("platform: empty answer batch"))
+		return
+	}
+	resolved, bad := resolveBatch(proj, answers)
+	if len(bad) == 0 {
+		var res BatchResult
+		res, err = s.p.SubmitBatch(id, resolved)
+		if err == nil {
+			if res.Refresh == RefreshDeferred {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, http.StatusCreated, api.SubmitAnswersResponse{
+				Status:   "recorded",
+				Recorded: res.Recorded,
+				Refresh:  string(res.Refresh),
+			})
+			return
+		}
+	} else {
+		err = &BatchError{Items: bad}
+	}
+	// Single-answer requests report the answer's own error (and code)
+	// directly; batches report the composite batch_rejected envelope.
+	var be *BatchError
+	if !batch && errors.As(err, &be) {
+		err = be.Items[0].Err
+	}
+	writeErr(w, err)
+}
+
+// submitLegacy handles the deprecated POST /projects/{id}/answers: single
+// answers only, with the historical backpressure contract — 429/503 with a
+// status:"recorded" body when the answer landed but its refresh was shed.
+func (s *Server) submitLegacy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var a api.Answer
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		writeErr(w, fmt.Errorf("platform: bad request body: %w", err))
+		return
+	}
+	proj, err := s.p.Project(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if a.Label != nil && a.Number != nil {
+		// Historical behaviour of this route: label takes precedence (the
+		// old handler's switch checked label first). /v1 rejects this.
+		a.Number = nil
+	}
+	ta, err := resolveAnswer(proj, a)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.p.SubmitBatch(id, []tabular.Answer{ta})
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) {
+			err = be.Items[0].Err
+		}
+		writeErr(w, err)
+		return
+	}
+	if res.RefreshErr != nil {
 		// On both backpressure (429) and shutdown (503) the answer WAS
 		// recorded; only its estimate refresh was shed. The body keeps
 		// the status:"recorded" marker so clients don't resubmit (that
 		// would 409) — slow down before the NEXT submission instead.
-		if errors.Is(err, shard.ErrShardSaturated) {
+		if errors.Is(res.RefreshErr, shard.ErrShardSaturated) {
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{
 				"status":  "recorded",
 				"refresh": "deferred",
-				"error":   err.Error(),
+				"error":   res.RefreshErr.Error(),
 			})
 			return
 		}
-		if errors.Is(err, shard.ErrClosed) {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-				"status":  "recorded",
-				"refresh": "shutdown",
-				"error":   err.Error(),
-			})
-			return
-		}
-		writeErr(w, err)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status":  "recorded",
+			"refresh": "shutdown",
+			"error":   res.RefreshErr.Error(),
+		})
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "recorded"})
 }
 
-type estimateJSON struct {
-	Entity string   `json:"entity"`
-	Column string   `json:"column"`
-	Label  *string  `json:"label,omitempty"`
-	Number *float64 `json:"number,omitempty"`
-}
+// estimatesResp / estimateJSON are the wire shapes, defined in package api
+// and aliased here for the server-side tests.
+type (
+	estimatesResp = api.EstimatesResponse
+	estimateJSON  = api.Estimate
+)
 
-type estimatesResp struct {
-	Estimates     []estimateJSON     `json:"estimates"`
-	WorkerQuality map[string]float64 `json:"worker_quality"`
-	Iterations    int                `json:"iterations"`
-	Converged     bool               `json:"converged"`
-	// AnswersSeen is the log length the estimates reflect; Fresh reports
-	// whether that equals the current log length (snapshot reads may lag).
-	AnswersSeen int  `json:"answers_seen"`
-	Fresh       bool `json:"fresh"`
-}
-
-// renderEstimates converts an InferenceResult into the wire shape shared by
-// the /estimates (consistent) and /snapshot (non-blocking) endpoints.
-func renderEstimates(proj *Project, res *InferenceResult, answersNow int) estimatesResp {
+// renderEstimates converts an InferenceResult into the wire shape shared
+// by the /estimates (consistent) and /snapshot (non-blocking) endpoints.
+// cursor/limit select one page of the row-major cell walk: cursor is the
+// cell ordinal to start from, limit caps the estimates returned (0 = all),
+// and NextCursor is set when cells remain — so million-row tables stream
+// page by page instead of serializing one giant body.
+func renderEstimates(proj *Project, res *InferenceResult, answersNow, cursor, limit int) estimatesResp {
 	resp := estimatesResp{
 		WorkerQuality: make(map[string]float64, len(res.WorkerQuality)),
 		Iterations:    res.Iterations,
@@ -233,29 +367,51 @@ func renderEstimates(proj *Project, res *InferenceResult, answersNow int) estima
 	for u, q := range res.WorkerQuality {
 		resp.WorkerQuality[string(u)] = q
 	}
-	for i := 0; i < proj.Table.NumRows(); i++ {
-		for j, col := range proj.Table.Schema.Columns {
-			v := res.Estimates[i][j]
-			if v.IsNone() {
-				continue
-			}
-			ej := estimateJSON{Entity: proj.Table.Entities[i], Column: col.Name}
-			if v.Kind == tabular.Label {
-				lbl := col.Labels[v.L]
-				ej.Label = &lbl
-			} else {
-				x := v.X
-				ej.Number = &x
-			}
-			resp.Estimates = append(resp.Estimates, ej)
+	cols := proj.Table.Schema.Columns
+	m := len(cols)
+	total := proj.Table.NumRows() * m
+	for ord := cursor; ord < total; ord++ {
+		if limit > 0 && len(resp.Estimates) >= limit {
+			resp.NextCursor = ord
+			break
 		}
+		i, j := ord/m, ord%m
+		v := res.Estimates[i][j]
+		if v.IsNone() {
+			continue
+		}
+		ej := estimateJSON{Entity: proj.Table.Entities[i], Column: cols[j].Name}
+		if v.Kind == tabular.Label {
+			lbl := cols[j].Labels[v.L]
+			ej.Label = &lbl
+		} else {
+			x := v.X
+			ej.Number = &x
+		}
+		resp.Estimates = append(resp.Estimates, ej)
 	}
 	return resp
+}
+
+// pageParams parses the shared ?cursor=&limit= pagination parameters.
+func pageParams(r *http.Request) (cursor, limit int, err error) {
+	if cursor, err = queryInt(r, "cursor", 0); err != nil {
+		return 0, 0, err
+	}
+	if limit, err = queryInt(r, "limit", 0); err != nil {
+		return 0, 0, err
+	}
+	return cursor, limit, nil
 }
 
 func (s *Server) estimates(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	proj, err := s.p.Project(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	cursor, limit, err := pageParams(r)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -266,7 +422,7 @@ func (s *Server) estimates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, _ := s.p.Stats(id)
-	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers))
+	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers, cursor, limit))
 }
 
 // snapshot serves the last published estimates without ever waiting on
@@ -279,39 +435,39 @@ func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	cursor, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	res, err := s.p.Snapshot(id)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	st, _ := s.p.Stats(id)
-	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers))
+	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers, cursor, limit))
 }
 
-// shardStatsResp is the GET /stats payload: per-shard scheduler counters
-// plus process-wide totals.
-type shardStatsResp struct {
-	Workers int             `json:"workers"`
-	Shards  []shard.Metrics `json:"shards"`
-	Totals  shardTotals     `json:"totals"`
-}
-
-// shardTotals aggregates the per-shard counters.
-type shardTotals struct {
-	Depth     int     `json:"depth"`
-	Enqueued  uint64  `json:"enqueued"`
-	Coalesced uint64  `json:"coalesced"`
-	Rejected  uint64  `json:"rejected"`
-	Completed uint64  `json:"completed"`
-	Failed    uint64  `json:"failed"`
-	BusyNs    int64   `json:"busy_ns"`
-	AvgJobMs  float64 `json:"avg_job_ms"`
-}
+// shardStatsResp is the GET /v1/stats payload, defined in package api and
+// aliased for the server-side tests.
+type shardStatsResp = api.ShardStatsResponse
 
 func (s *Server) shardStats(w http.ResponseWriter, r *http.Request) {
 	ms := s.p.ShardMetrics()
-	resp := shardStatsResp{Workers: s.p.NumShardWorkers(), Shards: ms}
-	for _, m := range ms {
+	resp := shardStatsResp{Workers: s.p.NumShardWorkers(), Shards: make([]api.ShardMetrics, len(ms))}
+	for i, m := range ms {
+		resp.Shards[i] = api.ShardMetrics{
+			Shard:     m.Shard,
+			Depth:     m.Depth,
+			Enqueued:  m.Enqueued,
+			Coalesced: m.Coalesced,
+			Rejected:  m.Rejected,
+			Completed: m.Completed,
+			Failed:    m.Failed,
+			BusyNs:    m.BusyNs,
+			LastJobNs: m.LastJobNs,
+		}
 		resp.Totals.Depth += m.Depth
 		resp.Totals.Enqueued += m.Enqueued
 		resp.Totals.Coalesced += m.Coalesced

@@ -60,6 +60,9 @@ var (
 	ErrShardSaturated = errors.New("shard: queue saturated")
 	// ErrClosed is returned by Submit/SubmitWait after Close began.
 	ErrClosed = errors.New("shard: scheduler closed")
+	// ErrJobPanicked wraps a recovered job panic — a server-side fault,
+	// not a caller mistake (the HTTP layer maps it to 500).
+	ErrJobPanicked = errors.New("shard: job panicked")
 )
 
 // Options configures New. The zero value is a sensible production default.
@@ -167,21 +170,49 @@ func (s *Scheduler) ShardFor(key string) int { return s.ring.locate(key) }
 // Submit fails with an error wrapping ErrShardSaturated. fn's error is
 // recorded in the shard metrics; use SubmitWait to receive it.
 func (s *Scheduler) Submit(key string, fn func() error) error {
-	return s.submit(key, fn, nil)
+	return s.submit(key, key, fn, nil)
 }
 
 // SubmitWait enqueues fn like Submit but blocks until the job (or the
 // queued job it coalesced into) finishes, returning the job's error.
 func (s *Scheduler) SubmitWait(key string, fn func() error) error {
 	done := make(chan error, 1)
-	if err := s.submit(key, fn, done); err != nil {
+	if err := s.submit(key, key, fn, done); err != nil {
 		return err
 	}
 	return <-done
 }
 
-func (s *Scheduler) submit(key string, fn func() error, done chan error) error {
-	shard := s.ring.locate(key)
+// SubmitWaitKeyed is SubmitWait with the routing identity split from the
+// coalescing identity: the job runs on routeKey's shard (so different job
+// kinds for one entity share that entity's worker and its isolation/
+// backpressure budget) but coalesces only with queued jobs carrying the
+// same jobKey (so kinds never collapse into each other). The platform uses
+// this to run estimate refreshes and assignment refreshes for one project
+// on the project's home shard under distinct coalescing keys.
+func (s *Scheduler) SubmitWaitKeyed(routeKey, jobKey string, fn func() error) error {
+	done, err := s.SubmitNotifyKeyed(routeKey, jobKey, fn)
+	if err != nil {
+		return err
+	}
+	return <-done
+}
+
+// SubmitNotifyKeyed enqueues like SubmitWaitKeyed but returns the
+// completion channel instead of blocking on it, letting the caller bound
+// its wait (e.g. select with a timeout) while the job still runs to
+// completion either way. The channel receives the job's error (nil on
+// success) exactly once.
+func (s *Scheduler) SubmitNotifyKeyed(routeKey, jobKey string, fn func() error) (<-chan error, error) {
+	done := make(chan error, 1)
+	if err := s.submit(routeKey, jobKey, fn, done); err != nil {
+		return nil, err
+	}
+	return done, nil
+}
+
+func (s *Scheduler) submit(routeKey, key string, fn func() error, done chan error) error {
+	shard := s.ring.locate(routeKey)
 	sq := s.shards[shard]
 	sq.mu.Lock()
 	defer sq.mu.Unlock()
@@ -266,7 +297,7 @@ func (sq *shardQueue) loop() {
 func runJob(fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("shard: job panicked: %v", r)
+			err = fmt.Errorf("%w: %v", ErrJobPanicked, r)
 		}
 	}()
 	return fn()

@@ -357,3 +357,75 @@ func waitUntil(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestSubmitWaitKeyedRoutesByRouteKeyCoalescesByJobKey pins the split
+// identity: keyed jobs run on the ROUTE key's shard (regardless of the
+// job key), coalesce with queued jobs sharing their job key, and never
+// coalesce across distinct job keys for the same route.
+func TestSubmitWaitKeyedRoutesByRouteKeyCoalescesByJobKey(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 16})
+	defer s.Close()
+
+	// Routing: the job lands on routeKey's shard even when jobKey would
+	// hash elsewhere.
+	route, other := keysOnDistinctShards(t, s)
+	sh := s.ShardFor(route)
+	gate := make(chan struct{})
+	if err := s.Submit(route, func() error { <-gate; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- s.SubmitWaitKeyed(route, other /* jobKey hashing to the other shard */, func() error { return nil })
+	}()
+	// The keyed job must be behind the blocker on route's shard: the
+	// other shard stays idle, so nothing completes until the gate opens.
+	queued := time.Now().Add(5 * time.Second)
+	for s.Metrics()[sh].Depth == 0 {
+		if time.Now().After(queued) {
+			t.Fatal("keyed job not queued on the route key's shard")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("keyed job ran before the route shard's blocker finished")
+	default:
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Coalescing: with the worker blocked again, two keyed submits under
+	// one job key collapse into one queued job; a submit under a second
+	// job key does not.
+	gate2 := make(chan struct{})
+	if err := s.Submit(route, func() error { <-gate2; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	results := make(chan error, 3)
+	for _, jobKey := range []string{"kind-a", "kind-a", "kind-b"} {
+		jk := jobKey
+		go func() {
+			results <- s.SubmitWaitKeyed(route, jk, func() error { ran.Add(1); return nil })
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics()[sh].Coalesced == 0 || s.Metrics()[sh].Depth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("keyed coalescing metrics: %+v", s.Metrics()[sh])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate2)
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("keyed jobs ran %d times, want 2 (kind-a coalesced, kind-b separate)", got)
+	}
+}
