@@ -24,10 +24,15 @@ const (
 	CodeBadRequest = "bad_request"
 	// CodeNoProject: the {id} path element names no registered project.
 	CodeNoProject = "no_project"
-	// CodeNoSnapshot: /snapshot before the project's first refresh has
-	// published estimates. Retryable — a snapshot appears once a refresh
+	// CodeNoSnapshot: a generation-pinned read before the project's first
+	// refresh has published estimates (or naming a generation newer than
+	// anything published). Retryable — a snapshot appears once a refresh
 	// completes.
 	CodeNoSnapshot = "no_snapshot"
+	// CodeGenerationGone: the ?generation= (or cursor-pinned) model state
+	// was evicted from the server's retained-generation ring. Not
+	// retryable as issued — restart the read from the latest generation.
+	CodeGenerationGone = "generation_gone"
 	// CodeDuplicateProject: POST /v1/projects with an id already in use.
 	CodeDuplicateProject = "duplicate_project"
 	// CodeAlreadyAnswered: this worker already answered this cell.
@@ -193,21 +198,65 @@ type Estimate struct {
 	Number *float64 `json:"number,omitempty"`
 }
 
-// EstimatesResponse is the body of GET /v1/projects/{id}/estimates and
-// .../snapshot. With ?cursor=&limit= the estimates list is one page of the
-// row-major cell walk and NextCursor resumes it; worker-level fields are
-// repeated on every page.
+// GenerationFresh is a ?min_generation= value guaranteed to exceed every
+// published generation: it always triggers one refresh-if-stale round
+// through the project's shard, so the response reflects every answer
+// recorded before the call — the strongly consistent read spelled in
+// generation terms.
+const GenerationFresh = 1<<31 - 1
+
+// EstimatesResponse is the body of GET /v1/projects/{id}/estimates (and
+// its /snapshot alias). Every response is pinned to one published model
+// generation: Generation identifies it, the ETag response header quotes
+// it, and with ?cursor=&limit= the estimates list is one page of the
+// row-major cell walk over that immutable snapshot — NextCursor re-encodes
+// the generation, so the whole paged walk is generation-coherent however
+// many writes land mid-walk. Worker-level fields repeat on every page.
 type EstimatesResponse struct {
 	Estimates     []Estimate         `json:"estimates"`
 	WorkerQuality map[string]float64 `json:"worker_quality"`
 	Iterations    int                `json:"iterations"`
 	Converged     bool               `json:"converged"`
+	// Generation is the published model state this response serves
+	// (monotonically increasing per project; 1 is the first publish).
+	Generation int `json:"generation"`
 	// AnswersSeen is the log length the estimates reflect; Fresh reports
-	// whether that equals the current log length (snapshot reads may lag).
+	// whether that equals the current log length (pinned reads may lag).
 	AnswersSeen int  `json:"answers_seen"`
 	Fresh       bool `json:"fresh"`
-	// NextCursor, when non-zero, is the ?cursor= value of the next page.
-	NextCursor int `json:"next_cursor,omitempty"`
+	// NextCursor, when non-empty, is the ?cursor= value of the next page
+	// ("<generation>:<ordinal>" — the pinned generation rides along).
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// WatchEventGeneration is the SSE `event:` name of a generation-bump
+// event on GET /v1/projects/{id}/watch; its `data:` payload is one
+// WatchEvent. Long-poll responses carry the same WatchEvent as a plain
+// JSON body.
+const WatchEventGeneration = "generation"
+
+// WatchEvent is one generation bump published by a project, delivered by
+// GET /v1/projects/{id}/watch (long-poll JSON body or SSE data payload).
+type WatchEvent struct {
+	Project string `json:"project"`
+	// Generation is the newly published model state.
+	Generation int `json:"generation"`
+	// AnswersSeen is the log length the new state reflects; AnswersDelta
+	// is how many answers this publish absorbed over the previous one.
+	AnswersSeen  int `json:"answers_seen"`
+	AnswersDelta int `json:"answers_delta"`
+	// ChangedCells counts estimate cells whose value moved in this
+	// publish.
+	ChangedCells int  `json:"changed_cells"`
+	Workers      int  `json:"workers"`
+	Converged    bool `json:"converged"`
+	// Coalesced marks the delivery that follows a gap: at least one
+	// generation between the consumer's previous event (or its ?after=)
+	// and this one was skipped — a slow consumer's buffer dropped bumps,
+	// or the consumer connected behind the latest state. AnswersDelta/
+	// ChangedCells cover only this event's own publish, not everything
+	// missed.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/projects/{id}/stats.

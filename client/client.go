@@ -8,7 +8,14 @@
 //	err := c.CreateProject(ctx, api.CreateProjectRequest{ID: "books", ...})
 //	tasks, err := c.Tasks(ctx, "books", "w1", 4)
 //	res, err := c.SubmitAnswers(ctx, "books", batch) // one POST, one refresh
-//	est, err := c.AllEstimates(ctx, "books", 10_000) // paginates transparently
+//	est, err := c.AllEstimates(ctx, "books", 10_000, client.EstimatesQuery{})
+//
+// Reads are generation-pinned: every EstimatesResponse names the published
+// model Generation it serves, pagination cursors re-encode it (so a paged
+// walk never spans model states — AllEstimates needs no retries), pollers
+// skip unchanged downloads with EstimatesQuery.IfNotGeneration /
+// ErrNotModified, and Watch/WatchStream push generation bumps instead of
+// polling at all.
 //
 // Error handling dispatches on the stable machine code:
 //
@@ -17,18 +24,26 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"tcrowd/api"
 )
+
+// ErrNotModified is returned by Estimates when the server answered 304:
+// the model is still at EstimatesQuery.IfNotGeneration, so there is
+// nothing new to download.
+var ErrNotModified = errors.New("tcrowd: not modified")
 
 // Client talks to one tcrowd-server. It is safe for concurrent use.
 type Client struct {
@@ -42,7 +57,11 @@ type Client struct {
 type Option func(*Client)
 
 // WithHTTPClient replaces the underlying *http.Client (timeouts,
-// transports, instrumentation).
+// transports, instrumentation). A Timeout set here applies to the
+// request/response calls only: the streaming paths (Watch, WatchStream)
+// reuse the transport but strip the overall Timeout, bounding themselves
+// with contexts instead — otherwise a parked long-poll or an idle SSE
+// stream would be killed mid-flight.
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
 // WithMaxRetries sets how many times a retryable 429 is retried after
@@ -75,6 +94,21 @@ func trimSlash(s string) string {
 	return s
 }
 
+// streamHC returns the configured client minus its overall Timeout: a
+// request/response deadline is right for the short-lived calls but would
+// kill a long-poll parked at the server (by design up to 125s) or an SSE
+// stream (unbounded) mid-flight. The streaming paths bound themselves
+// with contexts instead; the transport (proxies, TLS config,
+// instrumentation) is preserved.
+func (c *Client) streamHC() *http.Client {
+	if c.hc.Timeout == 0 {
+		return c.hc
+	}
+	hc := *c.hc
+	hc.Timeout = 0
+	return &hc
+}
+
 // APIError is a non-2xx server response, decoded from the typed error
 // envelope. Responses without a parseable envelope (proxies, panics)
 // yield Code api.CodeBadRequest with the raw body as Message.
@@ -99,8 +133,9 @@ func (e *APIError) Error() string {
 }
 
 // do issues one request (with 429 backoff) and decodes a 2xx body into
-// out (skipped when out is nil).
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// out (skipped when out is nil). hdr carries extra request headers (nil
+// for none); a 304 response surfaces as ErrNotModified.
+func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, in, out any) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -109,7 +144,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, method, path, body, out)
+		err := c.doOnce(ctx, method, path, hdr, body, out)
 		ae, ok := err.(*APIError)
 		if !ok || !ae.Retryable || ae.Status != http.StatusTooManyRequests || attempt >= c.maxRetries {
 			return err
@@ -131,7 +166,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Header, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -139,6 +174,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -148,6 +186,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		return ErrNotModified
+	}
 	if resp.StatusCode >= 300 {
 		return decodeErr(resp)
 	}
@@ -182,13 +223,13 @@ func decodeErr(resp *http.Response) error {
 
 // CreateProject registers a new campaign.
 func (c *Client) CreateProject(ctx context.Context, req api.CreateProjectRequest) error {
-	return c.do(ctx, http.MethodPost, "/v1/projects", req, nil)
+	return c.do(ctx, http.MethodPost, "/v1/projects", nil, req, nil)
 }
 
 // Projects lists registered project ids, sorted.
 func (c *Client) Projects(ctx context.Context) ([]string, error) {
 	var ids []string
-	err := c.do(ctx, http.MethodGet, "/v1/projects", nil, &ids)
+	err := c.do(ctx, http.MethodGet, "/v1/projects", nil, nil, &ids)
 	return ids, err
 }
 
@@ -200,7 +241,7 @@ func (c *Client) Tasks(ctx context.Context, project, worker string, count int) (
 		q.Set("count", strconv.Itoa(count))
 	}
 	var tasks []api.Task
-	err := c.do(ctx, http.MethodGet, "/v1/projects/"+url.PathEscape(project)+"/tasks?"+q.Encode(), nil, &tasks)
+	err := c.do(ctx, http.MethodGet, "/v1/projects/"+url.PathEscape(project)+"/tasks?"+q.Encode(), nil, nil, &tasks)
 	return tasks, err
 }
 
@@ -208,7 +249,7 @@ func (c *Client) Tasks(ctx context.Context, project, worker string, count int) (
 func (c *Client) SubmitAnswer(ctx context.Context, project string, a api.Answer) (*api.SubmitAnswersResponse, error) {
 	var out api.SubmitAnswersResponse
 	err := c.do(ctx, http.MethodPost, "/v1/projects/"+url.PathEscape(project)+"/answers",
-		api.SubmitAnswersRequest{Answer: a}, &out)
+		nil, api.SubmitAnswersRequest{Answer: a}, &out)
 	if err != nil {
 		return nil, err
 	}
@@ -225,41 +266,68 @@ func (c *Client) SubmitAnswer(ctx context.Context, project string, a api.Answer)
 func (c *Client) SubmitAnswers(ctx context.Context, project string, answers []api.Answer) (*api.SubmitAnswersResponse, error) {
 	var out api.SubmitAnswersResponse
 	err := c.do(ctx, http.MethodPost, "/v1/projects/"+url.PathEscape(project)+"/answers",
-		api.SubmitAnswersRequest{Answers: answers}, &out)
+		nil, api.SubmitAnswersRequest{Answers: answers}, &out)
 	if err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Estimates fetches one page of the strongly consistent truth estimates
-// (cursor 0 starts; limit 0 = everything). 429s are retried with backoff;
-// persistent saturation surfaces as *APIError{Code:
-// api.CodeShardSaturated} — fall back to Snapshot for a non-blocking read.
-func (c *Client) Estimates(ctx context.Context, project string, cursor, limit int) (*api.EstimatesResponse, error) {
-	return c.estimates(ctx, project, "estimates", cursor, limit)
+// EstimatesQuery selects which published model generation Estimates
+// serves and how. The zero value reads the latest published snapshot —
+// one atomic pointer load at the server, never blocked behind inference.
+type EstimatesQuery struct {
+	// Cursor continues a paged walk: the NextCursor of the previous page.
+	// It encodes the pinned generation, so the walk stays on one model
+	// state regardless of concurrent writes. Mutually exclusive with
+	// Generation/MinGeneration.
+	Cursor string
+	// Limit caps the estimates per page (0 = everything).
+	Limit int
+	// Generation re-reads one specific retained generation (0 = latest).
+	// An evicted generation fails with api.CodeGenerationGone.
+	Generation int
+	// MinGeneration is the refresh-if-stale knob: when the latest
+	// published generation is below it, the server routes one coalescing
+	// refresh through the project's shard and waits. Pass a generation
+	// you have seen (e.g. from a watch event) for read-your-writes, or
+	// api.GenerationFresh for the strongly consistent
+	// reflects-every-recorded-answer read.
+	MinGeneration int
+	// IfNotGeneration makes the read conditional: the generation of the
+	// copy you already hold. If the model is still at that generation the
+	// server answers 304 and Estimates returns ErrNotModified — pollers
+	// stop re-downloading unchanged models.
+	IfNotGeneration int
 }
 
-// Snapshot fetches one page of the last published estimates without ever
-// waiting on inference (check Fresh for staleness).
-func (c *Client) Snapshot(ctx context.Context, project string, cursor, limit int) (*api.EstimatesResponse, error) {
-	return c.estimates(ctx, project, "snapshot", cursor, limit)
-}
-
-func (c *Client) estimates(ctx context.Context, project, kind string, cursor, limit int) (*api.EstimatesResponse, error) {
-	q := url.Values{}
-	if cursor > 0 {
-		q.Set("cursor", strconv.Itoa(cursor))
+// Estimates fetches one generation-pinned page of truth estimates. 429s
+// (possible only on the MinGeneration refresh path) are retried with
+// backoff.
+func (c *Client) Estimates(ctx context.Context, project string, q EstimatesQuery) (*api.EstimatesResponse, error) {
+	v := url.Values{}
+	if q.Cursor != "" {
+		v.Set("cursor", q.Cursor)
 	}
-	if limit > 0 {
-		q.Set("limit", strconv.Itoa(limit))
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
 	}
-	path := "/v1/projects/" + url.PathEscape(project) + "/" + kind
-	if len(q) > 0 {
-		path += "?" + q.Encode()
+	if q.Generation > 0 {
+		v.Set("generation", strconv.Itoa(q.Generation))
+	}
+	if q.MinGeneration > 0 {
+		v.Set("min_generation", strconv.Itoa(q.MinGeneration))
+	}
+	path := "/v1/projects/" + url.PathEscape(project) + "/estimates"
+	if len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	var hdr http.Header
+	if q.IfNotGeneration > 0 {
+		hdr = http.Header{"If-None-Match": {`"` + strconv.Itoa(q.IfNotGeneration) + `"`}}
 	}
 	var out api.EstimatesResponse
-	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, hdr, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -267,48 +335,152 @@ func (c *Client) estimates(ctx context.Context, project, kind string, cursor, li
 
 // AllEstimates walks the estimates pagination to completion, fetching
 // pageSize estimates per request (0 = one unpaginated request), and
-// returns the merged result.
-//
-// Each page is an independent strongly consistent read, so answers
-// submitted mid-walk would make later pages reflect a newer model than
-// earlier ones. AllEstimates detects that via AnswersSeen and restarts
-// the walk (up to 3 attempts); if writes outpace every attempt, the last
-// merged result is returned with Fresh forced to false so callers can
-// tell the body spans model states. For a cheap read of one stable
-// published state, page Snapshot instead.
-func (c *Client) AllEstimates(ctx context.Context, project string, pageSize int) (*api.EstimatesResponse, error) {
-	const walkAttempts = 3
-	var out *api.EstimatesResponse
-	for attempt := 0; attempt < walkAttempts; attempt++ {
-		first, err := c.Estimates(ctx, project, 0, pageSize)
+// returns the merged result. q selects the first page (its Cursor and
+// Limit are ignored); later pages follow NextCursor, whose embedded
+// generation pins the whole walk to the first page's model state — the
+// result is generation-coherent by construction, with no retries, however
+// fast answers land mid-walk. A walk that outlives the server's retention
+// window fails with api.CodeGenerationGone; restart it from the latest
+// generation.
+func (c *Client) AllEstimates(ctx context.Context, project string, pageSize int, q EstimatesQuery) (*api.EstimatesResponse, error) {
+	q.Cursor, q.Limit = "", pageSize
+	out, err := c.Estimates(ctx, project, q)
+	if err != nil {
+		return nil, err
+	}
+	for out.NextCursor != "" {
+		page, err := c.Estimates(ctx, project, EstimatesQuery{Cursor: out.NextCursor, Limit: pageSize})
 		if err != nil {
 			return nil, err
 		}
-		out = first
-		coherent := true
-		for out.NextCursor > 0 {
-			page, err := c.Estimates(ctx, project, out.NextCursor, pageSize)
-			if err != nil {
-				return nil, err
-			}
-			if page.AnswersSeen != first.AnswersSeen {
-				coherent = false
-			}
-			out.Estimates = append(out.Estimates, page.Estimates...)
-			out.NextCursor = page.NextCursor
-		}
-		if coherent {
-			return out, nil
-		}
+		out.Estimates = append(out.Estimates, page.Estimates...)
+		out.NextCursor = page.NextCursor
 	}
-	out.Fresh = false
 	return out, nil
+}
+
+// Watch issues one long-poll for a generation bump past `after` (pass the
+// last generation you have seen; 0 catches up to the first publish).
+// It returns the next event, or (nil, nil) when the server's timeout
+// elapsed with no publish — just call it again. timeout <= 0 uses the
+// server default (30s). The wait is bounded client-side by a context
+// deadline with headroom over the server timeout; any Timeout configured
+// on the underlying *http.Client is ignored here (it would kill parked
+// polls by design).
+func (c *Client) Watch(ctx context.Context, project string, after int, timeout time.Duration) (*api.WatchEvent, error) {
+	v := url.Values{}
+	if after > 0 {
+		v.Set("after", strconv.Itoa(after))
+	}
+	if timeout > 0 {
+		v.Set("timeout", strconv.Itoa(int((timeout+time.Second-1)/time.Second)))
+	} else {
+		timeout = 30 * time.Second // mirror the server default for the client-side bound
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout+5*time.Second)
+	defer cancel()
+	path := "/v1/projects/" + url.PathEscape(project) + "/watch"
+	if len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.streamHC().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return nil, nil
+	case resp.StatusCode >= 300:
+		return nil, decodeErr(resp)
+	}
+	var ev api.WatchEvent
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// WatchStream opens the SSE variant of /watch and streams generation
+// bumps until ctx is cancelled, the server shuts down, or the connection
+// drops. The events channel closes when the stream ends; the error
+// channel then yields exactly one value — nil for a clean end (server
+// shutdown), the cause otherwise. Slow consumers see intermediate bumps
+// coalesced into a latest event with Coalesced set, exactly like the
+// server-side watcher buffer.
+func (c *Client) WatchStream(ctx context.Context, project string, after int) (<-chan api.WatchEvent, <-chan error) {
+	events := make(chan api.WatchEvent)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(events)
+		errc <- c.watchStream(ctx, project, after, events)
+	}()
+	return events, errc
+}
+
+func (c *Client) watchStream(ctx context.Context, project string, after int, events chan<- api.WatchEvent) error {
+	v := url.Values{}
+	if after > 0 {
+		v.Set("after", strconv.Itoa(after))
+	}
+	path := "/v1/projects/" + url.PathEscape(project) + "/watch"
+	if len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.streamHC().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeErr(resp)
+	}
+	// Minimal SSE reader: collect data: lines, dispatch on blank line.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "" && len(data) > 0:
+			var ev api.WatchEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("tcrowd: bad watch event: %w", err)
+			}
+			data = data[:0]
+			select {
+			case events <- ev:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		// event:/": keepalive" lines need no handling — the stream's only
+		// event type is api.WatchEventGeneration.
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return sc.Err() // nil on a clean server-side end of stream
 }
 
 // Stats fetches a project's collection progress.
 func (c *Client) Stats(ctx context.Context, project string) (*api.StatsResponse, error) {
 	var out api.StatsResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/projects/"+url.PathEscape(project)+"/stats", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/projects/"+url.PathEscape(project)+"/stats", nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -317,7 +489,7 @@ func (c *Client) Stats(ctx context.Context, project string) (*api.StatsResponse,
 // ShardStats fetches the server's shard-scheduler metrics.
 func (c *Client) ShardStats(ctx context.Context) (*api.ShardStatsResponse, error) {
 	var out api.ShardStatsResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

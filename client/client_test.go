@@ -128,12 +128,14 @@ func TestClientEndToEnd(t *testing.T) {
 		t.Fatalf("rejected batch recorded answers: %+v -> %+v (%v)", stBefore, st, err)
 	}
 
-	// Consistent estimates, full read.
-	est, err := c.Estimates(ctx, "books", 0, 0)
+	// Strongly consistent read: MinGeneration above anything published
+	// forces one refresh-if-stale round, so the body reflects every
+	// answer above.
+	est, err := c.Estimates(ctx, "books", EstimatesQuery{MinGeneration: api.GenerationFresh})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !est.Fresh || est.NextCursor != 0 {
+	if !est.Fresh || est.NextCursor != "" || est.Generation == 0 {
 		t.Fatalf("estimates staleness/pagination: %+v", est)
 	}
 	assertRow0(t, est)
@@ -141,10 +143,14 @@ func TestClientEndToEnd(t *testing.T) {
 		t.Fatalf("worker quality: %+v", est.WorkerQuality)
 	}
 
-	// Paginated walk merges to the same estimates.
-	paged, err := c.AllEstimates(ctx, "books", 1)
+	// Paginated walk merges to the same estimates, pinned to the same
+	// generation by the cursor.
+	paged, err := c.AllEstimates(ctx, "books", 1, EstimatesQuery{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if paged.Generation != est.Generation {
+		t.Fatalf("paged walk generation %d, want %d", paged.Generation, est.Generation)
 	}
 	if len(paged.Estimates) != len(est.Estimates) {
 		t.Fatalf("paged walk: %d vs %d estimates", len(paged.Estimates), len(est.Estimates))
@@ -157,12 +163,25 @@ func TestClientEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Snapshot (non-blocking read) serves the published estimates.
-	snap, err := c.Snapshot(ctx, "books", 0, 0)
+	// The default (latest-pinned, non-blocking) read serves the published
+	// estimates, and a ?generation= re-read returns the same state.
+	snap, err := c.Estimates(ctx, "books", EstimatesQuery{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertRow0(t, snap)
+	again, err := c.Estimates(ctx, "books", EstimatesQuery{Generation: snap.Generation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Generation != snap.Generation || len(again.Estimates) != len(snap.Estimates) {
+		t.Fatalf("generation re-read diverged: %+v vs %+v", again, snap)
+	}
+
+	// Conditional GET: the copy we hold is current -> ErrNotModified.
+	if _, err := c.Estimates(ctx, "books", EstimatesQuery{IfNotGeneration: snap.Generation}); !errors.Is(err, ErrNotModified) {
+		t.Fatalf("conditional read of unchanged generation: %v", err)
+	}
 
 	// Shard stats are visible through the SDK.
 	ss, err := c.ShardStats(ctx)
@@ -223,7 +242,7 @@ func TestClientRetryAfterBackoff(t *testing.T) {
 	defer srv.Close()
 
 	c := New(srv.URL, WithMaxRetries(3), WithMaxRetryWait(10*time.Millisecond))
-	est, err := c.Estimates(context.Background(), "p", 0, 0)
+	est, err := c.Estimates(context.Background(), "p", EstimatesQuery{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +253,7 @@ func TestClientRetryAfterBackoff(t *testing.T) {
 	// Exhausted retries surface the typed error.
 	calls = -10
 	c2 := New(srv.URL, WithMaxRetries(1), WithMaxRetryWait(time.Millisecond))
-	_, err = c2.Estimates(context.Background(), "p", 0, 0)
+	_, err = c2.Estimates(context.Background(), "p", EstimatesQuery{})
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Code != api.CodeShardSaturated || ae.Status != http.StatusTooManyRequests {
 		t.Fatalf("exhausted retries: %v", err)
@@ -245,7 +264,7 @@ func TestClientRetryAfterBackoff(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	c3 := New(srv.URL, WithMaxRetries(5))
-	if _, err := c3.Estimates(ctx, "p", 0, 0); err == nil {
+	if _, err := c3.Estimates(ctx, "p", EstimatesQuery{}); err == nil {
 		t.Fatal("cancelled context did not abort")
 	}
 }

@@ -1,0 +1,223 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"tcrowd/api"
+	"tcrowd/internal/platform"
+)
+
+// seedBooks creates the books project with one answered row and a
+// published generation 1.
+func seedBooks(t *testing.T, c *Client, p *platform.Platform) {
+	t.Helper()
+	ctx := context.Background()
+	if err := c.CreateProject(ctx, api.CreateProjectRequest{
+		ID: "books", Schema: schema(), Rows: 4, RefreshEvery: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitAnswers(ctx, "books", []api.Answer{
+		api.LabelAnswer("s1", 0, "category", "movie"),
+		api.LabelAnswer("s2", 0, "category", "movie"),
+		api.NumberAnswer("s1", 0, "price", 99),
+		api.NumberAnswer("s2", 0, "price", 101),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Estimates(ctx, "books", EstimatesQuery{MinGeneration: api.GenerationFresh}); err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+}
+
+// TestClientWatchLongPoll drives the long-poll flow through the SDK:
+// catch-up, parked wake on publish, and the nil-nil timeout contract.
+func TestClientWatchLongPoll(t *testing.T) {
+	c, p := newTestServer(t)
+	seedBooks(t, c, p)
+	ctx := context.Background()
+
+	// Catch-up: after=0 against a project at generation >= 1.
+	ev, err := c.Watch(ctx, "books", 0, 5*time.Second)
+	if err != nil || ev == nil || ev.Generation < 1 {
+		t.Fatalf("catch-up watch: %+v %v", ev, err)
+	}
+	last := ev.Generation
+
+	// Parked poll woken by a publish.
+	got := make(chan *api.WatchEvent, 1)
+	errc := make(chan error, 1)
+	go func() {
+		ev, err := c.Watch(ctx, "books", last, 30*time.Second)
+		errc <- err
+		got <- ev
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c.SubmitAnswer(ctx, "books", api.NumberAnswer("w3", 1, "price", 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Estimates(ctx, "books", EstimatesQuery{MinGeneration: api.GenerationFresh}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if ev = <-got; err != nil || ev == nil || ev.Generation <= last {
+			t.Fatalf("parked watch: %+v %v", ev, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked watch never woke")
+	}
+
+	// Timeout: nothing newer than a huge after -> (nil, nil).
+	ev, err = c.Watch(ctx, "books", 1<<30, time.Second)
+	if err != nil || ev != nil {
+		t.Fatalf("timed-out watch: %+v %v", ev, err)
+	}
+
+	// Unknown project -> typed error.
+	var ae *APIError
+	if _, err := c.Watch(ctx, "ghost", 0, time.Second); !errors.As(err, &ae) || ae.Code != api.CodeNoProject {
+		t.Fatalf("ghost watch: %v", err)
+	}
+}
+
+// TestClientWatchSurvivesHTTPClientTimeout pins the streaming-path rule:
+// a Timeout configured via WithHTTPClient (sane hardening for the short
+// request/response calls) must NOT kill a long-poll parked longer than it
+// at the server — Watch strips it and bounds itself by context instead.
+func TestClientWatchSurvivesHTTPClientTimeout(t *testing.T) {
+	c, p := newTestServer(t)
+	seedBooks(t, c, p)
+	short := New(c.base, WithHTTPClient(&http.Client{Timeout: 200 * time.Millisecond}))
+
+	// Parked for ~1s (far past the http.Client timeout), then a clean
+	// no-event timeout result rather than a transport error.
+	start := time.Now()
+	ev, err := short.Watch(context.Background(), "books", 1<<30, time.Second)
+	if err != nil || ev != nil {
+		t.Fatalf("watch through short-timeout client: %+v %v", ev, err)
+	}
+	if time.Since(start) < 900*time.Millisecond {
+		t.Fatalf("poll returned after %v — killed by the client timeout?", time.Since(start))
+	}
+
+	// The short timeout still applies to plain calls.
+	if _, err := short.Estimates(context.Background(), "books", EstimatesQuery{}); err != nil {
+		t.Fatalf("plain call through short-timeout client: %v", err)
+	}
+}
+
+// TestClientWatchStream pins the SSE flow end to end: the stream delivers
+// the catch-up event and then every generation bump (in order, none
+// missed) while answers land, and ends cleanly on context cancel.
+func TestClientWatchStream(t *testing.T) {
+	c, p := newTestServer(t)
+	seedBooks(t, c, p)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	events, errc := c.WatchStream(ctx, "books", 0)
+	next := func() api.WatchEvent {
+		t.Helper()
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream ended early: %v", <-errc)
+			}
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatal("no stream event in time")
+			return api.WatchEvent{}
+		}
+	}
+
+	first := next() // catch-up
+	if first.Generation < 1 {
+		t.Fatalf("catch-up stream event: %+v", first)
+	}
+	last := first.Generation
+	for i := 0; i < 3; i++ {
+		w := fmt.Sprintf("stream-%d", i)
+		if _, err := c.SubmitAnswer(context.Background(), "books", api.NumberAnswer(w, 2, "price", float64(40+i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Estimates(context.Background(), "books", EstimatesQuery{MinGeneration: api.GenerationFresh}); err != nil {
+			t.Fatal(err)
+		}
+		ev := next()
+		if ev.Generation != last+1 || ev.Coalesced {
+			t.Fatalf("stream event after publish %d: %+v (last %d)", i, ev, last)
+		}
+		last = ev.Generation
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stream end error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not end on cancel")
+	}
+}
+
+// TestClientAllEstimatesCoherentUnderWrites is the SDK half of the
+// read-coherence criterion: AllEstimates — which no longer has any drift
+// detection or retry machinery — returns a single-generation body even
+// with a publish interleaved between every page, because the cursor pins
+// the walk server-side.
+func TestClientAllEstimatesCoherentUnderWrites(t *testing.T) {
+	c, p := newTestServer(t)
+	seedBooks(t, c, p)
+	ctx := context.Background()
+
+	// Interleave publishes with the walk via a midstream hook: run the
+	// walk page by page manually through the same query surface the
+	// helper uses, forcing a new generation before each page.
+	pinned, err := c.Estimates(ctx, "books", EstimatesQuery{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := 1
+	for pinned.NextCursor != "" {
+		w := fmt.Sprintf("racer-%03d", pages)
+		if _, err := c.SubmitAnswer(ctx, "books", api.NumberAnswer(w, 3, "price", 60)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Estimates(ctx, "books", EstimatesQuery{MinGeneration: api.GenerationFresh}); err != nil {
+			t.Fatal(err)
+		}
+		page, err := c.Estimates(ctx, "books", EstimatesQuery{Cursor: pinned.NextCursor, Limit: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if page.Generation != pinned.Generation {
+			t.Fatalf("page %d generation %d, pinned %d", pages, page.Generation, pinned.Generation)
+		}
+		pinned.Estimates = append(pinned.Estimates, page.Estimates...)
+		pinned.NextCursor = page.NextCursor
+	}
+	if pages < 3 {
+		t.Fatalf("walk took %d pages", pages)
+	}
+
+	// And the helper end to end: coherent merged body, newest state.
+	merged, err := c.AllEstimates(ctx, "books", 1, EstimatesQuery{MinGeneration: api.GenerationFresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Generation <= pinned.Generation {
+		t.Fatalf("fresh walk generation %d not past pinned %d", merged.Generation, pinned.Generation)
+	}
+	if len(merged.Estimates) < len(pinned.Estimates) {
+		t.Fatalf("fresh walk lost estimates: %d < %d", len(merged.Estimates), len(pinned.Estimates))
+	}
+}

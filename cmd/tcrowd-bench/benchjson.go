@@ -77,6 +77,8 @@ func hotBenches() []struct {
 		{"server/submit-batch-1", benchServerSubmitBatch(1)},
 		{"server/submit-batch-50", benchServerSubmitBatch(50)},
 		{"server/submit-batch-200", benchServerSubmitBatch(200)},
+		{"server/estimates-paged-10k", benchServerEstimatesPaged},
+		{"server/watch-fanout-32", benchServerWatchFanout(32)},
 		{"infogain-scoring", benchInfoGain},
 	}
 }
@@ -378,6 +380,131 @@ func benchServerSubmitBatch(batch int) func(b *testing.B) {
 			if res.Recorded != batch {
 				b.Fatalf("recorded %d/%d", res.Recorded, batch)
 			}
+		}
+	}
+}
+
+// benchServerEstimatesPaged measures the generation-pinned read path at
+// the wire: a full paged walk (limit 250 over a 2000-cell, 10k-answer
+// fitted model — 8+ GETs following next_cursor) through the client SDK
+// against a live server. The walk is served entirely from the pinned
+// immutable snapshot: no platform lock, no shard queue, no EM — per-op
+// cost is pages x (HTTP + JSON render), independent of write traffic.
+func benchServerEstimatesPaged(b *testing.B) {
+	ds, log := inferWorkload(200) // 200 rows x 10 cols, ~10k answers
+	p := platform.NewWithOptions(1, platform.Options{Workers: 1})
+	defer p.Close()
+	if _, err := p.CreateProject("bench", ds.Table.Schema, platform.ProjectConfig{Rows: ds.Table.NumRows()}); err != nil {
+		b.Fatal(err)
+	}
+	proj, err := p.Project("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	proj.Log = log
+	if _, err := p.RunInference("bench"); err != nil { // publish generation 1
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(platform.NewServer(p))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		est, err := c.AllEstimates(ctx, "bench", 250, client.EstimatesQuery{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(est.Estimates) == 0 || est.Generation != 1 {
+			b.Fatalf("walk result: %d estimates, generation %d", len(est.Estimates), est.Generation)
+		}
+	}
+}
+
+// benchServerWatchFanout measures push-based delivery end to end: one
+// answer submission (RefreshEvery 1, so it publishes a new generation)
+// fanned out to `watchers` concurrent SSE streams through the client SDK,
+// timed until every stream has observed the bump — the submit -> refresh
+// -> publish -> notify -> 32x (marshal + SSE write + parse) pipeline.
+func benchServerWatchFanout(watchers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		schema := tabular.Schema{
+			Key: "item",
+			Columns: []tabular.Column{
+				{Name: "c0", Type: tabular.Categorical, Labels: []string{"a", "b"}},
+				{Name: "c1", Type: tabular.Continuous, Min: 0, Max: 100},
+			},
+		}
+		var (
+			p      *platform.Platform
+			srv    *httptest.Server
+			c      *client.Client
+			cancel context.CancelFunc
+			chans  []<-chan api.WatchEvent
+			gen    int
+			op     int
+		)
+		await := func(target int) {
+			for _, ch := range chans {
+				for ev := range ch {
+					if ev.Generation >= target {
+						break
+					}
+				}
+			}
+		}
+		teardown := func() {
+			if srv == nil {
+				return
+			}
+			cancel()
+			srv.Close()
+			p.Close()
+		}
+		reset := func() {
+			teardown()
+			p = platform.NewWithOptions(1, platform.Options{Workers: 1, QueueDepth: 4096})
+			srv = httptest.NewServer(platform.NewServer(p))
+			c = client.New(srv.URL)
+			if _, err := p.CreateProject("bench", schema, platform.ProjectConfig{Rows: 3, RefreshEvery: 1}); err != nil {
+				b.Fatal(err)
+			}
+			var ctx context.Context
+			ctx, cancel = context.WithCancel(context.Background())
+			// Publish generation 1 so watchers have a catch-up event.
+			if _, err := c.SubmitAnswer(ctx, "bench", api.NumberAnswer("seed", 0, "c1", 42)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Estimates(ctx, "bench", client.EstimatesQuery{MinGeneration: api.GenerationFresh}); err != nil {
+				b.Fatal(err)
+			}
+			chans = chans[:0]
+			for i := 0; i < watchers; i++ {
+				evs, _ := c.WatchStream(ctx, "bench", 0)
+				chans = append(chans, evs)
+			}
+			gen = 1
+			await(gen) // drain every watcher's catch-up event
+		}
+		reset()
+		defer teardown()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			b.StopTimer()
+			if gen > 500 {
+				reset()
+			}
+			w := fmt.Sprintf("w%07d", op)
+			op++
+			b.StartTimer()
+			if _, err := c.SubmitAnswer(ctx, "bench", api.NumberAnswer(w, op%3, "c1", float64(10+op%80))); err != nil {
+				b.Fatal(err)
+			}
+			gen++
+			await(gen)
 		}
 	}
 }

@@ -11,19 +11,26 @@ import (
 // Perf-regression gate: `tcrowd-bench -compare BASELINE.json CANDIDATE.json`
 // compares two -bench-json result files and fails (non-zero exit) when a
 // gated series regressed. Gated series are selected by name prefix
-// (default infer/, refresh/, ingest/ and shard/ — the serving hot paths
-// whose budgets the repo commits to); a series regresses when its ns/op grows
-// by more than the allowed fraction (default 25%, absorbing CI-runner
-// timing noise) or its allocs/op grows by more than one alloc plus 0.1%.
-// Allocation counts are near-deterministic, but two benign wobbles exist:
-// the EM iteration count a refresh needs can shift by one between runs
-// (observed as ±3 allocs on ~8.7k — inside the fractional slack), and
-// testing.Benchmark's small-N division lets a single stray runtime alloc
-// move the per-op count by one (observed as 58 -> 59 on the infer series —
-// inside the absolute slack). A real regression allocates at least once
-// per work item (answers per op >> 1), far above both slacks; the
-// steady-state-zero-alloc guarantee of the ingest path is pinned exactly by
-// its unit test, not by this gate. Gated series present in the baseline
+// (default infer/, refresh/, ingest/, shard/ and server/ — the serving hot
+// paths whose budgets the repo commits to); a series regresses when its
+// ns/op grows by more than the allowed fraction (default 25%, absorbing
+// CI-runner timing noise) or its allocs/op grows past the slack.
+//
+// Alloc slack is per-series-class. Kernel series (infer/, ingest/,
+// refresh/) are near-deterministic: the allowed growth is one alloc plus
+// 0.1%, absorbing two benign wobbles — the EM iteration count a refresh
+// needs can shift by one between runs (observed as ±3 allocs on ~8.7k),
+// and testing.Benchmark's small-N division lets a single stray runtime
+// alloc move the per-op count by one (observed as 58 -> 59 on the infer
+// series). Concurrency-bearing series get a wider slack (four allocs plus
+// 5%): the server/ timed windows race the asynchronous shard refresh and
+// the shard/ ops run 16 concurrent consistency reads, so a scheduling-
+// dependent share of goroutine and EM allocations lands inside the
+// memstats delta (observed as ±6..22 on ~400-900 across identical
+// binaries). A real regression allocates at least once per work item
+// (answers per op >> 1), far above both slacks; the
+// steady-state-zero-alloc guarantee of the ingest path is pinned exactly
+// by its unit test, not by this gate. Gated series present in the baseline
 // must exist in the candidate; series new in the candidate are reported
 // but never gate.
 
@@ -61,6 +68,19 @@ func (c compareConfig) gated(name string) bool {
 		}
 	}
 	return false
+}
+
+// allocSlack returns the absolute and fractional allocs/op growth allowed
+// for a series: tight for the deterministic kernel series, wider for the
+// concurrency-bearing series — server/ (timed windows race asynchronous
+// shard refreshes) and shard/ (16 concurrent consistency reads per op) —
+// where a scheduling-dependent share of goroutine and EM allocations
+// lands inside the memstats delta (see the package comment).
+func (c compareConfig) allocSlack(name string) (abs float64, frac float64) {
+	if strings.HasPrefix(name, "server/") || strings.HasPrefix(name, "shard/") {
+		return 4, 0.05
+	}
+	return 1, c.maxAllocRegress
 }
 
 // runCompare prints a comparison table and returns an error when any gated
@@ -103,7 +123,8 @@ func runCompare(basePath, candPath string, cfg compareConfig) error {
 				failures = append(failures,
 					fmt.Sprintf("%s: ns/op regressed %.1f%% (limit %.0f%%)", name, 100*nsDelta, 100*cfg.maxNsRegress))
 			}
-			if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+cfg.maxAllocRegress)+1 {
+			abs, frac := cfg.allocSlack(name)
+			if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+frac)+abs {
 				if status == "ok" {
 					status = "FAIL allocs"
 				} else {

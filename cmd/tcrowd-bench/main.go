@@ -39,7 +39,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare two -bench-json files (args: baseline candidate); exit non-zero on gated regressions")
 		gates    = flag.String("gate", "infer/,refresh/,ingest/,shard/,server/", "comma-separated series-name prefixes under the -compare regression gate")
 		maxNs    = flag.Float64("max-ns-regress", 0.25, "allowed fractional ns/op growth for gated series in -compare")
-		maxAlloc = flag.Float64("max-alloc-regress", 0.001, "allowed fractional allocs/op growth for gated series in -compare, on top of a 1-alloc absolute slack (absorbs EM-iteration and benchmark-harness wobble)")
+		maxAlloc = flag.Float64("max-alloc-regress", 0.001, "allowed fractional allocs/op growth for gated kernel series in -compare, on top of a 1-alloc absolute slack (absorbs EM-iteration and benchmark-harness wobble; server/ series use a fixed 5%+4 slack because their timed windows race async shard refreshes)")
 	)
 	flag.Parse()
 

@@ -7,16 +7,18 @@
 //	tcrowd-server -addr :8080
 //	tcrowd-server -addr :8080 -state platform.json   # load + persist state
 //	tcrowd-server -workers 8 -queue-depth 128        # explicit shard sizing
+//	tcrowd-server -retain-generations 16             # deeper pinned-read window
 //
 // Endpoints — the versioned /v1 wire API (full reference: README.md next
 // to this file; wire types: package api; official Go SDK: package client;
-// the same paths without /v1 are deprecated aliases kept for one release):
+// the pre-v1 unversioned aliases were removed this release):
 //
 //	POST /v1/projects                  register a schema
 //	GET  /v1/projects/{id}/tasks       dynamic task assignment (external-HIT)
 //	POST /v1/projects/{id}/answers     submit one answer or an atomic batch
-//	GET  /v1/projects/{id}/estimates   truth inference (consistent; ?cursor=&limit=)
-//	GET  /v1/projects/{id}/snapshot    last published estimates (never blocks on EM)
+//	GET  /v1/projects/{id}/estimates   generation-pinned truth estimates
+//	GET  /v1/projects/{id}/snapshot    alias of /estimates (merged endpoints)
+//	GET  /v1/projects/{id}/watch       generation-bump stream (long-poll / SSE)
 //	GET  /v1/projects/{id}/stats       collection progress
 //	GET  /v1/stats                     shard-scheduler metrics
 //
@@ -28,7 +30,8 @@
 //
 // Projects are partitioned across -workers inference shards by consistent
 // hashing on the project ID (internal/shard). Each shard is one worker
-// goroutine with a bounded queue of coalescing jobs:
+// goroutine with a bounded queue of coalescing jobs; every completed
+// refresh publishes an immutable, numbered snapshot generation:
 //
 //   - POST /v1/.../answers validates the whole submission up front
 //     (batches are atomic: any invalid row rejects everything with
@@ -36,30 +39,36 @@
 //     enqueues at most ONE coalescing refresh per request on the
 //     project's refresh cadence — it never waits on inference. Recorded
 //     answers are always acknowledged 201; a saturated shard surfaces as
-//     refresh:"deferred" in-body (the legacy alias keeps its historical
-//     per-answer 429).
+//     refresh:"deferred" in-body.
 //   - GET /v1/.../tasks routes any due assignment-engine refresh through
 //     the project's shard worker (same coalescing and backpressure as
 //     estimate refreshes) — never on the request goroutine under the
 //     platform lock. Under backpressure tasks are served from the stale
 //     assignment state instead of failing.
-//   - GET /v1/.../estimates is the strongly consistent read: it routes a
-//     refresh through the project's shard and waits, so the response
-//     reflects every recorded answer; 429 + Retry-After under
-//     saturation. The refresh itself is incremental — the model ingests
-//     only the submission delta (O(batch), not O(log)). ?cursor=&limit=
-//     pages the estimate list for very large tables.
-//   - GET /v1/.../snapshot is the non-blocking read: one atomic pointer
-//     load of the last published estimate snapshot (copy-on-publish),
-//     immune to shard backlog. Its answers_seen/fresh fields report
-//     staleness.
+//   - GET /v1/.../estimates serves one pinned generation per response:
+//     by default the latest published snapshot (one atomic pointer load,
+//     immune to shard backlog), ?generation= for a retained past state,
+//     and a ?cursor= (which encodes the generation) for O(1) pages of a
+//     walk that can never span model states. ?min_generation= is
+//     refresh-if-stale: a value above the latest routes one coalescing
+//     refresh through the shard and waits — the strongly consistent
+//     read, and the only one that can 429. Responses carry
+//     ETag:"<generation>"; If-None-Match answers 304.
+//   - GET /v1/.../watch pushes generation bumps (summary deltas: answers
+//     absorbed, cells changed) to consumers instead of them polling:
+//     long-poll with ?after=&timeout=, or SSE with Accept:
+//     text/event-stream. Slow consumers get intermediate bumps coalesced
+//     to the latest event, never an unbounded buffer.
 //
 // One hot project can saturate only its own shard; other projects keep
 // refreshing (isolation), and queue bounds turn overload into fast,
 // typed backpressure instead of unbounded memory growth.
 //
 // On SIGINT/SIGTERM the server stops accepting HTTP, drains the shard
-// queues, and (with -state) persists every project's log.
+// queues, and (with -state) persists every project's log. At startup with
+// -state, every loaded project gets a coalescing warmup refresh enqueued,
+// so the read path serves immediately after restart instead of 404ing
+// until the first write.
 package main
 
 import (
@@ -82,10 +91,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "assignment tie-breaking seed")
 		workers = flag.Int("workers", 0, "inference shard workers (0 = GOMAXPROCS-derived)")
 		depth   = flag.Int("queue-depth", 0, "per-shard refresh queue bound (0 = default 64)")
+		retain  = flag.Int("retain-generations", 0, "published snapshot generations kept addressable per project for pinned reads (0 = default 8)")
 	)
 	flag.Parse()
 
-	opts := platform.Options{Workers: *workers, QueueDepth: *depth}
+	opts := platform.Options{Workers: *workers, QueueDepth: *depth, RetainGenerations: *retain}
 	var p *platform.Platform
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {

@@ -2,8 +2,9 @@
 // architecture of the paper's Fig. 1) through the official Go client SDK
 // (package client): a requester registers a schema, simulated workers pull
 // dynamically assigned tasks and submit their answers as one atomic batch
-// per round over the /v1 wire API, and the requester fetches inferred
-// truth plus worker qualities with paginated estimate reads.
+// per round over the /v1 wire API, a watcher streams generation bumps as
+// the model refreshes, and the requester fetches inferred truth plus
+// worker qualities with a generation-pinned paginated read.
 package main
 
 import (
@@ -48,6 +49,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("registered project 'books' (5 rows x 2 attributes)")
+
+	// Watch the model improve: SSE-stream generation bumps while the
+	// workers answer (dashboards would render these instead of polling).
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	events, watchErr := c.WatchStream(watchCtx, "books", 0)
+	bumps := make(chan int, 1)
+	go func() {
+		n := 0
+		for ev := range events {
+			fmt.Printf("  watch: generation %d (answers %d, %d cells changed)\n",
+				ev.Generation, ev.AnswersSeen, ev.ChangedCells)
+			n++
+		}
+		bumps <- n
+	}()
 
 	// Ground truth known only to this simulation.
 	genres := []int{0, 1, 0, 2, 1}
@@ -98,11 +115,23 @@ func main() {
 		st.Answers, st.Workers, st.AnswersPerTask)
 
 	// The requester fetches the inferred truth, walking the pagination
-	// (page size 3 here just to exercise it; pass 0 for one read).
-	est, err := c.AllEstimates(ctx, "books", 3)
+	// (page size 3 here just to exercise it; pass 0 for one read). The
+	// whole walk is pinned to one model generation by the cursor, and
+	// MinGeneration: api.GenerationFresh forces a refresh first, so the
+	// body reflects every answer above.
+	est, err := c.AllEstimates(ctx, "books", 3,
+		client.EstimatesQuery{MinGeneration: api.GenerationFresh})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("\nread pinned to generation %d (answers_seen %d, fresh=%v)\n",
+		est.Generation, est.AnswersSeen, est.Fresh)
+
+	stopWatch()
+	if err := <-watchErr; err != nil && err != context.Canceled {
+		log.Fatal(err)
+	}
+	fmt.Printf("watch stream observed %d generation bumps\n", <-bumps)
 
 	fmt.Println("\ninferred values:")
 	for _, e := range est.Estimates {

@@ -29,6 +29,7 @@ var errTable = []struct {
 }{
 	{ErrNoProject, errSpec{http.StatusNotFound, api.CodeNoProject, false}},
 	{ErrNoSnapshot, errSpec{http.StatusNotFound, api.CodeNoSnapshot, true}},
+	{ErrGenerationGone, errSpec{http.StatusGone, api.CodeGenerationGone, false}},
 	{ErrDuplicateID, errSpec{http.StatusConflict, api.CodeDuplicateProject, false}},
 	{ErrAlreadyAnswered, errSpec{http.StatusConflict, api.CodeAlreadyAnswered, false}},
 	{shard.ErrShardSaturated, errSpec{http.StatusTooManyRequests, api.CodeShardSaturated, true}},

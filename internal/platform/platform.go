@@ -58,8 +58,14 @@ var (
 	ErrDuplicateID     = errors.New("platform: project id already exists")
 	ErrAlreadyAnswered = errors.New("platform: worker already answered this cell")
 	// ErrNoSnapshot is returned by Snapshot before the project's first
-	// refresh has published estimates.
+	// refresh has published estimates (and by SnapshotAt for a generation
+	// newer than anything published).
 	ErrNoSnapshot = errors.New("platform: no estimates published yet")
+	// ErrGenerationGone is returned by SnapshotAt when the requested
+	// generation has been evicted from the retained ring: the caller's
+	// pinned read outlived the retention window and must restart from the
+	// latest generation.
+	ErrGenerationGone = errors.New("platform: generation evicted from retained ring")
 )
 
 // Project is one crowdsourcing campaign: a table to fill plus its answers.
@@ -104,9 +110,23 @@ type Project struct {
 	logAtModel int
 	// snapshot is the copy-on-publish estimate snapshot: every completed
 	// refresh builds a fresh immutable InferenceResult and swaps the
-	// pointer, so readers (Snapshot, the /snapshot endpoint) never block
-	// on EM and never observe a half-updated result.
+	// pointer, so readers (Snapshot, the merged /estimates endpoint)
+	// never block on EM and never observe a half-updated result.
 	snapshot atomic.Pointer[InferenceResult]
+	// genMu guards the retained-generation ring and the last publish
+	// event. Publishes are already serialised (shard worker + inferMu);
+	// the mutex exists for the concurrent readers (SnapshotAt,
+	// LatestEvent).
+	genMu sync.RWMutex
+	// retained holds the most recent published results, oldest first
+	// (including the latest), so generation-pinned paged walks and
+	// ?generation= re-reads survive a bounded number of publishes.
+	retained []*InferenceResult
+	// lastEvent is the watch event of the latest publish, replayed to
+	// watchers that connect (or long-poll) with a stale ?after=.
+	lastEvent api.WatchEvent
+	// hub fans published generation bumps out to watchers.
+	hub *watchHub
 }
 
 // Platform hosts projects and is safe for concurrent use.
@@ -114,6 +134,8 @@ type Platform struct {
 	mu       sync.Mutex
 	projects map[string]*Project
 	seed     int64
+	// retain is the per-project retained-generation ring capacity.
+	retain int
 	// sched partitions per-project refresh work across shard workers; all
 	// model mutation funnels through it (see the package comment).
 	sched *shard.Scheduler
@@ -121,13 +143,18 @@ type Platform struct {
 
 // Options configures the platform's serving layer. The zero value gives
 // the shard scheduler's defaults (GOMAXPROCS-derived worker count, queue
-// depth 64).
+// depth 64) and an 8-generation retention ring.
 type Options struct {
 	// Workers is the number of inference shard workers.
 	Workers int
 	// QueueDepth bounds each shard's pending refresh queue; a full queue
 	// sheds refresh work with shard.ErrShardSaturated.
 	QueueDepth int
+	// RetainGenerations is how many published snapshot generations each
+	// project keeps addressable (SnapshotAt, generation-pinned cursors)
+	// after they stop being the latest. Default 8; the latest generation
+	// is always retained.
+	RetainGenerations int
 }
 
 // New returns an empty platform with default serving options; seed drives
@@ -137,9 +164,13 @@ func New(seed int64) *Platform { return NewWithOptions(seed, Options{}) }
 // NewWithOptions returns an empty platform with an explicitly sized shard
 // scheduler.
 func NewWithOptions(seed int64, opts Options) *Platform {
+	if opts.RetainGenerations <= 0 {
+		opts.RetainGenerations = 8
+	}
 	return &Platform{
 		projects: make(map[string]*Project),
 		seed:     seed,
+		retain:   opts.RetainGenerations,
 		sched: shard.New(shard.Options{
 			Workers:    opts.Workers,
 			QueueDepth: opts.QueueDepth,
@@ -149,8 +180,21 @@ func NewWithOptions(seed int64, opts Options) *Platform {
 
 // Close drains the shard scheduler: queued refreshes run to completion and
 // the workers exit. Submissions and strongly consistent reads after Close
-// fail with shard.ErrClosed; snapshot reads keep working.
-func (p *Platform) Close() { p.sched.Close() }
+// fail with shard.ErrClosed; snapshot reads keep working. Watch channels
+// close after the drain, so watchers observe every generation published by
+// the draining refreshes before their stream ends.
+func (p *Platform) Close() {
+	p.sched.Close()
+	p.mu.Lock()
+	projs := make([]*Project, 0, len(p.projects))
+	for _, proj := range p.projects {
+		projs = append(projs, proj)
+	}
+	p.mu.Unlock()
+	for _, proj := range projs {
+		proj.hub.close()
+	}
+}
 
 // ShardMetrics snapshots the scheduler's per-shard counters (queue depth,
 // coalesced/rejected/completed jobs, refresh latency) for the /stats
@@ -212,6 +256,11 @@ func (p *Platform) CreateProject(id string, schema tabular.Schema, cfg ProjectCo
 		refreshEvery: cfg.RefreshEvery,
 		rng:          stats.NewRNG(p.seed + int64(len(p.projects))),
 		labelIdx:     buildLabelIndex(schema),
+		hub:          newWatchHub(),
+		// Full-capacity ring up front: publishes never grow it, so the
+		// copy-on-publish path stays allocation-free after the result
+		// itself.
+		retained: make([]*InferenceResult, 0, p.retain),
 	}
 	if proj.refreshEvery <= 0 {
 		proj.refreshEvery = 25
@@ -631,7 +680,10 @@ func (p *Platform) Submit(projectID string, u tabular.WorkerID, row int, column 
 
 // InferenceResult is the requester-facing output: estimates plus worker
 // qualities. Results are immutable once published — refreshes build a new
-// one and swap the project's snapshot pointer (copy-on-publish).
+// one and swap the project's snapshot pointer (copy-on-publish). Every
+// publish gets the next Generation and enters the project's retained ring,
+// so generation-pinned reads (SnapshotAt, paged cursor walks) address a
+// bounded window of past states.
 type InferenceResult struct {
 	Estimates metrics.Estimates
 	// WorkerQuality maps workers to their unified quality q_u.
@@ -639,6 +691,9 @@ type InferenceResult struct {
 	// Iterations and Converged report EM behaviour.
 	Iterations int
 	Converged  bool
+	// Generation numbers this publish (1 is the project's first; strictly
+	// increasing — a refresh that absorbs nothing republishes nothing).
+	Generation int
 	// AnswersSeen is the number of log answers these estimates reflect
 	// (compare with Stats.Answers for staleness).
 	AnswersSeen int
@@ -693,6 +748,75 @@ func (p *Platform) Snapshot(projectID string) (*InferenceResult, error) {
 		return nil, ErrNoSnapshot
 	}
 	return res, nil
+}
+
+// SnapshotAt returns the published result for one specific generation from
+// the project's retained ring — the lookup behind ?generation= re-reads
+// and generation-pinned cursor walks. It fails with ErrNoSnapshot when the
+// generation has not been published yet (retryable: it may appear) and
+// with ErrGenerationGone when it has been evicted (the caller must restart
+// from the latest generation).
+func (p *Platform) SnapshotAt(projectID string, generation int) (*InferenceResult, error) {
+	p.mu.Lock()
+	proj, ok := p.projects[projectID]
+	p.mu.Unlock()
+	if !ok {
+		return nil, ErrNoProject
+	}
+	latest := proj.snapshot.Load()
+	if latest == nil {
+		return nil, ErrNoSnapshot
+	}
+	if generation == latest.Generation {
+		return latest, nil
+	}
+	if generation > latest.Generation {
+		return nil, fmt.Errorf("%w (generation %d not yet published, latest is %d)",
+			ErrNoSnapshot, generation, latest.Generation)
+	}
+	proj.genMu.RLock()
+	defer proj.genMu.RUnlock()
+	for _, r := range proj.retained {
+		if r.Generation == generation {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (generation %d, retained window starts at %d)",
+		ErrGenerationGone, generation, proj.retained[0].Generation)
+}
+
+// LatestEvent returns the watch event of the project's most recent publish
+// (ok false before the first publish) — the catch-up payload served to
+// watchers whose ?after= lags the latest generation.
+func (p *Platform) LatestEvent(projectID string) (api.WatchEvent, bool, error) {
+	p.mu.Lock()
+	proj, ok := p.projects[projectID]
+	p.mu.Unlock()
+	if !ok {
+		return api.WatchEvent{}, false, ErrNoProject
+	}
+	proj.genMu.RLock()
+	defer proj.genMu.RUnlock()
+	return proj.lastEvent, proj.lastEvent.Generation > 0, nil
+}
+
+// Watch subscribes to the project's generation bumps: every snapshot
+// publish delivers one api.WatchEvent on the returned watcher's channel.
+// Buffers are bounded — a consumer that falls more than watchBuffer events
+// behind gets the oldest pending bumps dropped instead of stalling the
+// publisher or growing without bound, observable as a gap in the strictly
+// increasing Generation sequence (the HTTP watch handlers translate gaps
+// into the wire-level Coalesced flag). Close the watcher when done; the
+// channel also closes when the platform shuts down (after the final
+// drain, so no published generation goes unannounced).
+func (p *Platform) Watch(projectID string) (*Watcher, error) {
+	p.mu.Lock()
+	proj, ok := p.projects[projectID]
+	p.mu.Unlock()
+	if !ok {
+		return nil, ErrNoProject
+	}
+	return proj.hub.subscribe(), nil
 }
 
 // assignUpToDate reports whether the assignment engine has refreshed at
@@ -804,8 +928,68 @@ func (p *Platform) refreshProject(proj *Project) error {
 	for _, u := range m.WorkerIDs {
 		res.WorkerQuality[u] = m.WorkerQuality(u)
 	}
-	proj.snapshot.Store(res)
+	p.publishSnapshot(proj, res)
 	return nil
+}
+
+// publishSnapshot is the copy-on-publish commit point, running on the
+// project's shard worker at the end of a refresh: it assigns the next
+// generation, enters the result into the retained ring (evicting past the
+// retention cap), swaps the latest-snapshot pointer, and fans the
+// generation-bump event out to watchers.
+func (p *Platform) publishSnapshot(proj *Project, res *InferenceResult) {
+	prev := proj.snapshot.Load()
+	res.Generation = 1
+	delta := res.AnswersSeen
+	if prev != nil {
+		res.Generation = prev.Generation + 1
+		delta = res.AnswersSeen - prev.AnswersSeen
+	}
+	ev := api.WatchEvent{
+		Project:      proj.ID,
+		Generation:   res.Generation,
+		AnswersSeen:  res.AnswersSeen,
+		AnswersDelta: delta,
+		ChangedCells: changedCells(prev, res),
+		Workers:      len(res.WorkerQuality),
+		Converged:    res.Converged,
+	}
+	proj.genMu.Lock()
+	if len(proj.retained) < p.retain {
+		proj.retained = append(proj.retained, res)
+	} else {
+		// Shift-in-place eviction: the backing array is at capacity for
+		// the life of the project, so steady-state publishes allocate
+		// nothing here (an append/reslice ring re-allocates every few
+		// publishes as the trimmed capacity runs out).
+		copy(proj.retained, proj.retained[1:])
+		proj.retained[len(proj.retained)-1] = res
+	}
+	proj.lastEvent = ev
+	proj.genMu.Unlock()
+	proj.snapshot.Store(res)
+	proj.hub.publish(ev)
+}
+
+// changedCells counts estimate cells whose value moved between two
+// published results (every non-empty cell for the first publish) — the
+// summary delta carried by watch events.
+func changedCells(prev, cur *InferenceResult) int {
+	n := 0
+	for i := range cur.Estimates {
+		for j := range cur.Estimates[i] {
+			v := cur.Estimates[i][j]
+			switch {
+			case prev == nil:
+				if !v.IsNone() {
+					n++
+				}
+			case !v.Equal(prev.Estimates[i][j]):
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Stats summarises collection progress.
@@ -894,13 +1078,19 @@ func Load(r io.Reader, seed int64) (*Platform, error) {
 
 // LoadWithOptions restores a platform previously written by Save with an
 // explicitly sized shard scheduler. Cached models and snapshots are not
-// persisted; the first post-load refresh of each project pays a cold fit.
+// persisted, so each reloaded project with answers gets a warmup refresh
+// enqueued on its home shard: the cold fit runs in the background and the
+// generation-pinned read path serves as soon as it publishes, instead of
+// 404ing until the first post-restart write. Warmup jobs coalesce like any
+// refresh (one queue entry per project) and are best-effort — one shed by
+// a saturated shard is retried by the project's first submission.
 func LoadWithOptions(r io.Reader, seed int64, opts Options) (*Platform, error) {
 	var in platformJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, err
 	}
 	p := NewWithOptions(seed, opts)
+	var warm []*Project
 	for _, pj := range in.Projects {
 		proj, err := p.CreateProject(pj.ID, pj.Schema, ProjectConfig{
 			Rows:                len(pj.Entities),
@@ -918,6 +1108,12 @@ func LoadWithOptions(r io.Reader, seed int64, opts Options) (*Platform, error) {
 			return nil, err
 		}
 		proj.Log = log
+		if log.Len() > 0 {
+			warm = append(warm, proj)
+		}
+	}
+	for _, proj := range warm {
+		_ = p.sched.Submit(proj.ID, func() error { return p.refreshProject(proj) })
 	}
 	return p, nil
 }

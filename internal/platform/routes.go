@@ -1,9 +1,9 @@
 package platform
 
 import (
-	"log"
 	"net/http"
-	"sync"
+
+	"tcrowd/api"
 )
 
 // routeDef is one row of the server's route registration table. NewServer
@@ -13,38 +13,25 @@ import (
 type routeDef struct {
 	method  string
 	pattern string
-	// legacy marks a pre-v1 alias: kept for one release, logged as
-	// deprecated on first use.
-	legacy  bool
 	handler func(*Server, http.ResponseWriter, *http.Request)
 }
 
-// routeTable is the full wire surface: the versioned /v1 API first, then
-// the legacy unversioned aliases. Legacy GET routes share the v1 handlers
-// (success bodies are unchanged and pagination is opt-in; error bodies DO
-// change shape from the old {"error":"<string>"} to the typed envelope —
-// an accepted break during the deprecation window, documented in the
-// server README); the legacy answers route keeps its historical
-// single-answer + label-precedence + 429 semantics via its own thin
-// handler.
+// routeTable is the full wire surface: the versioned /v1 API and nothing
+// else (the pre-v1 unversioned aliases, deprecated in the previous
+// release, are gone — they now 404). /snapshot is served by the same
+// generation-pinned handler as /estimates: the two endpoints merged when
+// reads became snapshot-pinned, and the old path is kept as a stable
+// alias of the merged read.
 var routeTable = []routeDef{
-	{"POST", "/v1/projects", false, (*Server).createProject},
-	{"GET", "/v1/projects", false, (*Server).listProjects},
-	{"GET", "/v1/projects/{id}/tasks", false, (*Server).tasks},
-	{"POST", "/v1/projects/{id}/answers", false, (*Server).submitV1},
-	{"GET", "/v1/projects/{id}/estimates", false, (*Server).estimates},
-	{"GET", "/v1/projects/{id}/snapshot", false, (*Server).snapshot},
-	{"GET", "/v1/projects/{id}/stats", false, (*Server).stats},
-	{"GET", "/v1/stats", false, (*Server).shardStats},
-
-	{"POST", "/projects", true, (*Server).createProject},
-	{"GET", "/projects", true, (*Server).listProjects},
-	{"GET", "/projects/{id}/tasks", true, (*Server).tasks},
-	{"POST", "/projects/{id}/answers", true, (*Server).submitLegacy},
-	{"GET", "/projects/{id}/estimates", true, (*Server).estimates},
-	{"GET", "/projects/{id}/snapshot", true, (*Server).snapshot},
-	{"GET", "/projects/{id}/stats", true, (*Server).stats},
-	{"GET", "/stats", true, (*Server).shardStats},
+	{"POST", "/v1/projects", (*Server).createProject},
+	{"GET", "/v1/projects", (*Server).listProjects},
+	{"GET", "/v1/projects/{id}/tasks", (*Server).tasks},
+	{"POST", "/v1/projects/{id}/answers", (*Server).submitV1},
+	{"GET", "/v1/projects/{id}/estimates", (*Server).estimates},
+	{"GET", "/v1/projects/{id}/snapshot", (*Server).estimates},
+	{"GET", "/v1/projects/{id}/watch", (*Server).watch},
+	{"GET", "/v1/projects/{id}/stats", (*Server).stats},
+	{"GET", "/v1/stats", (*Server).shardStats},
 }
 
 // Route is one row of the public route listing, exposed for the API-drift
@@ -52,36 +39,44 @@ var routeTable = []routeDef{
 type Route struct {
 	Method  string
 	Pattern string
-	// Legacy marks deprecated unversioned aliases.
-	Legacy bool
 }
 
 // Routes returns the server's full route table in registration order.
 func Routes() []Route {
 	out := make([]Route, len(routeTable))
 	for i, r := range routeTable {
-		out[i] = Route{Method: r.method, Pattern: r.pattern, Legacy: r.legacy}
+		out[i] = Route{Method: r.method, Pattern: r.pattern}
 	}
 	return out
 }
 
-// registerRoutes installs the route table on the server's mux. Legacy
-// routes are wrapped to log a deprecation notice on their first use.
+// WatchEventType is one row of the public watch-event listing: the SSE
+// `event:` names GET /v1/projects/{id}/watch may emit, exposed for the
+// API-drift check and documentation tooling (long-poll responses carry
+// the same payloads as plain JSON bodies).
+type WatchEventType struct {
+	Event   string
+	Payload string
+	Doc     string
+}
+
+// WatchEventTypes returns the watch stream's event-type table.
+func WatchEventTypes() []WatchEventType {
+	return []WatchEventType{
+		{
+			Event:   api.WatchEventGeneration,
+			Payload: "api.WatchEvent",
+			Doc:     "one event per published snapshot generation; coalesced=true marks dropped intermediate bumps",
+		},
+	}
+}
+
+// registerRoutes installs the route table on the server's mux.
 func (s *Server) registerRoutes() {
-	s.deprecated = make([]sync.Once, len(routeTable))
-	for i, r := range routeTable {
-		h := func(w http.ResponseWriter, req *http.Request) { r.handler(s, w, req) }
-		if r.legacy {
-			once := &s.deprecated[i]
-			inner := h
-			h = func(w http.ResponseWriter, req *http.Request) {
-				once.Do(func() {
-					log.Printf("platform: deprecated route %s %s used; migrate to the /v1 API (this alias will be removed next release)",
-						r.method, r.pattern)
-				})
-				inner(w, req)
-			}
-		}
-		s.mux.HandleFunc(r.method+" "+r.pattern, h)
+	for _, r := range routeTable {
+		h := r.handler
+		s.mux.HandleFunc(r.method+" "+r.pattern, func(w http.ResponseWriter, req *http.Request) {
+			h(s, w, req)
+		})
 	}
 }

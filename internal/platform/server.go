@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
-	"sync"
+	"strings"
+	"time"
 
 	"tcrowd/api"
 	"tcrowd/internal/shard"
@@ -24,27 +26,32 @@ import (
 //	GET  /v1/projects                     -> ["id", ...]
 //	GET  /v1/projects/{id}/tasks?worker=u&count=k
 //	POST /v1/projects/{id}/answers        one answer or {"answers": [...]} batch
-//	GET  /v1/projects/{id}/estimates      consistent read; ?cursor=&limit= pagination
-//	GET  /v1/projects/{id}/snapshot       last published estimates (never blocks on EM)
+//	GET  /v1/projects/{id}/estimates      generation-pinned read (see below)
+//	GET  /v1/projects/{id}/snapshot       alias of /estimates (the endpoints merged)
+//	GET  /v1/projects/{id}/watch          generation-bump stream (long-poll or SSE)
 //	GET  /v1/projects/{id}/stats          collection progress
 //	GET  /v1/stats                        shard-scheduler metrics
 //
-// The same paths without the /v1 prefix are deprecated aliases, kept for
-// one release (the legacy POST .../answers keeps its historical
-// single-answer + 429-on-backpressure semantics; everything else shares
-// the v1 handlers).
+// All reads of model state are generation-pinned: every response serves
+// one immutable published InferenceResult, identified by its generation,
+// quoted in the ETag header (If-None-Match yields 304), and encoded into
+// the pagination cursor so a paged walk never spans model states.
+// ?generation= re-reads a retained past state; ?min_generation= is the
+// refresh-if-stale knob (a value above the latest generation routes one
+// coalescing refresh through the project's shard and waits — the strongly
+// consistent read). The pre-v1 unversioned aliases were removed this
+// release and now 404.
 //
 // Errors are typed: every non-2xx body is an api.ErrorEnvelope with a
 // stable machine-readable code (see internal/platform/errors.go for the
 // exhaustive sentinel → (status, code, retryable) table). Backpressure:
-// GET .../estimates answers 429 when the project's shard is saturated;
-// POST /v1/.../answers records the answers and reports a shed refresh
-// in-body instead of failing.
+// only the ?min_generation= refresh path can answer 429 (saturated
+// shard); default reads never touch the queue. POST /v1/.../answers
+// records the answers and reports a shed refresh in-body instead of
+// failing.
 type Server struct {
 	p   *Platform
 	mux *http.ServeMux
-	// deprecated holds one Once per route for legacy-use logging.
-	deprecated []sync.Once
 }
 
 // NewServer wraps a platform with HTTP handlers.
@@ -285,64 +292,6 @@ func (s *Server) submitV1(w http.ResponseWriter, r *http.Request) {
 	writeErr(w, err)
 }
 
-// submitLegacy handles the deprecated POST /projects/{id}/answers: single
-// answers only, with the historical backpressure contract — 429/503 with a
-// status:"recorded" body when the answer landed but its refresh was shed.
-func (s *Server) submitLegacy(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	var a api.Answer
-	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
-		writeErr(w, fmt.Errorf("platform: bad request body: %w", err))
-		return
-	}
-	proj, err := s.p.Project(id)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	if a.Label != nil && a.Number != nil {
-		// Historical behaviour of this route: label takes precedence (the
-		// old handler's switch checked label first). /v1 rejects this.
-		a.Number = nil
-	}
-	ta, err := resolveAnswer(proj, a)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	res, err := s.p.SubmitBatch(id, []tabular.Answer{ta})
-	if err != nil {
-		var be *BatchError
-		if errors.As(err, &be) {
-			err = be.Items[0].Err
-		}
-		writeErr(w, err)
-		return
-	}
-	if res.RefreshErr != nil {
-		// On both backpressure (429) and shutdown (503) the answer WAS
-		// recorded; only its estimate refresh was shed. The body keeps
-		// the status:"recorded" marker so clients don't resubmit (that
-		// would 409) — slow down before the NEXT submission instead.
-		if errors.Is(res.RefreshErr, shard.ErrShardSaturated) {
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, map[string]string{
-				"status":  "recorded",
-				"refresh": "deferred",
-				"error":   res.RefreshErr.Error(),
-			})
-			return
-		}
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"status":  "recorded",
-			"refresh": "shutdown",
-			"error":   res.RefreshErr.Error(),
-		})
-		return
-	}
-	writeJSON(w, http.StatusCreated, map[string]string{"status": "recorded"})
-}
-
 // estimatesResp / estimateJSON are the wire shapes, defined in package api
 // and aliased here for the server-side tests.
 type (
@@ -350,17 +299,19 @@ type (
 	estimateJSON  = api.Estimate
 )
 
-// renderEstimates converts an InferenceResult into the wire shape shared
-// by the /estimates (consistent) and /snapshot (non-blocking) endpoints.
-// cursor/limit select one page of the row-major cell walk: cursor is the
-// cell ordinal to start from, limit caps the estimates returned (0 = all),
-// and NextCursor is set when cells remain — so million-row tables stream
-// page by page instead of serializing one giant body.
-func renderEstimates(proj *Project, res *InferenceResult, answersNow, cursor, limit int) estimatesResp {
+// renderEstimates converts one immutable published InferenceResult into
+// the wire shape of the merged /estimates (= /snapshot) endpoint. start
+// and limit select one page of the row-major cell walk over that pinned
+// snapshot: start is the cell ordinal to begin at, limit caps the
+// estimates returned (0 = all), and NextCursor — re-encoding the pinned
+// generation — is set when cells remain, so million-row tables stream
+// page by page and every page reflects the same model state.
+func renderEstimates(proj *Project, res *InferenceResult, answersNow, start, limit int) estimatesResp {
 	resp := estimatesResp{
 		WorkerQuality: make(map[string]float64, len(res.WorkerQuality)),
 		Iterations:    res.Iterations,
 		Converged:     res.Converged,
+		Generation:    res.Generation,
 		AnswersSeen:   res.AnswersSeen,
 		Fresh:         res.AnswersSeen == answersNow,
 	}
@@ -370,9 +321,9 @@ func renderEstimates(proj *Project, res *InferenceResult, answersNow, cursor, li
 	cols := proj.Table.Schema.Columns
 	m := len(cols)
 	total := proj.Table.NumRows() * m
-	for ord := cursor; ord < total; ord++ {
+	for ord := start; ord < total; ord++ {
 		if limit > 0 && len(resp.Estimates) >= limit {
-			resp.NextCursor = ord
+			resp.NextCursor = encodeCursor(res.Generation, ord)
 			break
 		}
 		i, j := ord/m, ord%m
@@ -393,17 +344,65 @@ func renderEstimates(proj *Project, res *InferenceResult, answersNow, cursor, li
 	return resp
 }
 
-// pageParams parses the shared ?cursor=&limit= pagination parameters.
-func pageParams(r *http.Request) (cursor, limit int, err error) {
-	if cursor, err = queryInt(r, "cursor", 0); err != nil {
-		return 0, 0, err
-	}
-	if limit, err = queryInt(r, "limit", 0); err != nil {
-		return 0, 0, err
-	}
-	return cursor, limit, nil
+// encodeCursor builds the opaque-but-readable pagination cursor: the
+// pinned generation and the next cell ordinal.
+func encodeCursor(generation, ord int) string {
+	return strconv.Itoa(generation) + ":" + strconv.Itoa(ord)
 }
 
+// decodeCursor parses a ?cursor= value.
+func decodeCursor(raw string) (generation, ord int, err error) {
+	g, o, ok := strings.Cut(raw, ":")
+	if ok {
+		if generation, err = strconv.Atoi(g); err == nil {
+			ord, err = strconv.Atoi(o)
+		}
+	}
+	if !ok || err != nil || generation <= 0 || ord < 0 {
+		return 0, 0, fmt.Errorf("platform: bad cursor %q (want \"<generation>:<ordinal>\")", raw)
+	}
+	return generation, ord, nil
+}
+
+// etagFor quotes a generation as the strong ETag every pinned read
+// carries.
+func etagFor(generation int) string { return `"` + strconv.Itoa(generation) + `"` }
+
+// etagMatches reports whether an If-None-Match header value matches the
+// generation's ETag (either the exact quoted tag or the * wildcard).
+func etagMatches(header string, generation int) bool {
+	if header == "" {
+		return false
+	}
+	tag := etagFor(generation)
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/") // weak compare: generations are whole-body
+		if part == tag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// estimates serves the merged generation-pinned read (GET .../estimates
+// and its .../snapshot alias). Resolution order:
+//
+//   - ?cursor=<gen>:<ord> — continue a paged walk over the generation the
+//     cursor pins (the retained ring keeps it addressable; 410
+//     generation_gone once evicted).
+//   - ?generation=N — re-read a specific retained generation from the top.
+//   - ?min_generation=N — refresh-if-stale: serve the latest snapshot if
+//     its generation is already >= N, otherwise route one coalescing
+//     refresh through the project's shard and wait for it (the only read
+//     path that can 429); a refresh absorbs the whole log, so N above any
+//     published generation gives the strongly consistent read.
+//   - no parameters — the latest published snapshot, one atomic pointer
+//     load, never blocking on inference (404 no_snapshot before the first
+//     publish).
+//
+// Every 200 carries ETag:"<generation>"; If-None-Match on an unchanged
+// generation short-circuits to 304 with no body.
 func (s *Server) estimates(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	proj, err := s.p.Project(id)
@@ -411,42 +410,217 @@ func (s *Server) estimates(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	cursor, limit, err := pageParams(r)
+	limit, err := queryInt(r, "limit", 0)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.p.RunInference(id)
+	generation, err := queryInt(r, "generation", 0)
 	if err != nil {
 		writeErr(w, err)
+		return
+	}
+	minGen, err := queryInt(r, "min_generation", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	var (
+		res   *InferenceResult
+		start int
+	)
+	switch {
+	case r.URL.Query().Get("cursor") != "":
+		var gen int
+		if gen, start, err = decodeCursor(r.URL.Query().Get("cursor")); err != nil {
+			break
+		}
+		if generation != 0 && generation != gen {
+			err = fmt.Errorf("platform: cursor pins generation %d but ?generation=%d", gen, generation)
+			break
+		}
+		res, err = s.p.SnapshotAt(id, gen)
+	case generation != 0:
+		res, err = s.p.SnapshotAt(id, generation)
+	case minGen != 0:
+		res, err = s.p.Snapshot(id)
+		if err != nil || res.Generation < minGen {
+			// Stale (or nothing published yet): one coalescing refresh on
+			// the project's shard brings the snapshot up to the full log.
+			res, err = s.p.RunInference(id)
+		}
+	default:
+		res, err = s.p.Snapshot(id)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	w.Header().Set("ETag", etagFor(res.Generation))
+	if etagMatches(r.Header.Get("If-None-Match"), res.Generation) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	st, _ := s.p.Stats(id)
-	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers, cursor, limit))
+	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers, start, limit))
 }
 
-// snapshot serves the last published estimates without ever waiting on
-// inference — the read path that stays fast no matter how backlogged the
-// project's shard is. 404 until the first refresh publishes.
-func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
+// Long-poll bounds: the default and maximum ?timeout= of a watch
+// long-poll. A 0 timeout degrades to an instant poll (current event or
+// 204).
+const (
+	watchDefaultTimeout = 30 * time.Second
+	watchMaxTimeout     = 120 * time.Second
+)
+
+// watch serves GET /v1/projects/{id}/watch — push-based delivery of
+// generation bumps, fed by the snapshot-publication notifier on the shard
+// worker's copy-on-publish path.
+//
+// Long-poll (default): ?after=<generation> answers immediately with the
+// latest event once the project has published past `after` (Coalesced set
+// when more than one bump was missed), otherwise parks the request until
+// the next publish or ?timeout= seconds (204 No Content on timeout —
+// re-poll with the same after). Pollers chain after=<last generation
+// seen>.
+//
+// SSE (Accept: text/event-stream): streams one `event: generation` frame
+// per publish until the client disconnects or the platform shuts down,
+// with the same catch-up event on connect and the same drop-to-latest
+// coalescing for slow consumers.
+func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	proj, err := s.p.Project(id)
+	after, err := queryInt(r, "after", 0)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	cursor, limit, err := pageParams(r)
+	timeoutSec, err := queryInt(r, "timeout", int(watchDefaultTimeout/time.Second))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.p.Snapshot(id)
+	timeout := min(time.Duration(timeoutSec)*time.Second, watchMaxTimeout)
+
+	// Subscribe BEFORE the catch-up check: a publish landing between the
+	// two is then either caught up or delivered on the channel, never
+	// lost.
+	watcher, err := s.p.Watch(id)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	st, _ := s.p.Stats(id)
-	writeJSON(w, http.StatusOK, renderEstimates(proj, res, st.Answers, cursor, limit))
+	defer watcher.Close()
+	catchup, ok, err := s.p.LatestEvent(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if ok && catchup.Generation > after {
+		catchup.Coalesced = catchup.Generation > after+1
+	} else {
+		ok = false
+	}
+
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.watchSSE(w, r, watcher, catchup, ok, after)
+		return
+	}
+
+	if ok {
+		w.Header().Set("ETag", etagFor(catchup.Generation))
+		writeJSON(w, http.StatusOK, catchup)
+		return
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		select {
+		case ev, open := <-watcher.Events():
+			if !open {
+				writeErr(w, fmt.Errorf("platform: watch ended: %w", shard.ErrClosed))
+				return
+			}
+			if ev.Generation <= after {
+				continue // stale buffered bump from before this poll's after
+			}
+			// A generation jump means this watcher's buffer dropped
+			// intermediate bumps (or the poll raced multiple publishes):
+			// mark the delivery that follows the gap.
+			ev.Coalesced = ev.Generation > after+1
+			w.Header().Set("ETag", etagFor(ev.Generation))
+			writeJSON(w, http.StatusOK, ev)
+			return
+		case <-t.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// watchSSE streams generation events until the client goes away or the
+// platform closes. Heartbeat comments keep idle connections alive through
+// proxies.
+func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, watcher *Watcher, catchup api.WatchEvent, haveCatchup bool, after int) {
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev api.WatchEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", api.WatchEventGeneration, data); err != nil {
+			return false
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		return true
+	}
+	last := after
+	if haveCatchup {
+		if !writeEvent(catchup) {
+			return
+		}
+		last = catchup.Generation
+	} else if canFlush {
+		flusher.Flush() // commit the headers so the client sees the stream open
+	}
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, open := <-watcher.Events():
+			if !open {
+				return // platform shutting down: end the stream cleanly
+			}
+			if ev.Generation <= last {
+				continue // buffered duplicate of the catch-up event
+			}
+			// Gap after a buffer overflow: flag the event that follows it.
+			ev.Coalesced = ev.Generation > last+1
+			if !writeEvent(ev) {
+				return
+			}
+			last = ev.Generation
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // shardStatsResp is the GET /v1/stats payload, defined in package api and

@@ -49,21 +49,21 @@ const projectBody = `{
 func TestServerProjectLifecycle(t *testing.T) {
 	srv, _ := newTestServer(t)
 
-	resp := postJSON(t, srv.URL+"/projects", projectBody)
+	resp := postJSON(t, srv.URL+"/v1/projects", projectBody)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	// Duplicate -> 409.
-	resp = postJSON(t, srv.URL+"/projects", projectBody)
+	resp = postJSON(t, srv.URL+"/v1/projects", projectBody)
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	// Listing.
-	resp, err := http.Get(srv.URL + "/projects")
+	resp, err := http.Get(srv.URL + "/v1/projects")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestServerProjectLifecycle(t *testing.T) {
 	}
 
 	// Bad body -> 400.
-	resp = postJSON(t, srv.URL+"/projects", "{nope")
+	resp = postJSON(t, srv.URL+"/v1/projects", "{nope")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad body status %d", resp.StatusCode)
 	}
@@ -83,10 +83,10 @@ func TestServerProjectLifecycle(t *testing.T) {
 
 func TestServerTaskAnswerFlow(t *testing.T) {
 	srv, _ := newTestServer(t)
-	postJSON(t, srv.URL+"/projects", projectBody).Body.Close()
+	postJSON(t, srv.URL+"/v1/projects", projectBody).Body.Close()
 
 	// Request tasks.
-	resp, err := http.Get(srv.URL + "/projects/celebs/tasks?worker=w1&count=2")
+	resp, err := http.Get(srv.URL + "/v1/projects/celebs/tasks?worker=w1&count=2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,14 +97,14 @@ func TestServerTaskAnswerFlow(t *testing.T) {
 	}
 
 	// Missing worker -> 400.
-	resp, _ = http.Get(srv.URL + "/projects/celebs/tasks")
+	resp, _ = http.Get(srv.URL + "/v1/projects/celebs/tasks")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing worker status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	// Unknown project -> 404.
-	resp, _ = http.Get(srv.URL + "/projects/none/tasks?worker=w")
+	resp, _ = http.Get(srv.URL + "/v1/projects/none/tasks?worker=w")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown project status %d", resp.StatusCode)
 	}
@@ -113,47 +113,49 @@ func TestServerTaskAnswerFlow(t *testing.T) {
 	// Submit answers from three workers for row 0.
 	for i, w := range []string{"w1", "w2", "w3"} {
 		body := fmt.Sprintf(`{"worker":%q,"row":0,"column":"Nationality","label":"CN"}`, w)
-		resp = postJSON(t, srv.URL+"/projects/celebs/answers", body)
+		resp = postJSON(t, srv.URL+"/v1/projects/celebs/answers", body)
 		if resp.StatusCode != http.StatusCreated {
 			t.Fatalf("submit %d status %d", i, resp.StatusCode)
 		}
 		resp.Body.Close()
 		body = fmt.Sprintf(`{"worker":%q,"row":0,"column":"Age","number":%d}`, w, 44+i)
-		resp = postJSON(t, srv.URL+"/projects/celebs/answers", body)
+		resp = postJSON(t, srv.URL+"/v1/projects/celebs/answers", body)
 		resp.Body.Close()
 	}
 
 	// Double answer -> 409.
-	resp = postJSON(t, srv.URL+"/projects/celebs/answers", `{"worker":"w1","row":0,"column":"Nationality","label":"US"}`)
+	resp = postJSON(t, srv.URL+"/v1/projects/celebs/answers", `{"worker":"w1","row":0,"column":"Nationality","label":"US"}`)
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("double answer status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	// Unknown label -> 400.
-	resp = postJSON(t, srv.URL+"/projects/celebs/answers", `{"worker":"w9","row":0,"column":"Nationality","label":"XX"}`)
+	resp = postJSON(t, srv.URL+"/v1/projects/celebs/answers", `{"worker":"w9","row":0,"column":"Nationality","label":"XX"}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown label status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	// Valueless answer -> 400.
-	resp = postJSON(t, srv.URL+"/projects/celebs/answers", `{"worker":"w9","row":0,"column":"Age"}`)
+	resp = postJSON(t, srv.URL+"/v1/projects/celebs/answers", `{"worker":"w9","row":0,"column":"Age"}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("valueless status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	// Stats.
-	resp, _ = http.Get(srv.URL + "/projects/celebs/stats")
+	resp, _ = http.Get(srv.URL + "/v1/projects/celebs/stats")
 	var st Stats
 	decodeBody(t, resp, &st)
 	if st.Answers != 6 || st.Workers != 3 {
 		t.Fatalf("stats: %+v", st)
 	}
 
-	// Estimates: unanimous CN, age around 45.
-	resp, _ = http.Get(srv.URL + "/projects/celebs/estimates")
+	// Estimates: unanimous CN, age around 45. min_generation far above
+	// anything published forces a refresh-if-stale round, so the read
+	// reflects every answer submitted above.
+	resp, _ = http.Get(srv.URL + "/v1/projects/celebs/estimates?min_generation=2000000000")
 	var est estimatesResp
 	decodeBody(t, resp, &est)
 	foundNat, foundAge := false, false
@@ -181,12 +183,17 @@ func TestServerTaskAnswerFlow(t *testing.T) {
 
 func TestServerEstimatesWithoutAnswers(t *testing.T) {
 	srv, _ := newTestServer(t)
-	postJSON(t, srv.URL+"/projects", projectBody).Body.Close()
-	resp, _ := http.Get(srv.URL + "/projects/celebs/estimates")
-	// No answers: inference fails cleanly with a 400-class error.
+	postJSON(t, srv.URL+"/v1/projects", projectBody).Body.Close()
+	// Nothing published yet: the pinned read 404s (no_snapshot).
+	resp, _ := http.Get(srv.URL + "/v1/projects/celebs/estimates")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-publish estimates status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Forcing a refresh on an answerless project fails cleanly too.
+	resp, _ = http.Get(srv.URL + "/v1/projects/celebs/estimates?min_generation=1")
 	if resp.StatusCode == http.StatusOK {
 		t.Fatal("estimates from nothing")
 	}
 	resp.Body.Close()
-
 }

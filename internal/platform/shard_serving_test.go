@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"tcrowd/api"
 	"tcrowd/internal/shard"
 	"tcrowd/internal/tabular"
 )
@@ -241,9 +242,10 @@ func TestShardIsolationAcrossProjects(t *testing.T) {
 	}
 }
 
-// TestServerBackpressureAndSnapshot covers the HTTP layer end to end:
-// 429 on saturated submissions (answer still recorded) and estimates,
-// 200 + stale marker on /snapshot, shard metrics on /stats.
+// TestServerBackpressureAndSnapshot covers the HTTP layer end to end
+// under a wedged shard: submissions record with an in-body deferred
+// refresh, the ?min_generation= refresh path 429s, the default pinned
+// read stays 200 (stale-marked), and /v1/stats reports the rejections.
 func TestServerBackpressureAndSnapshot(t *testing.T) {
 	p := NewWithOptions(44, Options{Workers: 1, QueueDepth: 1})
 	defer p.Close()
@@ -254,51 +256,63 @@ func TestServerBackpressureAndSnapshot(t *testing.T) {
 	release := wedge(t, p, "celebs", 1)
 	defer release()
 
-	// POST /answers under saturation: 429, answer recorded.
-	resp := postJSON(t, srv.URL+"/projects/celebs/answers",
+	// POST /v1/.../answers under saturation: 201, refresh deferred,
+	// answer recorded.
+	resp := postJSON(t, srv.URL+"/v1/projects/celebs/answers",
 		`{"worker": "w7", "row": 2, "column": "price", "number": 12}`)
-	if resp.StatusCode != http.StatusTooManyRequests {
+	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("saturated submit status %d", resp.StatusCode)
 	}
-	var submitBody map[string]string
+	var submitBody api.SubmitAnswersResponse
 	decodeBody(t, resp, &submitBody)
-	if submitBody["status"] != "recorded" || submitBody["refresh"] != "deferred" {
-		t.Fatalf("saturated submit body %v", submitBody)
+	if submitBody.Status != "recorded" || submitBody.Refresh != api.RefreshDeferred {
+		t.Fatalf("saturated submit body %+v", submitBody)
 	}
 	proj, _ := p.Project("celebs")
 	if !proj.Log.HasAnswered("w7", tabular.Cell{Row: 2, Col: 1}) {
-		t.Fatal("429 submission lost the answer")
+		t.Fatal("backpressured submission lost the answer")
 	}
 
-	// GET /estimates under saturation: 429.
-	resp, err := http.Get(srv.URL + "/projects/celebs/estimates")
+	// The refresh-if-stale read needs the saturated shard: 429.
+	resp, err := http.Get(srv.URL + "/v1/projects/celebs/estimates?min_generation=2000000000")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated estimates status %d", resp.StatusCode)
+		t.Fatalf("saturated min_generation estimates status %d", resp.StatusCode)
 	}
 
-	// GET /snapshot under saturation: 200, marked stale.
-	resp, err = http.Get(srv.URL + "/projects/celebs/snapshot")
+	// The default pinned read never touches the queue: 200, marked stale.
+	resp, err = http.Get(srv.URL + "/v1/projects/celebs/estimates")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("snapshot status %d", resp.StatusCode)
+		t.Fatalf("pinned read status %d", resp.StatusCode)
 	}
 	var snap estimatesResp
 	decodeBody(t, resp, &snap)
 	if snap.Fresh {
-		t.Fatal("snapshot claims freshness while a submission is unabsorbed")
+		t.Fatal("pinned read claims freshness while a submission is unabsorbed")
 	}
-	if len(snap.Estimates) == 0 {
-		t.Fatal("snapshot empty")
+	if len(snap.Estimates) == 0 || snap.Generation == 0 {
+		t.Fatalf("pinned read empty: %+v", snap)
 	}
 
-	// GET /stats: shard metrics visible, rejections counted.
-	resp, err = http.Get(srv.URL + "/stats")
+	// The /snapshot alias serves the same merged endpoint.
+	resp, err = http.Get(srv.URL + "/v1/projects/celebs/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alias estimatesResp
+	decodeBody(t, resp, &alias)
+	if alias.Generation != snap.Generation || len(alias.Estimates) != len(snap.Estimates) {
+		t.Fatalf("/snapshot alias diverged: %+v vs %+v", alias, snap)
+	}
+
+	// GET /v1/stats: shard metrics visible, rejections counted.
+	resp, err = http.Get(srv.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,13 +328,14 @@ func TestServerBackpressureAndSnapshot(t *testing.T) {
 		t.Fatal("stats missing queued depth")
 	}
 
-	// Drain; estimates recover and absorb the shed answer.
+	// Drain; the strongly consistent read recovers and absorbs the shed
+	// answer.
 	release()
 	waitFor(t, func() bool {
 		m := p.ShardMetrics()[0]
 		return m.Depth == 0 && m.Completed == m.Enqueued
 	})
-	resp, err = http.Get(srv.URL + "/projects/celebs/estimates")
+	resp, err = http.Get(srv.URL + "/v1/projects/celebs/estimates?min_generation=2000000000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,7 +458,7 @@ func TestCreateProjectRefreshEveryOverHTTP(t *testing.T) {
 	defer p.Close()
 	srv := httptest.NewServer(NewServer(p))
 	defer srv.Close()
-	resp := postJSON(t, srv.URL+"/projects", `{
+	resp := postJSON(t, srv.URL+"/v1/projects", `{
 	  "id": "fast", "rows": 2, "refresh_every": 1,
 	  "schema": {"key": "item", "columns": [
 	    {"name": "category", "type": "categorical", "labels": ["a", "b"]}]}}`)
@@ -488,7 +503,7 @@ func TestSnapshotBeforeFirstRefresh(t *testing.T) {
 	if _, err := p.Snapshot("empty"); !errors.Is(err, ErrNoSnapshot) {
 		t.Fatalf("want ErrNoSnapshot, got %v", err)
 	}
-	resp, err := http.Get(srv.URL + "/projects/empty/snapshot")
+	resp, err := http.Get(srv.URL + "/v1/projects/empty/snapshot")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -29,6 +28,7 @@ func TestErrorCodeTable(t *testing.T) {
 	}{
 		{ErrNoProject, http.StatusNotFound, api.CodeNoProject, false},
 		{ErrNoSnapshot, http.StatusNotFound, api.CodeNoSnapshot, true},
+		{ErrGenerationGone, http.StatusGone, api.CodeGenerationGone, false},
 		{ErrDuplicateID, http.StatusConflict, api.CodeDuplicateProject, false},
 		{ErrAlreadyAnswered, http.StatusConflict, api.CodeAlreadyAnswered, false},
 		{shard.ErrShardSaturated, http.StatusTooManyRequests, api.CodeShardSaturated, true},
@@ -84,7 +84,7 @@ func decodeEnvelope(t *testing.T, resp *http.Response) api.Error {
 // silently accepted (fmt.Sscanf "%d" stopped at the first non-digit).
 func TestTasksCountParsing(t *testing.T) {
 	srv, _ := newTestServer(t)
-	postJSON(t, srv.URL+"/projects", projectBody).Body.Close()
+	postJSON(t, srv.URL+"/v1/projects", projectBody).Body.Close()
 
 	for _, bad := range []string{"5x", "-1", "1.5", "0x10"} {
 		resp, err := http.Get(srv.URL + "/v1/projects/celebs/tasks?worker=w1&count=" + bad)
@@ -227,7 +227,8 @@ func TestSubmitBatchRejectsAtomically(t *testing.T) {
 }
 
 // TestV1EstimatesPagination walks ?cursor=&limit= pages over HTTP and
-// checks the concatenation equals the unpaginated read.
+// checks the concatenation equals the unpaginated read, with every page
+// pinned to the same generation by the cursor.
 func TestV1EstimatesPagination(t *testing.T) {
 	p := New(64)
 	defer p.Close()
@@ -246,6 +247,9 @@ func TestV1EstimatesPagination(t *testing.T) {
 			}
 		}
 	}
+	if _, err := p.RunInference("a"); err != nil { // publish a full-log generation
+		t.Fatal(err)
+	}
 	get := func(q string) estimatesResp {
 		t.Helper()
 		resp, err := http.Get(srv.URL + "/v1/projects/a/estimates" + q)
@@ -260,19 +264,27 @@ func TestV1EstimatesPagination(t *testing.T) {
 		return est
 	}
 	full := get("")
-	if len(full.Estimates) != 8 || full.NextCursor != 0 {
-		t.Fatalf("full read: %d estimates, next %d", len(full.Estimates), full.NextCursor)
+	if len(full.Estimates) != 8 || full.NextCursor != "" || full.Generation == 0 {
+		t.Fatalf("full read: %d estimates, next %q, generation %d",
+			len(full.Estimates), full.NextCursor, full.Generation)
 	}
 	var walked []estimateJSON
-	cursor, pages := 0, 0
+	cursor, pages := "", 0
 	for {
-		page := get(fmt.Sprintf("?cursor=%d&limit=3", cursor))
+		q := "?limit=3"
+		if cursor != "" {
+			q += "&cursor=" + cursor
+		}
+		page := get(q)
 		walked = append(walked, page.Estimates...)
 		if len(page.WorkerQuality) != 3 {
 			t.Fatalf("page missing worker quality: %+v", page.WorkerQuality)
 		}
+		if page.Generation != full.Generation {
+			t.Fatalf("page generation %d, walk pinned to %d", page.Generation, full.Generation)
+		}
 		pages++
-		if page.NextCursor == 0 {
+		if page.NextCursor == "" {
 			break
 		}
 		cursor = page.NextCursor
@@ -289,8 +301,22 @@ func TestV1EstimatesPagination(t *testing.T) {
 		}
 	}
 	// Cursor past the end: empty page, no next.
-	if tail := get("?cursor=9999"); len(tail.Estimates) != 0 || tail.NextCursor != 0 {
+	if tail := get(fmt.Sprintf("?cursor=%d:9999", full.Generation)); len(tail.Estimates) != 0 || tail.NextCursor != "" {
 		t.Fatalf("past-the-end page: %+v", tail)
+	}
+	// Malformed cursors and conflicting pins are typed bad requests.
+	for _, bad := range []string{"?cursor=9999", "?cursor=x:1", "?cursor=1:x", "?cursor=-1:0",
+		fmt.Sprintf("?cursor=%d:0&generation=%d", full.Generation, full.Generation+1)} {
+		resp, err := http.Get(srv.URL + "/v1/projects/a/estimates" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("cursor %q status %d", bad, resp.StatusCode)
+		}
+		if e := decodeEnvelope(t, resp); e.Code != api.CodeBadRequest {
+			t.Fatalf("cursor %q code %q", bad, e.Code)
+		}
 	}
 }
 
@@ -406,35 +432,36 @@ func TestAssignRefreshRunsOnShardWorker(t *testing.T) {
 	}
 }
 
-// TestLegacyRoutesAliasV1 pins that the deprecated unversioned routes
-// serve the same payloads as their /v1 counterparts.
-func TestLegacyRoutesAliasV1(t *testing.T) {
+// TestLegacyRoutesRemoved pins the removal of the pre-v1 unversioned
+// aliases (deprecated one release ago): they are no longer registered and
+// 404 at the mux.
+func TestLegacyRoutesRemoved(t *testing.T) {
 	srv, _ := newTestServer(t)
 	postJSON(t, srv.URL+"/v1/projects", projectBody).Body.Close()
-	for _, path := range []string{"/projects", "/projects/celebs/stats", "/stats"} {
-		legacy, err := http.Get(srv.URL + path)
+	for _, path := range []string{"/projects", "/projects/celebs/tasks?worker=w1",
+		"/projects/celebs/estimates", "/projects/celebs/snapshot",
+		"/projects/celebs/stats", "/stats"} {
+		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		v1, err := http.Get(srv.URL + "/v1" + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		lb, vb := readAll(t, legacy), readAll(t, v1)
-		if lb != vb {
-			t.Fatalf("legacy %s diverged from /v1%s:\n%s\nvs\n%s", path, path, lb, vb)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("legacy %s still served: status %d", path, resp.StatusCode)
 		}
 	}
-}
-
-func readAll(t *testing.T, resp *http.Response) string {
-	t.Helper()
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
+	resp := postJSON(t, srv.URL+"/projects/celebs/answers",
+		`{"worker":"w1","row":0,"column":"Age","number":30}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy POST /answers still served: status %d", resp.StatusCode)
 	}
-	return string(b)
+	// The route table carries only /v1 patterns.
+	for _, r := range Routes() {
+		if !strings.HasPrefix(r.Pattern, "/v1/") {
+			t.Fatalf("non-/v1 route in table: %s %s", r.Method, r.Pattern)
+		}
+	}
 }
 
 // TestTasksBoundedWaitBehindBusyShard pins the bounded-wait rule: a task

@@ -1,0 +1,113 @@
+package platform
+
+import (
+	"sync"
+
+	"tcrowd/api"
+)
+
+// watchBuffer bounds each watcher's pending-event buffer. A consumer that
+// falls further behind than this gets intermediate generation bumps
+// dropped and the newest event redelivered with Coalesced set — publishers
+// never block on a slow watcher, and per-watcher memory is O(watchBuffer).
+const watchBuffer = 16
+
+// Watcher is one subscription to a project's snapshot publications,
+// created by Platform.Watch.
+type Watcher struct {
+	ch  chan api.WatchEvent
+	hub *watchHub
+}
+
+// Events returns the subscription channel: one api.WatchEvent per
+// published generation. Buffers are bounded, so a consumer that lags more
+// than watchBuffer events behind has intermediate bumps dropped — it
+// observes that as a GAP in the strictly increasing Generation sequence
+// (the HTTP layer translates such gaps into the wire-level Coalesced
+// flag). The channel closes on Watcher.Close and on platform shutdown.
+func (w *Watcher) Events() <-chan api.WatchEvent { return w.ch }
+
+// Close unsubscribes and closes the event channel. Safe to call once;
+// idempotent against a concurrent platform shutdown.
+func (w *Watcher) Close() { w.hub.unsubscribe(w) }
+
+// watchHub fans one project's publish events out to its watchers. The
+// publisher side runs on the project's shard worker (publishSnapshot);
+// subscribe/unsubscribe run on request goroutines.
+type watchHub struct {
+	mu     sync.Mutex
+	subs   map[*Watcher]struct{}
+	closed bool
+}
+
+func newWatchHub() *watchHub {
+	return &watchHub{subs: make(map[*Watcher]struct{})}
+}
+
+func (h *watchHub) subscribe() *Watcher {
+	w := &Watcher{ch: make(chan api.WatchEvent, watchBuffer), hub: h}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(w.ch)
+		return w
+	}
+	h.subs[w] = struct{}{}
+	return w
+}
+
+func (h *watchHub) unsubscribe(w *Watcher) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[w]; !ok {
+		return // already removed (double Close, or hub close won the race)
+	}
+	delete(h.subs, w)
+	close(w.ch)
+}
+
+// publish delivers ev to every watcher without ever blocking: a full
+// buffer drops its oldest pending event to make room for the newest.
+// Generations are strictly increasing, so a consumer (or the HTTP layer
+// on its behalf) detects the drop exactly as a gap — the next event's
+// Generation exceeds the previous delivery's by more than one. The flag
+// is NOT set here: only the receiver knows which delivery follows its
+// gap.
+func (h *watchHub) publish(ev api.WatchEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for w := range h.subs {
+		select {
+		case w.ch <- ev:
+			continue
+		default:
+		}
+		// Slow watcher: drop the oldest pending bump. The receiver may
+		// drain between these selects; losing that race just means the
+		// send succeeds.
+		select {
+		case <-w.ch:
+		default:
+		}
+		select {
+		case w.ch <- ev:
+		default:
+		}
+	}
+}
+
+// close ends every subscription; later subscribes get an already-closed
+// channel. Called by Platform.Close after the shard drain, so all
+// published generations precede the channel close.
+func (h *watchHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for w := range h.subs {
+		delete(h.subs, w)
+		close(w.ch)
+	}
+}
