@@ -52,6 +52,11 @@ const (
 	// — not a request mistake. Not retryable: the same request will very
 	// likely hit the same fault.
 	CodeInternal = "internal"
+	// CodeDurabilityFailure: the server could not persist the mutation to
+	// its write-ahead log, so NOTHING was recorded — acknowledgement
+	// means durable. Retryable: the fault may be transient and the log
+	// self-heals torn appends.
+	CodeDurabilityFailure = "durability_failure"
 )
 
 // Error is the typed error payload carried by every non-2xx response.
@@ -235,6 +240,18 @@ type EstimatesResponse struct {
 // JSON body.
 const WatchEventGeneration = "generation"
 
+// MaxChangedCells caps WatchEvent.Cells: a publish that moves more cells
+// than this ships the first MaxChangedCells (row-major) with
+// CellsOverflow set, and the consumer re-fetches instead of patching.
+const MaxChangedCells = 64
+
+// ChangedCell addresses one estimate cell whose value moved in a publish.
+type ChangedCell struct {
+	Row    int    `json:"row"`
+	Entity string `json:"entity"`
+	Column string `json:"column"`
+}
+
 // WatchEvent is one generation bump published by a project, delivered by
 // GET /v1/projects/{id}/watch (long-poll JSON body or SSE data payload).
 type WatchEvent struct {
@@ -250,6 +267,12 @@ type WatchEvent struct {
 	ChangedCells int  `json:"changed_cells"`
 	Workers      int  `json:"workers"`
 	Converged    bool `json:"converged"`
+	// Cells lists the moved cells (row-major, at most MaxChangedCells) so
+	// consumers can patch incrementally; when CellsOverflow is true the
+	// list is truncated and a re-fetch of the estimates is cheaper than
+	// patching.
+	Cells         []ChangedCell `json:"cells,omitempty"`
+	CellsOverflow bool          `json:"cells_overflow,omitempty"`
 	// Coalesced marks the delivery that follows a gap: at least one
 	// generation between the consumer's previous event (or its ?after=)
 	// and this one was skipped — a slow consumer's buffer dropped bumps,

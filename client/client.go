@@ -226,6 +226,13 @@ func (c *Client) CreateProject(ctx context.Context, req api.CreateProjectRequest
 	return c.do(ctx, http.MethodPost, "/v1/projects", nil, req, nil)
 }
 
+// DeleteProject permanently removes a project and its durable answer
+// log. The delete is crash-safe on the server but irreversible: answers
+// are paid human work, so export anything that matters first.
+func (c *Client) DeleteProject(ctx context.Context, project string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/projects/"+url.PathEscape(project), nil, nil, nil)
+}
+
 // Projects lists registered project ids, sorted.
 func (c *Client) Projects(ctx context.Context) ([]string, error) {
 	var ids []string

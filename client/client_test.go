@@ -191,6 +191,18 @@ func TestClientEndToEnd(t *testing.T) {
 	if ss.Totals.Completed == 0 {
 		t.Fatalf("no completed refreshes in totals: %+v", ss.Totals)
 	}
+
+	// Delete the project; later reads get the typed not-found, and a
+	// second delete is the same 404 (removal is final, not idempotent-OK).
+	if err := c.DeleteProject(ctx, "books"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Estimates(ctx, "books", EstimatesQuery{}); !errors.As(err, &ae) || ae.Code != api.CodeNoProject {
+		t.Fatalf("read after delete: %v", err)
+	}
+	if err := c.DeleteProject(ctx, "books"); !errors.As(err, &ae) || ae.Code != api.CodeNoProject {
+		t.Fatalf("double delete: %v", err)
+	}
 }
 
 // assertRow0 checks the unanimous row-0 truth: category "movie", price

@@ -18,6 +18,7 @@ import (
 	"tcrowd/internal/simulate"
 	"tcrowd/internal/stats"
 	"tcrowd/internal/tabular"
+	"tcrowd/internal/wal"
 )
 
 // Machine-readable hot-path benchmarking: `tcrowd-bench -bench-json N`
@@ -74,9 +75,16 @@ func hotBenches() []struct {
 		{"shard/refresh-16proj-w1", benchShardRefresh(16, 1)},
 		{"shard/refresh-16proj-w2", benchShardRefresh(16, 2)},
 		{"shard/refresh-16proj-w4", benchShardRefresh(16, 4)},
-		{"server/submit-batch-1", benchServerSubmitBatch(1)},
-		{"server/submit-batch-50", benchServerSubmitBatch(50)},
-		{"server/submit-batch-200", benchServerSubmitBatch(200)},
+		{"wal/append-batch-1-always", benchWALAppendBatch(1, wal.SyncAlways)},
+		{"wal/append-batch-50-always", benchWALAppendBatch(50, wal.SyncAlways)},
+		{"wal/append-batch-200-always", benchWALAppendBatch(200, wal.SyncAlways)},
+		{"wal/append-batch-1-never", benchWALAppendBatch(1, wal.SyncNever)},
+		{"wal/append-batch-50-never", benchWALAppendBatch(50, wal.SyncNever)},
+		{"wal/append-batch-200-never", benchWALAppendBatch(200, wal.SyncNever)},
+		{"server/submit-batch-1", benchServerSubmitBatch(1, false)},
+		{"server/submit-batch-50", benchServerSubmitBatch(50, false)},
+		{"server/submit-batch-200", benchServerSubmitBatch(200, false)},
+		{"server/submit-batch-200-durable", benchServerSubmitBatch(200, true)},
 		{"server/estimates-paged-10k", benchServerEstimatesPaged},
 		{"server/watch-fanout-32", benchServerWatchFanout(32)},
 		{"infogain-scoring", benchInfoGain},
@@ -295,6 +303,76 @@ func benchShardRefresh(nproj, workers int) func(b *testing.B) {
 	}
 }
 
+// benchWALAppendBatch measures the durability hot path in isolation: one
+// framed append (encode + CRC + write, plus an fsync under SyncAlways)
+// per answer batch, against the real filesystem. A batch is ONE record
+// however many answers it carries, so the per-answer cost of the
+// batch-200 series sits far below batch-1 — the same amortization the
+// server batch endpoint pins, extended through the disk. The log is
+// rebuilt periodically (untimed) so disk use stays bounded at any b.N.
+func benchWALAppendBatch(batch int, policy wal.SyncPolicy) func(b *testing.B) {
+	return func(b *testing.B) {
+		schema := tabular.Schema{
+			Key: "item",
+			Columns: []tabular.Column{
+				{Name: "c0", Type: tabular.Categorical, Labels: []string{"a", "b", "c"}},
+				{Name: "c1", Type: tabular.Continuous, Min: 0, Max: 100},
+			},
+		}
+		answers := make([]tabular.Answer, batch)
+		for i := range answers {
+			answers[i] = tabular.Answer{
+				Worker: tabular.WorkerID(fmt.Sprintf("w%04d", i)),
+				Cell:   tabular.Cell{Row: i, Col: i % 2},
+				Value:  tabular.NumberValue(float64(i % 100)),
+			}
+		}
+		blob, err := tabular.MarshalAnswers(schema, answers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root, err := os.MkdirTemp("", "tcrowd-wal-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(root)
+		var (
+			l    *wal.Log
+			dirN int
+			ops  int
+		)
+		reset := func() {
+			if l != nil {
+				l.Close()
+				os.RemoveAll(fmt.Sprintf("%s/log%d", root, dirN))
+				dirN++
+			}
+			var err error
+			l, _, err = wal.Open(fmt.Sprintf("%s/log%d", root, dirN), wal.Options{Policy: policy, CheckpointType: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops = 0
+		}
+		reset()
+		defer func() { l.Close() }()
+		rec := wal.Record{Type: 3, Data: blob}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ops > 2000 {
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+			}
+			ops++
+			if _, err := l.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // benchServerSubmitBatch measures one wire-level answer submission of the
 // given batch size through the full stack: the v1 client SDK -> JSON ->
 // HTTP -> server validation -> atomic log append -> one coalesced refresh
@@ -305,7 +383,13 @@ func benchShardRefresh(nproj, workers int) func(b *testing.B) {
 // pins. Every op submits from a fresh worker id (double answers would
 // 409); the platform is rebuilt periodically (untimed) to keep log size
 // steady.
-func benchServerSubmitBatch(batch int) func(b *testing.B) {
+//
+// With durable=true the platform writes a real fsync=always WAL: the
+// batch is framed, CRC'd, written, and fsynced before the 201 — the
+// whole durability tax is ONE record append per request, which is the
+// acceptance claim of the durable series (within 2x of the in-memory
+// batch-200 per answer).
+func benchServerSubmitBatch(batch int, durable bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		schema := tabular.Schema{
 			Key: "item",
@@ -335,12 +419,33 @@ func benchServerSubmitBatch(batch int) func(b *testing.B) {
 			op   int
 			sent int
 		)
+		var walRoot string
+		if durable {
+			var err error
+			walRoot, err = os.MkdirTemp("", "tcrowd-srv-wal-bench-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(walRoot)
+		}
+		walGen := 0
 		reset := func() {
 			if srv != nil {
 				srv.Close()
 				p.Close()
 			}
-			p = platform.NewWithOptions(1, platform.Options{Workers: 1, QueueDepth: 4096})
+			opts := platform.Options{Workers: 1, QueueDepth: 4096}
+			if durable {
+				// A fresh WAL dir per reset: the old incarnation's log would
+				// otherwise refuse the duplicate project create.
+				os.RemoveAll(fmt.Sprintf("%s/gen%d", walRoot, walGen))
+				walGen++
+				opts.WAL = &platform.WALOptions{
+					Dir:    fmt.Sprintf("%s/gen%d", walRoot, walGen),
+					Policy: wal.SyncAlways,
+				}
+			}
+			p = platform.NewWithOptions(1, opts)
 			srv = httptest.NewServer(platform.NewServer(p))
 			c = client.New(srv.URL)
 			if _, err := p.CreateProject("bench", schema, platform.ProjectConfig{Rows: rows, RefreshEvery: 1}); err != nil {

@@ -11,8 +11,9 @@ import (
 // Perf-regression gate: `tcrowd-bench -compare BASELINE.json CANDIDATE.json`
 // compares two -bench-json result files and fails (non-zero exit) when a
 // gated series regressed. Gated series are selected by name prefix
-// (default infer/, refresh/, ingest/, shard/ and server/ — the serving hot
-// paths whose budgets the repo commits to); a series regresses when its
+// (default infer/, refresh/, ingest/, shard/, server/ and wal/ — the
+// serving and durability hot paths whose budgets the repo commits to); a
+// series regresses when its
 // ns/op grows by more than the allowed fraction (default 25%, absorbing
 // CI-runner timing noise) or its allocs/op grows past the slack.
 //

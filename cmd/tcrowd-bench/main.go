@@ -14,7 +14,7 @@
 //	                                   # ns/op or >1 alloc + 0.1% allocs/op
 //	                                   # growth in the gated (infer/,
 //	                                   # refresh/, ingest/, shard/,
-//	                                   # server/) series
+//	                                   # server/, wal/) series
 package main
 
 import (
@@ -37,7 +37,7 @@ func main() {
 		bench    = flag.Int("bench-json", -1, "run hot-path micro-benches and write BENCH_<n>.json")
 		benchOut = flag.String("bench-out", "", "run hot-path micro-benches and write the results to this path")
 		compare  = flag.Bool("compare", false, "compare two -bench-json files (args: baseline candidate); exit non-zero on gated regressions")
-		gates    = flag.String("gate", "infer/,refresh/,ingest/,shard/,server/", "comma-separated series-name prefixes under the -compare regression gate")
+		gates    = flag.String("gate", "infer/,refresh/,ingest/,shard/,server/,wal/", "comma-separated series-name prefixes under the -compare regression gate")
 		maxNs    = flag.Float64("max-ns-regress", 0.25, "allowed fractional ns/op growth for gated series in -compare")
 		maxAlloc = flag.Float64("max-alloc-regress", 0.001, "allowed fractional allocs/op growth for gated kernel series in -compare, on top of a 1-alloc absolute slack (absorbs EM-iteration and benchmark-harness wobble; server/ series use a fixed 5%+4 slack because their timed windows race async shard refreshes)")
 	)

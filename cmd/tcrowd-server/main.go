@@ -5,7 +5,9 @@
 // Usage:
 //
 //	tcrowd-server -addr :8080
-//	tcrowd-server -addr :8080 -state platform.json   # load + persist state
+//	tcrowd-server -wal-dir ./wal                     # durable: ack = fsynced
+//	tcrowd-server -wal-dir ./wal -fsync interval     # bounded-loss durability
+//	tcrowd-server -addr :8080 -state platform.json   # import/export snapshot
 //	tcrowd-server -workers 8 -queue-depth 128        # explicit shard sizing
 //	tcrowd-server -retain-generations 16             # deeper pinned-read window
 //
@@ -64,11 +66,27 @@
 // refreshing (isolation), and queue bounds turn overload into fast,
 // typed backpressure instead of unbounded memory growth.
 //
-// On SIGINT/SIGTERM the server stops accepting HTTP, drains the shard
-// queues, and (with -state) persists every project's log. At startup with
-// -state, every loaded project gets a coalescing warmup refresh enqueued,
-// so the read path serves immediately after restart instead of 404ing
-// until the first write.
+// # Durability
+//
+// With -wal-dir, every project keeps a segmented, CRC-framed write-ahead
+// log: project creation and every accepted answer batch are appended (and,
+// under -fsync=always, fsynced) BEFORE the request is acknowledged, so an
+// acknowledged answer survives a hard kill at any instant. At boot the
+// logs are replayed — torn tails from a mid-write crash are truncated at
+// the last durable record, while corruption before the tail refuses to
+// boot rather than silently dropping history. Segments rotate at
+// -wal-segment-bytes and rotation schedules a checkpoint compaction on
+// the project's shard, bounding both disk use and replay time.
+//
+// -state is demoted to an import/export snapshot: imported at start only
+// into an empty platform, exported atomically (temp file + fsync +
+// rename) on shutdown. The WAL is the source of truth.
+//
+// On SIGINT/SIGTERM the server stops accepting HTTP, exports -state if
+// set, drains the shard queues, and flushes + fsyncs every WAL regardless
+// of policy. At startup, every recovered or imported project with answers
+// gets a coalescing warmup refresh enqueued, so the read path serves
+// immediately after restart instead of 404ing until the first write.
 package main
 
 import (
@@ -82,30 +100,67 @@ import (
 	"time"
 
 	"tcrowd/internal/platform"
+	"tcrowd/internal/wal"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		state   = flag.String("state", "", "optional JSON state file (loaded at start, saved on SIGINT/SIGTERM)")
-		seed    = flag.Int64("seed", 1, "assignment tie-breaking seed")
-		workers = flag.Int("workers", 0, "inference shard workers (0 = GOMAXPROCS-derived)")
-		depth   = flag.Int("queue-depth", 0, "per-shard refresh queue bound (0 = default 64)")
-		retain  = flag.Int("retain-generations", 0, "published snapshot generations kept addressable per project for pinned reads (0 = default 8)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		state    = flag.String("state", "", "optional JSON export file (imported at start when the platform is empty, exported atomically on SIGINT/SIGTERM); durability lives in -wal-dir")
+		seed     = flag.Int64("seed", 1, "assignment tie-breaking seed")
+		workers  = flag.Int("workers", 0, "inference shard workers (0 = GOMAXPROCS-derived)")
+		depth    = flag.Int("queue-depth", 0, "per-shard refresh queue bound (0 = default 64)")
+		retain   = flag.Int("retain-generations", 0, "published snapshot generations kept addressable per project for pinned reads (0 = default 8)")
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory: answers are persisted before acknowledgement and replayed at boot (empty = no durability)")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy: always (ack = durable), interval (bounded loss, background flush), never (OS-paced)")
+		walSeg   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes; rotation triggers checkpoint compaction (0 = default 4 MiB)")
+		fsyncInt = flag.Duration("fsync-interval", 0, "flush cadence for -fsync=interval (0 = default 100ms)")
 	)
 	flag.Parse()
 
 	opts := platform.Options{Workers: *workers, QueueDepth: *depth, RetainGenerations: *retain}
 	var p *platform.Platform
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		opts.WAL = &platform.WALOptions{
+			Dir:          *walDir,
+			SegmentBytes: *walSeg,
+			Policy:       policy,
+			Interval:     *fsyncInt,
+		}
+		recovered, rep, err := platform.Recover(*seed, opts)
+		if err != nil {
+			fatal(fmt.Errorf("recovering %s: %w", *walDir, err))
+		}
+		p = recovered
+		fmt.Printf("recovered %d projects (%d answers) from %s [fsync=%s]\n",
+			rep.Projects, rep.Answers, *walDir, policy)
+		for _, id := range rep.TornProjects {
+			fmt.Printf("  project %s: torn log tail truncated at last durable record\n", id)
+		}
+	}
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
-			loaded, err := platform.LoadWithOptions(f, *seed, opts)
-			f.Close()
-			if err != nil {
-				fatal(fmt.Errorf("loading %s: %w", *state, err))
+			// -state is the import/export format now; the WAL is the source
+			// of truth. Import only into an empty platform so a stale export
+			// can never duplicate or shadow recovered projects.
+			if p != nil && len(p.ProjectIDs()) > 0 {
+				fmt.Printf("skipping %s import: %d projects already recovered from WAL\n", *state, len(p.ProjectIDs()))
+				f.Close()
+			} else {
+				if p == nil {
+					p = platform.NewWithOptions(*seed, opts)
+				}
+				n, err := p.ImportProjects(f)
+				f.Close()
+				if err != nil {
+					fatal(fmt.Errorf("importing %s: %w", *state, err))
+				}
+				fmt.Printf("imported %d projects from %s\n", n, *state)
 			}
-			p = loaded
-			fmt.Printf("loaded state from %s (%d projects)\n", *state, len(p.ProjectIDs()))
 		} else if !os.IsNotExist(err) {
 			fatal(err)
 		}
@@ -136,19 +191,20 @@ func main() {
 		fatal(err)
 	}
 
-	// HTTP is stopped: drain queued refreshes, then persist.
-	p.Close()
+	// HTTP is stopped: export state while the WAL is still open (Close
+	// wedges late appends), then drain queued refreshes and fsync the
+	// logs. The export is atomic — temp file, fsync, rename — so a crash
+	// mid-save can never destroy the previous export.
 	if *state != "" {
-		f, err := os.Create(*state)
-		if err == nil {
-			err = p.Save(f)
-			f.Close()
-		}
-		if err != nil {
+		if err := p.SaveToFile(*state); err != nil {
 			fmt.Fprintf(os.Stderr, "tcrowd-server: saving state: %v\n", err)
 		} else {
 			fmt.Printf("state saved to %s\n", *state)
 		}
+	}
+	if err := p.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tcrowd-server: closing platform: %v\n", err)
+		os.Exit(1)
 	}
 }
 

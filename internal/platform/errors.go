@@ -32,6 +32,7 @@ var errTable = []struct {
 	{ErrGenerationGone, errSpec{http.StatusGone, api.CodeGenerationGone, false}},
 	{ErrDuplicateID, errSpec{http.StatusConflict, api.CodeDuplicateProject, false}},
 	{ErrAlreadyAnswered, errSpec{http.StatusConflict, api.CodeAlreadyAnswered, false}},
+	{ErrDurability, errSpec{http.StatusServiceUnavailable, api.CodeDurabilityFailure, true}},
 	{shard.ErrShardSaturated, errSpec{http.StatusTooManyRequests, api.CodeShardSaturated, true}},
 	{shard.ErrClosed, errSpec{http.StatusServiceUnavailable, api.CodeShuttingDown, true}},
 	{shard.ErrJobPanicked, errSpec{http.StatusInternalServerError, api.CodeInternal, false}},

@@ -50,6 +50,7 @@ import (
 	"tcrowd/internal/shard"
 	"tcrowd/internal/stats"
 	"tcrowd/internal/tabular"
+	"tcrowd/internal/wal"
 )
 
 // Common errors.
@@ -127,6 +128,10 @@ type Project struct {
 	lastEvent api.WatchEvent
 	// hub fans published generation bumps out to watchers.
 	hub *watchHub
+	// wal is the project's durable write-ahead log (nil when the platform
+	// runs without durability). Appends are serialised under the platform
+	// mutex so WAL order is exactly in-memory log order.
+	wal *wal.Log
 }
 
 // Platform hosts projects and is safe for concurrent use.
@@ -139,6 +144,11 @@ type Platform struct {
 	// sched partitions per-project refresh work across shard workers; all
 	// model mutation funnels through it (see the package comment).
 	sched *shard.Scheduler
+	// walOpts enables the durable write-ahead log when non-nil.
+	walOpts *WALOptions
+	// closeOnce makes Close idempotent; closeErr remembers its outcome.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Options configures the platform's serving layer. The zero value gives
@@ -155,6 +165,10 @@ type Options struct {
 	// after they stop being the latest. Default 8; the latest generation
 	// is always retained.
 	RetainGenerations int
+	// WAL enables the durable write-ahead log: answers are persisted
+	// before acknowledgement and the platform recovers them at boot (see
+	// Recover). Nil keeps the platform purely in-memory.
+	WAL *WALOptions
 }
 
 // New returns an empty platform with default serving options; seed drives
@@ -171,6 +185,7 @@ func NewWithOptions(seed int64, opts Options) *Platform {
 		projects: make(map[string]*Project),
 		seed:     seed,
 		retain:   opts.RetainGenerations,
+		walOpts:  opts.WAL,
 		sched: shard.New(shard.Options{
 			Workers:    opts.Workers,
 			QueueDepth: opts.QueueDepth,
@@ -183,17 +198,31 @@ func NewWithOptions(seed int64, opts Options) *Platform {
 // fail with shard.ErrClosed; snapshot reads keep working. Watch channels
 // close after the drain, so watchers observe every generation published by
 // the draining refreshes before their stream ends.
-func (p *Platform) Close() {
-	p.sched.Close()
-	p.mu.Lock()
-	projs := make([]*Project, 0, len(p.projects))
-	for _, proj := range p.projects {
-		projs = append(projs, proj)
-	}
-	p.mu.Unlock()
-	for _, proj := range projs {
-		proj.hub.close()
-	}
+//
+// After the drain — so in-flight compactions have finished — every
+// project's WAL is flushed, fsynced and closed regardless of the fsync
+// policy: a clean shutdown never loses recorded answers even under
+// fsync=never. The returned error reports the first WAL flush failure.
+// Close is idempotent; repeat calls return the first call's outcome.
+func (p *Platform) Close() error {
+	p.closeOnce.Do(func() {
+		p.sched.Close()
+		p.mu.Lock()
+		projs := make([]*Project, 0, len(p.projects))
+		for _, proj := range p.projects {
+			projs = append(projs, proj)
+		}
+		p.mu.Unlock()
+		for _, proj := range projs {
+			if proj.wal != nil {
+				if err := proj.wal.Close(); err != nil && p.closeErr == nil {
+					p.closeErr = fmt.Errorf("platform: close wal for %s: %w", proj.ID, err)
+				}
+			}
+			proj.hub.close()
+		}
+	})
+	return p.closeErr
 }
 
 // ShardMetrics snapshots the scheduler's per-shard counters (queue depth,
@@ -220,8 +249,51 @@ type ProjectConfig struct {
 	RefreshEvery int
 }
 
-// CreateProject registers a new campaign.
+// CreateProject registers a new campaign. With durability enabled the
+// registration is logged (and fsynced, whatever the policy) before the
+// call returns: a created project survives any crash.
 func (p *Platform) CreateProject(id string, schema tabular.Schema, cfg ProjectConfig) (*Project, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, err := p.createProjectLocked(id, schema, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.walOpts != nil {
+		if err := p.attachProjectWAL(proj); err != nil {
+			delete(p.projects, id)
+			return nil, err
+		}
+	}
+	return proj, nil
+}
+
+// attachProjectWAL opens the project's log directory, refuses one that
+// already holds records (an unrecovered or foreign log — creating over
+// it would fork history), and makes the registration durable. Caller
+// holds p.mu.
+func (p *Platform) attachProjectWAL(proj *Project) error {
+	l, replay, err := p.walOpts.openProjectWAL(proj.ID)
+	if err != nil {
+		return fmt.Errorf("%w: open wal for %q: %v", ErrDurability, proj.ID, err)
+	}
+	if len(replay.Records) > 0 {
+		_ = l.Close()
+		return fmt.Errorf("%w: wal directory for %q already holds records (recover or remove it)", ErrDuplicateID, proj.ID)
+	}
+	if err := appendCreateRecord(l, walCreateInfo(proj)); err != nil {
+		_ = l.Close()
+		_ = p.walOpts.fs().RemoveAll(p.walOpts.projDir(proj.ID))
+		return fmt.Errorf("%w: log create of %q: %v", ErrDurability, proj.ID, err)
+	}
+	proj.wal = l
+	return nil
+}
+
+// createProjectLocked validates and registers a project in memory.
+// Caller holds p.mu; WAL attachment is the caller's concern (CreateProject
+// logs a create record, recovery re-attaches the replayed log).
+func (p *Platform) createProjectLocked(id string, schema tabular.Schema, cfg ProjectConfig) (*Project, error) {
 	// Project IDs feed the shard scheduler's coalescing keys, which
 	// namespace job kinds with a control-character suffix — a crafted ID
 	// containing control characters could collide with another project's
@@ -240,8 +312,6 @@ func (p *Platform) CreateProject(id string, schema tabular.Schema, cfg ProjectCo
 	if cfg.Entities != nil && len(cfg.Entities) != cfg.Rows {
 		return nil, fmt.Errorf("platform: %d entities for %d rows", len(cfg.Entities), cfg.Rows)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if _, dup := p.projects[id]; dup {
 		return nil, ErrDuplicateID
 	}
@@ -606,8 +676,32 @@ func (p *Platform) SubmitBatch(projectID string, answers []tabular.Answer) (Batc
 	if len(bad) > 0 {
 		return BatchResult{}, &BatchError{Items: bad}
 	}
+	// Durability before acknowledgement: the whole batch is one framed
+	// WAL record (one append + one fsync however large the batch, so
+	// batch amortisation survives fsync=always), written under p.mu so
+	// WAL order is exactly in-memory log order — replay reproduces the
+	// log bit for bit. WAL-first makes the protocol at-least-once: a
+	// crash between the fsync and the ack leaves the batch durable, and
+	// the client's retry is rejected as already answered.
+	var rotated bool
+	if proj.wal != nil {
+		blob, err := tabular.MarshalAnswers(proj.Table.Schema, answers)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		rotated, err = proj.wal.Append(wal.Record{Type: walRecBatch, Data: blob})
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+	}
 	for _, a := range answers {
 		proj.Log.Add(a)
+	}
+	if rotated {
+		// The append sealed a segment: fold the history into a checkpoint
+		// on the project's home shard (own job key; never coalesces into
+		// refreshes, best-effort — the next rotation retries a shed job).
+		p.scheduleCompaction(projectID, proj)
 	}
 	res := BatchResult{Recorded: len(answers), Refresh: RefreshNone}
 	proj.sinceRefresh += len(answers)
@@ -945,14 +1039,17 @@ func (p *Platform) publishSnapshot(proj *Project, res *InferenceResult) {
 		res.Generation = prev.Generation + 1
 		delta = res.AnswersSeen - prev.AnswersSeen
 	}
+	changed, cells, overflow := changedCells(prev, res, proj.Table)
 	ev := api.WatchEvent{
-		Project:      proj.ID,
-		Generation:   res.Generation,
-		AnswersSeen:  res.AnswersSeen,
-		AnswersDelta: delta,
-		ChangedCells: changedCells(prev, res),
-		Workers:      len(res.WorkerQuality),
-		Converged:    res.Converged,
+		Project:       proj.ID,
+		Generation:    res.Generation,
+		AnswersSeen:   res.AnswersSeen,
+		AnswersDelta:  delta,
+		ChangedCells:  changed,
+		Cells:         cells,
+		CellsOverflow: overflow,
+		Workers:       len(res.WorkerQuality),
+		Converged:     res.Converged,
 	}
 	proj.genMu.Lock()
 	if len(proj.retained) < p.retain {
@@ -971,25 +1068,41 @@ func (p *Platform) publishSnapshot(proj *Project, res *InferenceResult) {
 	proj.hub.publish(ev)
 }
 
-// changedCells counts estimate cells whose value moved between two
-// published results (every non-empty cell for the first publish) — the
-// summary delta carried by watch events.
-func changedCells(prev, cur *InferenceResult) int {
+// changedCells diffs two published results: the count of estimate cells
+// whose value moved (every non-empty cell for the first publish), the
+// first api.MaxChangedCells of them as an addressable list (row-major,
+// so dashboards patch incrementally instead of re-fetching pages), and
+// whether the list overflowed that cap.
+func changedCells(prev, cur *InferenceResult, tbl *tabular.Table) (int, []api.ChangedCell, bool) {
 	n := 0
+	// One exact allocation: the cap can never exceed the table size or
+	// api.MaxChangedCells, and publishes run per refresh on the hot path.
+	cells := make([]api.ChangedCell, 0,
+		min(api.MaxChangedCells, len(cur.Estimates)*len(tbl.Schema.Columns)))
+	record := func(i, j int) {
+		n++
+		if n <= api.MaxChangedCells {
+			cells = append(cells, api.ChangedCell{
+				Row:    i,
+				Entity: tbl.Entities[i],
+				Column: tbl.Schema.Columns[j].Name,
+			})
+		}
+	}
 	for i := range cur.Estimates {
 		for j := range cur.Estimates[i] {
 			v := cur.Estimates[i][j]
 			switch {
 			case prev == nil:
 				if !v.IsNone() {
-					n++
+					record(i, j)
 				}
 			case !v.Equal(prev.Estimates[i][j]):
-				n++
+				record(i, j)
 			}
 		}
 	}
-	return n
+	return n, cells, n > api.MaxChangedCells
 }
 
 // Stats summarises collection progress.
@@ -1077,20 +1190,38 @@ func Load(r io.Reader, seed int64) (*Platform, error) {
 }
 
 // LoadWithOptions restores a platform previously written by Save with an
-// explicitly sized shard scheduler. Cached models and snapshots are not
-// persisted, so each reloaded project with answers gets a warmup refresh
-// enqueued on its home shard: the cold fit runs in the background and the
-// generation-pinned read path serves as soon as it publishes, instead of
-// 404ing until the first post-restart write. Warmup jobs coalesce like any
-// refresh (one queue entry per project) and are best-effort — one shed by
-// a saturated shard is retried by the project's first submission.
+// explicitly sized shard scheduler. It is ImportProjects into a fresh
+// platform; see there for the warmup and durability semantics.
 func LoadWithOptions(r io.Reader, seed int64, opts Options) (*Platform, error) {
-	var in platformJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
+	p := NewWithOptions(seed, opts)
+	if _, err := p.ImportProjects(r); err != nil {
+		p.Close() // release the scheduler workers of the abandoned platform
 		return nil, err
 	}
-	p := NewWithOptions(seed, opts)
+	return p, nil
+}
+
+// ImportProjects restores every project from a Save-format export into
+// the platform, returning how many were imported. An export naming an
+// existing project fails with ErrDuplicateID (projects before it in the
+// export stay imported). With durability enabled each imported project is
+// fully logged — a create record plus one batch record holding its
+// answers — so imports survive crashes like any other write.
+//
+// Cached models and snapshots are not persisted, so each imported project
+// with answers gets a warmup refresh enqueued on its home shard: the cold
+// fit runs in the background and the generation-pinned read path serves
+// as soon as it publishes, instead of 404ing until the first post-import
+// write. Warmup jobs coalesce like any refresh (one queue entry per
+// project) and are best-effort — one shed by a saturated shard is retried
+// by the project's first submission.
+func (p *Platform) ImportProjects(r io.Reader) (int, error) {
+	var in platformJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return 0, err
+	}
 	var warm []*Project
+	n := 0
 	for _, pj := range in.Projects {
 		proj, err := p.CreateProject(pj.ID, pj.Schema, ProjectConfig{
 			Rows:                len(pj.Entities),
@@ -1099,21 +1230,45 @@ func LoadWithOptions(r io.Reader, seed int64, opts Options) (*Platform, error) {
 			RefreshEvery:        pj.RefreshEvery,
 		})
 		if err != nil {
-			p.Close() // release the scheduler workers of the abandoned platform
-			return nil, err
+			return n, err
 		}
 		log, err := tabular.DecodeAnswers(bytes.NewReader(pj.Answers), pj.Schema)
 		if err != nil {
-			p.Close()
-			return nil, err
+			return n, err
 		}
-		proj.Log = log
 		if log.Len() > 0 {
+			if err := p.importAnswers(proj, log); err != nil {
+				return n, err
+			}
 			warm = append(warm, proj)
 		}
+		n++
 	}
 	for _, proj := range warm {
 		_ = p.sched.Submit(proj.ID, func() error { return p.refreshProject(proj) })
 	}
-	return p, nil
+	return n, nil
+}
+
+// importAnswers installs an imported answer log on a freshly created
+// project, logging it as one batch record first when durability is on.
+func (p *Platform) importAnswers(proj *Project, log *tabular.AnswerLog) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rotated := false
+	if proj.wal != nil {
+		blob, err := tabular.MarshalAnswers(proj.Table.Schema, log.All())
+		if err != nil {
+			return err
+		}
+		rotated, err = proj.wal.Append(wal.Record{Type: walRecBatch, Data: blob})
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+	}
+	proj.Log = log
+	if rotated {
+		p.scheduleCompaction(proj.ID, proj)
+	}
+	return nil
 }

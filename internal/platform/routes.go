@@ -25,6 +25,7 @@ type routeDef struct {
 var routeTable = []routeDef{
 	{"POST", "/v1/projects", (*Server).createProject},
 	{"GET", "/v1/projects", (*Server).listProjects},
+	{"DELETE", "/v1/projects/{id}", (*Server).deleteProject},
 	{"GET", "/v1/projects/{id}/tasks", (*Server).tasks},
 	{"POST", "/v1/projects/{id}/answers", (*Server).submitV1},
 	{"GET", "/v1/projects/{id}/estimates", (*Server).estimates},
@@ -66,7 +67,7 @@ func WatchEventTypes() []WatchEventType {
 		{
 			Event:   api.WatchEventGeneration,
 			Payload: "api.WatchEvent",
-			Doc:     "one event per published snapshot generation; coalesced=true marks dropped intermediate bumps",
+			Doc:     "one event per published snapshot generation; cells lists moved cells (capped at 64, cells_overflow marks truncation); coalesced=true marks dropped intermediate bumps",
 		},
 	}
 }

@@ -144,6 +144,17 @@ func (s *Server) listProjects(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.p.ProjectIDs())
 }
 
+// deleteProject removes a project and destroys its durable log (204 on
+// success). Deletion is permanent: the answers are paid human work, so
+// export them first if they matter (GET estimates / the -state export).
+func (s *Server) deleteProject(w http.ResponseWriter, r *http.Request) {
+	if err := s.p.DeleteProject(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) tasks(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	worker := r.URL.Query().Get("worker")

@@ -31,6 +31,7 @@ func TestErrorCodeTable(t *testing.T) {
 		{ErrGenerationGone, http.StatusGone, api.CodeGenerationGone, false},
 		{ErrDuplicateID, http.StatusConflict, api.CodeDuplicateProject, false},
 		{ErrAlreadyAnswered, http.StatusConflict, api.CodeAlreadyAnswered, false},
+		{ErrDurability, http.StatusServiceUnavailable, api.CodeDurabilityFailure, true},
 		{shard.ErrShardSaturated, http.StatusTooManyRequests, api.CodeShardSaturated, true},
 		{shard.ErrClosed, http.StatusServiceUnavailable, api.CodeShuttingDown, true},
 		{shard.ErrJobPanicked, http.StatusInternalServerError, api.CodeInternal, false},

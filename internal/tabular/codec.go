@@ -65,28 +65,104 @@ type answerJSON struct {
 	Number *float64 `json:"number,omitempty"`
 }
 
+// answerToJSON converts one answer to the wire element, resolving label
+// indices through the schema.
+func answerToJSON(s Schema, a Answer) (answerJSON, error) {
+	if a.Cell.Col < 0 || a.Cell.Col >= len(s.Columns) {
+		return answerJSON{}, fmt.Errorf("tabular: answer column %d out of schema range", a.Cell.Col)
+	}
+	col := s.Columns[a.Cell.Col]
+	aj := answerJSON{Worker: string(a.Worker), Row: a.Cell.Row, Column: col.Name}
+	switch a.Value.Kind {
+	case Label:
+		if a.Value.L < 0 || a.Value.L >= len(col.Labels) {
+			return answerJSON{}, fmt.Errorf("tabular: label index %d out of range for %q", a.Value.L, col.Name)
+		}
+		lbl := col.Labels[a.Value.L]
+		aj.Label = &lbl
+	case Number:
+		x := a.Value.X
+		aj.Number = &x
+	default:
+		return answerJSON{}, fmt.Errorf("tabular: cannot encode empty value for %q", col.Name)
+	}
+	return aj, nil
+}
+
+// answerFromJSON converts one wire element back, resolving label strings
+// and column names through the schema; i labels errors.
+func answerFromJSON(s Schema, i int, aj answerJSON) (Answer, error) {
+	j := s.ColumnIndex(aj.Column)
+	if j < 0 {
+		return Answer{}, fmt.Errorf("tabular: answer %d references unknown column %q", i, aj.Column)
+	}
+	col := s.Columns[j]
+	var v Value
+	switch {
+	case aj.Label != nil:
+		idx := -1
+		for k, lbl := range col.Labels {
+			if lbl == *aj.Label {
+				idx = k
+				break
+			}
+		}
+		if idx < 0 {
+			return Answer{}, fmt.Errorf("tabular: answer %d has unknown label %q for column %q", i, *aj.Label, col.Name)
+		}
+		v = LabelValue(idx)
+	case aj.Number != nil:
+		v = NumberValue(*aj.Number)
+	default:
+		return Answer{}, fmt.Errorf("tabular: answer %d carries neither label nor number", i)
+	}
+	if err := v.CheckAgainst(col); err != nil {
+		return Answer{}, fmt.Errorf("tabular: answer %d: %w", i, err)
+	}
+	return Answer{Worker: WorkerID(aj.Worker), Cell: Cell{Row: aj.Row, Col: j}, Value: v}, nil
+}
+
+// MarshalAnswers renders an answer slice as a compact JSON array — the
+// same element format as EncodeAnswers without indentation. It is the
+// payload format of WAL batch records, where bytes cost fsync latency.
+func MarshalAnswers(s Schema, as []Answer) ([]byte, error) {
+	out := make([]answerJSON, 0, len(as))
+	for _, a := range as {
+		aj, err := answerToJSON(s, a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, aj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalAnswers parses an answer array written by MarshalAnswers (or
+// EncodeAnswers), validating every value against the schema.
+func UnmarshalAnswers(b []byte, s Schema) ([]Answer, error) {
+	var in []answerJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return nil, err
+	}
+	out := make([]Answer, 0, len(in))
+	for i, aj := range in {
+		a, err := answerFromJSON(s, i, aj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
 // EncodeAnswers writes the log as a JSON array resolving label indices via
 // the schema.
 func EncodeAnswers(w io.Writer, s Schema, l *AnswerLog) error {
 	out := make([]answerJSON, 0, l.Len())
 	for _, a := range l.All() {
-		if a.Cell.Col < 0 || a.Cell.Col >= len(s.Columns) {
-			return fmt.Errorf("tabular: answer column %d out of schema range", a.Cell.Col)
-		}
-		col := s.Columns[a.Cell.Col]
-		aj := answerJSON{Worker: string(a.Worker), Row: a.Cell.Row, Column: col.Name}
-		switch a.Value.Kind {
-		case Label:
-			if a.Value.L < 0 || a.Value.L >= len(col.Labels) {
-				return fmt.Errorf("tabular: label index %d out of range for %q", a.Value.L, col.Name)
-			}
-			lbl := col.Labels[a.Value.L]
-			aj.Label = &lbl
-		case Number:
-			x := a.Value.X
-			aj.Number = &x
-		default:
-			return fmt.Errorf("tabular: cannot encode empty value for %q", col.Name)
+		aj, err := answerToJSON(s, a)
+		if err != nil {
+			return err
 		}
 		out = append(out, aj)
 	}
@@ -104,34 +180,11 @@ func DecodeAnswers(r io.Reader, s Schema) (*AnswerLog, error) {
 	}
 	l := NewAnswerLog()
 	for i, aj := range in {
-		j := s.ColumnIndex(aj.Column)
-		if j < 0 {
-			return nil, fmt.Errorf("tabular: answer %d references unknown column %q", i, aj.Column)
+		a, err := answerFromJSON(s, i, aj)
+		if err != nil {
+			return nil, err
 		}
-		col := s.Columns[j]
-		var v Value
-		switch {
-		case aj.Label != nil:
-			idx := -1
-			for k, lbl := range col.Labels {
-				if lbl == *aj.Label {
-					idx = k
-					break
-				}
-			}
-			if idx < 0 {
-				return nil, fmt.Errorf("tabular: answer %d has unknown label %q for column %q", i, *aj.Label, col.Name)
-			}
-			v = LabelValue(idx)
-		case aj.Number != nil:
-			v = NumberValue(*aj.Number)
-		default:
-			return nil, fmt.Errorf("tabular: answer %d carries neither label nor number", i)
-		}
-		if err := v.CheckAgainst(col); err != nil {
-			return nil, fmt.Errorf("tabular: answer %d: %w", i, err)
-		}
-		l.Add(Answer{Worker: WorkerID(aj.Worker), Cell: Cell{Row: aj.Row, Col: j}, Value: v})
+		l.Add(a)
 	}
 	return l, nil
 }

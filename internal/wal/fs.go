@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem seam every WAL operation goes through. Production
+// code uses OSFS (the default when Options.FS is nil); tests inject a
+// fault-injecting implementation (MemFS) to exercise short writes, write
+// errors at the Nth operation, and hard crashes that discard unsynced
+// bytes — the failure modes a durability layer exists to survive.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile opens a file with os.OpenFile semantics. The WAL only ever
+	// opens files for sequential reads or O_APPEND writes.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadDir lists a directory like os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes one file; RemoveAll deletes a tree.
+	Remove(name string) error
+	RemoveAll(path string) error
+	// Truncate cuts a file to size — how replay discards a torn tail.
+	Truncate(name string, size int64) error
+	// Stat reports file metadata.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory so entry creates/renames/removes are
+	// durable (a no-op on filesystems without directory sync).
+	SyncDir(path string) error
+}
+
+// File is the subset of *os.File the WAL needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written bytes to stable storage.
+	Sync() error
+}
+
+// osFS is the production FS backed by the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production filesystem implementation (what a nil
+// Options.FS resolves to).
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                { return os.RemoveAll(path) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+
+// SyncDir opens the directory and fsyncs it. Errors are swallowed for
+// filesystems (or platforms) that refuse to sync directories: directory
+// sync narrows the crash window around renames but is not load-bearing
+// for replay correctness (replay tolerates leftover temp files and
+// partially deleted segments).
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

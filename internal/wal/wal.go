@@ -1,0 +1,633 @@
+// Package wal implements a per-project append-only segmented write-ahead
+// log. Records are length-prefixed and CRC32C-framed; segments rotate at a
+// size threshold; compaction rewrites the log as one checkpoint record
+// (the platform reuses the published generation snapshot as that
+// artifact) and deletes every segment wholly behind it.
+//
+// Frame layout (little-endian):
+//
+//	[uint32 payload length][uint32 CRC32C(payload)][payload]
+//
+// where payload[0] is the record type and payload[1:] the record data.
+// Payload length is bounded to [1, MaxRecordBytes]: the lower bound means
+// a run of zero bytes can never decode as an endless stream of empty
+// frames, and the upper bound caps allocation when the length field
+// itself is corrupt.
+//
+// Recovery semantics:
+//
+//   - A bad frame in the LAST segment is a torn tail (the process died
+//     mid-write): replay truncates the segment at the last good frame and
+//     boots with everything before it. Acknowledged records are synced
+//     frames and therefore always before the tear.
+//   - A bad frame in any EARLIER segment is real corruption (bit rot,
+//     operator damage): replay refuses with ErrWALCorrupt rather than
+//     silently dropping an unbounded middle of the history.
+//   - Replay starts at the newest segment whose first record is a
+//     checkpoint, so a crash mid-compaction (old segments partially
+//     deleted) is harmless: everything behind the checkpoint is dead
+//     weight, not required state.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrWALCorrupt reports a bad frame before the final segment's tail —
+// damage replay cannot attribute to a crash and will not silently skip.
+var ErrWALCorrupt = errors.New("wal: corrupt frame before log tail")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// MaxRecordBytes bounds one frame's payload (type byte + data).
+const MaxRecordBytes = 64 << 20
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 4 << 20
+
+// DefaultSyncInterval is the background flush cadence for SyncInterval
+// when Options.Interval is zero.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+const frameHeader = 8 // uint32 length + uint32 crc
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy says when appended frames are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives any crash. The durability the crash tests pin.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background cadence: bounded data loss
+	// (at most one interval) for near-SyncNever append latency.
+	SyncInterval
+	// SyncNever leaves flushing to the OS; rotation, compaction and
+	// Close still sync so sealed segments are durable.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// String renders the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Record is one logical WAL entry: a type tag and an opaque payload the
+// caller encodes/decodes.
+type Record struct {
+	Type byte
+	Data []byte
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// Policy controls fsync behaviour (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the flush cadence for SyncInterval (default
+	// DefaultSyncInterval).
+	Interval time.Duration
+	// FS is the filesystem seam (default OSFS). Tests inject MemFS.
+	FS FS
+	// CheckpointType is the record type Compact writes and replay
+	// recognises as a segment-leading checkpoint. Appending a normal
+	// record with this type corrupts the replay-start scan; callers
+	// reserve it.
+	CheckpointType byte
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.Interval <= 0 {
+		o.Interval = DefaultSyncInterval
+	}
+	if o.FS == nil {
+		o.FS = OSFS()
+	}
+	return o
+}
+
+// Replay is what Open recovered from disk.
+type Replay struct {
+	// Records are the surviving records in append order, starting at the
+	// newest checkpoint (the checkpoint record itself is first when one
+	// exists).
+	Records []Record
+	// Torn reports that the final segment ended in a bad frame and was
+	// truncated back to the last good one.
+	Torn bool
+	// TornBytes is how many trailing bytes the truncation discarded.
+	TornBytes int64
+}
+
+// Log is one project's write-ahead log. Methods are safe for concurrent
+// use, though the platform additionally serialises appends under its own
+// lock so WAL order matches in-memory log order exactly.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	file     File   // current segment, open for append
+	name     string // current segment path
+	index    int    // current segment index
+	size     int64  // bytes written to current segment (all good frames)
+	dirty    bool   // unsynced appends outstanding (SyncInterval/Never)
+	sticky   error  // unrecoverable fault; all further mutations fail
+	closed   bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	flushed  sync.WaitGroup
+}
+
+var segmentRE = regexp.MustCompile(`^(\d{8})\.wal$`)
+
+func segmentName(idx int) string { return fmt.Sprintf("%08d.wal", idx) }
+
+// Open mounts (creating if absent) the log in dir, replays surviving
+// records, truncates a torn tail, and leaves the log ready to append.
+func Open(dir string, opts Options) (*Log, Replay, error) {
+	opts = opts.withDefaults()
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, Replay{}, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, Replay{}, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var indices []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if m := segmentRE.FindStringSubmatch(e.Name()); m != nil {
+			idx, _ := strconv.Atoi(m[1])
+			indices = append(indices, idx)
+			continue
+		}
+		// Stray temp files are crashed compactions that never renamed;
+		// they hold nothing durable. Best effort cleanup.
+		if path.Ext(e.Name()) == ".tmp" {
+			_ = fs.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Ints(indices)
+
+	l := &Log{dir: dir, opts: opts, stop: make(chan struct{})}
+
+	if len(indices) == 0 {
+		if err := l.openSegment(1, true); err != nil {
+			return nil, Replay{}, err
+		}
+		l.startFlusher()
+		return l, Replay{}, nil
+	}
+
+	// Pick the replay start: the newest segment whose first frame is a
+	// checkpoint. Older segments (possibly partially deleted by a crashed
+	// compaction) are behind that checkpoint and ignored.
+	start := 0
+	for i := len(indices) - 1; i > 0; i-- {
+		leads, err := l.leadsWithCheckpoint(indices[i])
+		if err != nil {
+			return nil, Replay{}, err
+		}
+		if leads {
+			start = i
+			break
+		}
+	}
+
+	var rep Replay
+	for i := start; i < len(indices); i++ {
+		idx := indices[i]
+		segPath := filepath.Join(dir, segmentName(idx))
+		data, err := readAll(fs, segPath)
+		if err != nil {
+			return nil, Replay{}, fmt.Errorf("wal: read %s: %w", segPath, err)
+		}
+		recs, good, err := decodeFrames(data)
+		rep.Records = append(rep.Records, recs...)
+		if err != nil {
+			if i != len(indices)-1 {
+				return nil, Replay{}, fmt.Errorf("%w: %s at offset %d: %v", ErrWALCorrupt, segmentName(idx), good, err)
+			}
+			// Torn tail: cut the final segment back to its last good frame.
+			if terr := fs.Truncate(segPath, good); terr != nil {
+				return nil, Replay{}, fmt.Errorf("wal: truncate torn tail of %s: %w", segPath, terr)
+			}
+			rep.Torn = true
+			rep.TornBytes = int64(len(data)) - good
+		}
+		if i == len(indices)-1 {
+			l.index = idx
+			l.size = good
+		}
+	}
+
+	if err := l.openSegment(l.index, false); err != nil {
+		return nil, Replay{}, err
+	}
+	l.startFlusher()
+	return l, rep, nil
+}
+
+// leadsWithCheckpoint reports whether segment idx begins with a valid
+// checkpoint frame.
+func (l *Log) leadsWithCheckpoint(idx int) (bool, error) {
+	f, err := l.opts.FS.OpenFile(filepath.Join(l.dir, segmentName(idx)), os.O_RDONLY, 0)
+	if err != nil {
+		return false, fmt.Errorf("wal: open %s: %w", segmentName(idx), err)
+	}
+	defer f.Close()
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false, nil // too short to hold any frame
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n < 1 || n > MaxRecordBytes {
+		return false, nil
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return false, nil
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return false, nil
+	}
+	return payload[0] == l.opts.CheckpointType, nil
+}
+
+func readAll(fs FS, name string) ([]byte, error) {
+	f, err := fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// decodeFrames walks data frame by frame. It returns the records decoded
+// before the first bad frame, the offset just past the last good frame,
+// and a non-nil error describing the bad frame if one was hit.
+func decodeFrames(data []byte) ([]Record, int64, error) {
+	var recs []Record
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return recs, int64(off), fmt.Errorf("truncated frame header (%d trailing bytes)", len(data)-off)
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		if n < 1 || n > MaxRecordBytes {
+			return recs, int64(off), fmt.Errorf("frame length %d out of range", n)
+		}
+		end := off + frameHeader + int(n)
+		if end > len(data) || end < off {
+			return recs, int64(off), fmt.Errorf("truncated frame payload (want %d bytes, have %d)", n, len(data)-off-frameHeader)
+		}
+		payload := data[off+frameHeader : end]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			return recs, int64(off), errors.New("frame checksum mismatch")
+		}
+		recs = append(recs, Record{Type: payload[0], Data: append([]byte(nil), payload[1:]...)})
+		off = end
+	}
+	return recs, int64(off), nil
+}
+
+// encodeFrame renders one record as a wire frame.
+func encodeFrame(rec Record) ([]byte, error) {
+	n := 1 + len(rec.Data)
+	if n > MaxRecordBytes {
+		return nil, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", n)
+	}
+	buf := make([]byte, frameHeader+n)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(n))
+	buf[frameHeader] = rec.Type
+	copy(buf[frameHeader+1:], rec.Data)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[frameHeader:], castagnoli))
+	return buf, nil
+}
+
+// openSegment switches the append handle to segment idx, creating it if
+// fresh. Caller holds l.mu or is constructing the log.
+func (l *Log) openSegment(idx int, fresh bool) error {
+	name := filepath.Join(l.dir, segmentName(idx))
+	f, err := l.opts.FS.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment %s: %w", name, err)
+	}
+	l.file, l.name, l.index = f, name, idx
+	if fresh {
+		l.size = 0
+		_ = l.opts.FS.SyncDir(l.dir)
+	}
+	return nil
+}
+
+func (l *Log) startFlusher() {
+	if l.opts.Policy != SyncInterval {
+		return
+	}
+	l.flushed.Add(1)
+	go func() {
+		defer l.flushed.Done()
+		t := time.NewTicker(l.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				l.mu.Lock()
+				l.flushLocked()
+				l.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// flushLocked fsyncs outstanding appends. A failed fsync is sticky: the
+// kernel may have dropped the dirty pages, so no later success can prove
+// those records durable.
+func (l *Log) flushLocked() {
+	if !l.dirty || l.file == nil || l.sticky != nil {
+		return
+	}
+	if err := l.file.Sync(); err != nil {
+		l.sticky = fmt.Errorf("wal: fsync %s: %w", l.name, err)
+		return
+	}
+	l.dirty = false
+}
+
+// Append durably adds one record per the configured policy. It reports
+// whether the append rotated into a new segment, so the caller can
+// schedule compaction.
+//
+// On a failed or short write Append heals the segment by truncating back
+// to the last good frame — otherwise a later successful append would sit
+// behind a torn middle and be silently dropped at replay despite having
+// been acknowledged. If the heal itself fails the error is sticky and
+// every subsequent mutation fails.
+func (l *Log) Append(rec Record) (rotated bool, err error) {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return false, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return false, ErrClosed
+	case l.sticky != nil:
+		return false, l.sticky
+	}
+
+	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.sealLocked(); err != nil {
+			return false, err
+		}
+		if err := l.openSegment(l.index+1, true); err != nil {
+			l.sticky = err
+			return false, err
+		}
+		rotated = true
+	}
+
+	n, werr := l.file.Write(frame)
+	if werr != nil || n != len(frame) {
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		l.healLocked(werr)
+		return rotated, fmt.Errorf("wal: append to %s: %w", l.name, werr)
+	}
+	l.size += int64(len(frame))
+
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.file.Sync(); err != nil {
+			l.sticky = fmt.Errorf("wal: fsync %s: %w", l.name, err)
+			return rotated, l.sticky
+		}
+	default:
+		l.dirty = true
+	}
+	return rotated, nil
+}
+
+// healLocked truncates the current segment back to the last good frame
+// after a failed write. If that fails, the log is wedged (sticky error):
+// better to refuse new appends than to ack records replay will drop.
+func (l *Log) healLocked(cause error) {
+	_ = l.file.Close()
+	if err := l.opts.FS.Truncate(l.name, l.size); err != nil {
+		l.sticky = fmt.Errorf("wal: segment %s torn at %d and truncate failed (%v) after write error: %w", l.name, l.size, err, cause)
+		return
+	}
+	f, err := l.opts.FS.OpenFile(l.name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.sticky = fmt.Errorf("wal: reopen %s after heal: %w", l.name, err)
+		return
+	}
+	l.file = f
+}
+
+// sealLocked makes the current segment durable and closes it.
+func (l *Log) sealLocked() error {
+	if err := l.file.Sync(); err != nil {
+		l.sticky = fmt.Errorf("wal: fsync %s at seal: %w", l.name, err)
+		return l.sticky
+	}
+	l.dirty = false
+	if err := l.file.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", l.name, err)
+	}
+	return nil
+}
+
+// Sync forces outstanding appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.sticky != nil {
+		return l.sticky
+	}
+	l.dirty = true
+	l.flushLocked()
+	return l.sticky
+}
+
+// Compact rewrites the log as a fresh segment whose first record is the
+// given checkpoint (its Type is forced to Options.CheckpointType), then
+// deletes every older segment. The caller must serialise Compact against
+// its own appends so the checkpoint state and the append stream agree.
+//
+// Crash safety: the new segment is staged as a temp file, synced, then
+// renamed into place. Before the rename the temp file is invisible to
+// replay; after it, replay starts at the new checkpoint and stale older
+// segments (even partially deleted ones) are ignored.
+func (l *Log) Compact(checkpoint Record) error {
+	checkpoint.Type = l.opts.CheckpointType
+	frame, err := encodeFrame(checkpoint)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.sticky != nil:
+		return l.sticky
+	}
+
+	fs := l.opts.FS
+	newIdx := l.index + 1
+	final := filepath.Join(l.dir, segmentName(newIdx))
+	tmp := final + ".tmp"
+	tf, err := fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact: create %s: %w", tmp, err)
+	}
+	if _, err := tf.Write(frame); err != nil {
+		tf.Close()
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("wal: compact: write checkpoint: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("wal: compact: sync checkpoint: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("wal: compact: close checkpoint: %w", err)
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("wal: compact: publish %s: %w", final, err)
+	}
+	_ = fs.SyncDir(l.dir)
+
+	// The checkpoint is live. Switch appends over, then delete the
+	// superseded segments; a crash mid-delete leaves stale segments that
+	// replay already ignores.
+	oldIdx := l.index
+	if err := l.sealLocked(); err != nil {
+		return err
+	}
+	if err := l.openSegment(newIdx, false); err != nil {
+		l.sticky = err
+		return err
+	}
+	l.size = int64(len(frame))
+	for idx := oldIdx; idx >= 1; idx-- {
+		p := filepath.Join(l.dir, segmentName(idx))
+		if err := fs.Remove(p); err != nil {
+			if os.IsNotExist(err) {
+				break // older ones were reaped by a previous compaction
+			}
+			return fmt.Errorf("wal: compact: remove %s: %w", p, err)
+		}
+	}
+	_ = fs.SyncDir(l.dir)
+	return nil
+}
+
+// Segments lists the current segment file names in index order (tests
+// and diagnostics).
+func (l *Log) Segments() ([]string, error) {
+	l.mu.Lock()
+	fs := l.opts.FS
+	dir := l.dir
+	l.mu.Unlock()
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if segmentRE.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes and fsyncs outstanding appends regardless of policy,
+// stops the interval flusher, and closes the segment. It is idempotent.
+func (l *Log) Close() error {
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.flushed.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.file == nil {
+		return nil
+	}
+	var err error
+	if l.sticky == nil {
+		if serr := l.file.Sync(); serr != nil {
+			err = fmt.Errorf("wal: fsync %s at close: %w", l.name, serr)
+		}
+	} else {
+		err = l.sticky
+	}
+	if cerr := l.file.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	l.file = nil
+	return err
+}

@@ -1,0 +1,389 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const ckptType = 1 // test-reserved checkpoint record type
+
+func openTest(t *testing.T, fs FS, opts Options) (*Log, Replay) {
+	t.Helper()
+	opts.FS = fs
+	opts.CheckpointType = ckptType
+	l, rep, err := Open("proj/alpha", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rep
+}
+
+func rec(tp byte, s string) Record { return Record{Type: tp, Data: []byte(s)} }
+
+func wantRecords(t *testing.T, got []Record, want ...Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d = {%d %q}, want {%d %q}", i, got[i].Type, got[i].Data, want[i].Type, want[i].Data)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, rep := openTest(t, fs, Options{})
+	if len(rep.Records) != 0 || rep.Torn {
+		t.Fatalf("fresh log replayed %+v", rep)
+	}
+	recs := []Record{rec(2, "create"), rec(3, "batch-1"), rec(3, ""), rec(3, "batch-2")}
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rep = openTest(t, fs, Options{})
+	wantRecords(t, rep.Records, recs...)
+	if rep.Torn {
+		t.Fatal("clean log reported torn")
+	}
+}
+
+func TestRotationAndReplayAcrossSegments(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{SegmentBytes: 64})
+	var want []Record
+	rotations := 0
+	for i := 0; i < 20; i++ {
+		r := rec(3, fmt.Sprintf("record-%02d-padding-padding", i))
+		rot, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if rot {
+			rotations++
+		}
+		want = append(want, r)
+	}
+	if rotations == 0 {
+		t.Fatal("no rotations at 64-byte segments")
+	}
+	segs, err := l.Segments()
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("Segments = %v, %v; want >= 2 segments", segs, err)
+	}
+	l.Close()
+	_, rep := openTest(t, fs, Options{SegmentBytes: 64})
+	wantRecords(t, rep.Records, want...)
+}
+
+func TestSyncAlwaysSurvivesHardCrash(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways})
+	recs := []Record{rec(2, "create"), rec(3, "a"), rec(3, "b")}
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	fs.Crash(0) // hard kill, no Close: every synced byte must survive
+	_, rep := openTest(t, fs.Recovered(), Options{})
+	wantRecords(t, rep.Records, recs...)
+	if rep.Torn {
+		t.Fatal("fully synced log reported torn")
+	}
+}
+
+func TestSyncNeverLosesUnsyncedOnCrashButCloseFlushes(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncNever})
+	l.Append(rec(3, "doomed"))
+	fs2 := fs.Recovered() // power-cut view without Close
+	_, rep := openTest(t, fs2, Options{})
+	if len(rep.Records) != 0 {
+		t.Fatalf("unsynced records survived crash: %+v", rep.Records)
+	}
+
+	// Same policy, but Close runs: Close must sync regardless of policy.
+	fs = NewMemFS()
+	l, _ = openTest(t, fs, Options{Policy: SyncNever})
+	l.Append(rec(3, "kept"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rep = openTest(t, fs.Recovered(), Options{})
+	wantRecords(t, rep.Records, rec(3, "kept"))
+}
+
+func TestSyncIntervalFlushesInBackground(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncInterval, Interval: time.Millisecond})
+	l.Append(rec(3, "timed"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, rep := openTest(t, fs.Recovered(), Options{})
+		if len(rep.Records) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never synced the append")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+}
+
+func TestTornTailTruncatesAndBoots(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncNever})
+	synced := []Record{rec(2, "create"), rec(3, "durable")}
+	for _, r := range synced {
+		l.Append(r)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	l.Append(rec(3, "unsynced-will-tear"))
+	fs.Crash(5) // keep a 5-byte torn prefix of the unsynced frame
+	_, rep := openTest(t, fs.Recovered(), Options{})
+	wantRecords(t, rep.Records, synced...)
+	if !rep.Torn || rep.TornBytes != 5 {
+		t.Fatalf("Torn=%v TornBytes=%d, want torn with 5 bytes dropped", rep.Torn, rep.TornBytes)
+	}
+}
+
+func TestTrailingZerosAreATornTailNotPhantomFrames(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{})
+	l.Append(rec(3, "real"))
+	l.Close()
+	// Preallocated/zero-filled tail, as a crashed filesystem can leave.
+	f, err := fs.OpenFile("proj/alpha/"+segmentName(1), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 256))
+	f.Sync()
+	f.Close()
+	_, rep := openTest(t, fs.Recovered(), Options{})
+	wantRecords(t, rep.Records, rec(3, "real"))
+	if !rep.Torn || rep.TornBytes != 256 {
+		t.Fatalf("Torn=%v TornBytes=%d, want 256 zero bytes truncated", rep.Torn, rep.TornBytes)
+	}
+}
+
+func TestMidLogCorruptionRefusesBoot(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{SegmentBytes: 64})
+	for i := 0; i < 20; i++ {
+		l.Append(rec(3, fmt.Sprintf("record-%02d-padding-padding", i)))
+	}
+	l.Close()
+	// Tear a frame in the FIRST segment: not attributable to a crash at
+	// the tail, so boot must refuse with the typed error.
+	seg := "proj/alpha/" + segmentName(1)
+	info, err := fs.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Truncate(seg, info.Size()-3)
+	_, _, err = Open("proj/alpha", Options{FS: fs, SegmentBytes: 64, CheckpointType: ckptType})
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("Open after mid-log damage = %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestCompactionKeepsOnlyCheckpointOnward(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{SegmentBytes: 128})
+	for i := 0; i < 10; i++ {
+		l.Append(rec(3, fmt.Sprintf("old-%d-padding-padding-padding", i)))
+	}
+	if err := l.Compact(rec(0, "checkpoint-state")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	l.Append(rec(3, "after"))
+	segs, _ := l.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("segments after compaction = %v, want exactly one", segs)
+	}
+	l.Close()
+	_, rep := openTest(t, fs, Options{SegmentBytes: 128})
+	wantRecords(t, rep.Records, rec(ckptType, "checkpoint-state"), rec(3, "after"))
+}
+
+func TestReplayIgnoresStaleSegmentsBehindCheckpoint(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{})
+	l.Append(rec(3, "pre"))
+	if err := l.Compact(rec(0, "ckpt")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	l.Append(rec(3, "post"))
+	l.Close()
+	// Recreate segment 1 as garbage: the leftover of a compaction that
+	// crashed mid-delete. Replay must start at the checkpoint segment and
+	// never look at it.
+	f, err := fs.OpenFile("proj/alpha/"+segmentName(1), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("stale partially deleted garbage"))
+	f.Sync()
+	f.Close()
+	_, rep := openTest(t, fs, Options{})
+	wantRecords(t, rep.Records, rec(ckptType, "ckpt"), rec(3, "post"))
+	if rep.Torn {
+		t.Fatal("stale pre-checkpoint segment flagged the log torn")
+	}
+}
+
+func TestFailedWriteHealsAndLaterAppendsSurvive(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways})
+	l.Append(rec(3, "first"))
+	fs.FailWrite(1)
+	if _, err := l.Append(rec(3, "doomed")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append with injected fault = %v, want ErrInjected", err)
+	}
+	// The log healed: this acked record must survive replay.
+	if _, err := l.Append(rec(3, "second")); err != nil {
+		t.Fatalf("Append after heal: %v", err)
+	}
+	fs.Crash(0)
+	_, rep := openTest(t, fs.Recovered(), Options{})
+	wantRecords(t, rep.Records, rec(3, "first"), rec(3, "second"))
+}
+
+func TestShortWriteHealsAndLaterAppendsSurvive(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways})
+	l.Append(rec(3, "first"))
+	fs.ShortWrite(1)
+	if _, err := l.Append(rec(3, "torn-victim")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append with torn write = %v, want ErrInjected", err)
+	}
+	if _, err := l.Append(rec(3, "second")); err != nil {
+		t.Fatalf("Append after torn-write heal: %v", err)
+	}
+	fs.Crash(0)
+	_, rep := openTest(t, fs.Recovered(), Options{})
+	wantRecords(t, rep.Records, rec(3, "first"), rec(3, "second"))
+	if rep.Torn {
+		t.Fatal("healed log reported torn at replay")
+	}
+}
+
+func TestCrashWedgesLogWithStickyError(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways})
+	l.Append(rec(3, "pre"))
+	fs.Crash(0)
+	if _, err := l.Append(rec(3, "post-crash")); err == nil {
+		t.Fatal("Append after filesystem crash succeeded")
+	}
+	// Sticky: the same failure keeps being reported.
+	if _, err := l.Append(rec(3, "again")); err == nil {
+		t.Fatal("second Append after crash succeeded")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("Sync after crash succeeded")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncInterval, Interval: time.Millisecond})
+	l.Append(rec(3, "x"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(rec(3, "y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{})
+	if _, err := l.Append(Record{Type: 3, Data: make([]byte, MaxRecordBytes)}); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+	l.Close()
+}
+
+func TestOpenReapsStrayTempFiles(t *testing.T) {
+	fs := NewMemFS()
+	fs.MkdirAll("proj/alpha", 0o755)
+	f, _ := fs.OpenFile("proj/alpha/"+segmentName(7)+".tmp", os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write([]byte("crashed compaction leftovers"))
+	f.Sync()
+	f.Close()
+	l, rep := openTest(t, fs, Options{})
+	if len(rep.Records) != 0 || rep.Torn {
+		t.Fatalf("temp file influenced replay: %+v", rep)
+	}
+	l.Close()
+	if _, err := fs.Stat("proj/alpha/" + segmentName(7) + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file still present (stat err = %v)", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("SyncPolicy(%q).String() = %q", s, got.String())
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, rep, err := Open(dir, Options{CheckpointType: ckptType})
+	if err != nil {
+		t.Fatalf("Open on real fs: %v", err)
+	}
+	if len(rep.Records) != 0 {
+		t.Fatalf("fresh real-fs log replayed %+v", rep)
+	}
+	recs := []Record{rec(2, "create"), rec(3, "payload")}
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Compact(rec(0, "ckpt")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if _, err := l.Append(rec(3, "tail")); err != nil {
+		t.Fatalf("Append post-compact: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rep, err = Open(dir, Options{CheckpointType: ckptType})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	wantRecords(t, rep.Records, rec(ckptType, "ckpt"), rec(3, "tail"))
+}
