@@ -121,6 +121,13 @@ type CreateProjectRequest struct {
 	// RefreshEvery bounds submissions between inference refreshes
 	// (0 = server default 25, 1 = refresh per answer).
 	RefreshEvery int `json:"refresh_every,omitempty"`
+	// FsyncPolicy overrides the server-wide WAL fsync policy for this
+	// project: "always" (fsync per accepted batch — hot campaigns whose
+	// answers are paid work), "interval" (background cadence) or "never"
+	// (OS page cache only — bulk-import scratch projects). Empty means
+	// the server default. Rejected with 400 on any other value; ignored
+	// when the server runs without durability.
+	FsyncPolicy string `json:"fsync_policy,omitempty"`
 }
 
 // CreateProjectResponse is the 201 body of POST /v1/projects.

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -47,11 +48,19 @@ type benchFile struct {
 
 // inferWorkload mirrors bench_test.go's BenchmarkInfer datasets.
 func inferWorkload(rows int) (*simulate.Dataset, *tabular.AnswerLog) {
+	return inferWorkloadDepth(rows, 5)
+}
+
+// inferWorkloadDepth is inferWorkload with a configurable answers-per-cell
+// depth: rows x 10 cols x depth answers. Depth 50 on 200 rows yields the
+// 100k-answer log of the ingest/refresh-100k-log series, which pins that
+// streaming-refresh cost depends on the batch, not the log.
+func inferWorkloadDepth(rows, depth int) (*simulate.Dataset, *tabular.AnswerLog) {
 	ds := simulate.Generate(stats.NewRNG(23), simulate.TableConfig{
 		Rows: rows, Cols: 10, CatRatio: 0.5,
 		Population: simulate.PopulationConfig{N: 50},
 	})
-	return ds, simulate.NewCrowd(ds, 24).FixedAssignment(5)
+	return ds, simulate.NewCrowd(ds, 24).FixedAssignment(depth)
 }
 
 // hotBenches enumerates the tracked hot-path benchmarks.
@@ -68,10 +77,13 @@ func hotBenches() []struct {
 		{"refresh/cold", benchRefresh(false)},
 		{"refresh/warm", benchRefresh(true)},
 		{"ingest/append-50", benchIngestAppend(200, 50)},
-		{"ingest/refresh-batch-10", benchIngestRefresh(200, 10)},
-		{"ingest/refresh-batch-50", benchIngestRefresh(200, 50)},
-		{"ingest/refresh-batch-200", benchIngestRefresh(200, 200)},
-		{"ingest/refresh-5k-log-batch-50", benchIngestRefresh(100, 50)},
+		{"ingest/refresh-batch-10", benchIngestRefresh(200, 5, 10)},
+		{"ingest/refresh-batch-50", benchIngestRefresh(200, 5, 50)},
+		{"ingest/refresh-batch-200", benchIngestRefresh(200, 5, 200)},
+		{"ingest/refresh-5k-log-batch-50", benchIngestRefresh(100, 5, 50)},
+		{"ingest/refresh-100k-log-batch-50", benchIngestRefresh(200, 50, 50)},
+		{"ingest/polish-batch-50", benchIngestPolish(200, 5, 50)},
+		{"ingest/polish-100k-log-batch-50", benchIngestPolish(200, 50, 50)},
 		{"shard/refresh-16proj-w1", benchShardRefresh(16, 1)},
 		{"shard/refresh-16proj-w2", benchShardRefresh(16, 2)},
 		{"shard/refresh-16proj-w4", benchShardRefresh(16, 4)},
@@ -147,9 +159,9 @@ func benchRefresh(warm bool) func(b *testing.B) {
 // is reset to its base size periodically (untimed) so per-op cost reflects
 // a steady log size. The refresh/warm series is the rebuild counterpart:
 // same pipeline, full re-decode per refresh.
-func benchIngestRefresh(rows, batch int) func(b *testing.B) {
+func benchIngestRefresh(rows, depth, batch int) func(b *testing.B) {
 	return func(b *testing.B) {
-		ds, base := inferWorkload(rows)
+		ds, base := inferWorkloadDepth(rows, depth)
 		crowd := simulate.NewCrowd(ds, 27)
 		var (
 			sys   *assign.TCrowdSystem
@@ -178,6 +190,50 @@ func benchIngestRefresh(rows, batch int) func(b *testing.B) {
 			if err := sys.Refresh(ds.Table, log); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// benchIngestPolish measures one explicit EM polish iteration over the
+// sufficient-statistics store: every timed op ingests a fresh batch and
+// runs RefreshIncremental(1), so the M-step re-reads the per-(cell,worker)
+// groups instead of the raw log. The 100k-log variant of this series pins
+// the O(batch)+O(groups) claim: the polish cost tracks the distinct
+// (cell,worker) count, not the answer count, so a 10x deeper log must not
+// cost 10x per polish.
+func benchIngestPolish(rows, depth, batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds, base := inferWorkloadDepth(rows, depth)
+		crowd := simulate.NewCrowd(ds, 27)
+		var (
+			m     *core.Model
+			log   *tabular.AnswerLog
+			grown int
+		)
+		reset := func() {
+			log = base.Clone()
+			var err error
+			m, err = core.Infer(ds.Table, log, core.Options{MaxIter: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			grown = 0
+		}
+		reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if grown > 2000 {
+				reset()
+			}
+			crowd.AppendBatch(log, batch)
+			grown += batch
+			b.StartTimer()
+			if _, err := m.IngestFrom(log); err != nil {
+				b.Fatal(err)
+			}
+			m.RefreshIncremental(1)
 		}
 	}
 }
@@ -632,14 +688,30 @@ func benchInfoGain(b *testing.B) {
 }
 
 // runBenchJSON executes the hot-path benchmarks and writes BENCH_<n>.json.
-func runBenchJSON(n int) error {
-	return runBenchFile(fmt.Sprintf("BENCH_%d.json", n), n)
+func runBenchJSON(n int, only []string) error {
+	return runBenchFile(fmt.Sprintf("BENCH_%d.json", n), n, only)
+}
+
+// benchSelected reports whether a series name passes the -bench-only
+// filter (empty filter = run everything). Prefix match, same convention
+// as the -gate list, so "-bench-only shard/" runs exactly the multi-core
+// scheduler series.
+func benchSelected(name string, only []string) bool {
+	if len(only) == 0 {
+		return true
+	}
+	for _, p := range only {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // runBenchFile executes the hot-path benchmarks and writes the results to
 // an arbitrary path (the CI perf gate benches the PR into a scratch file
 // and compares it against the latest committed baseline).
-func runBenchFile(path string, n int) error {
+func runBenchFile(path string, n int, only []string) error {
 	out := benchFile{
 		Index:      n,
 		GoVersion:  runtime.Version(),
@@ -648,6 +720,9 @@ func runBenchFile(path string, n int) error {
 		Benchmarks: make(map[string]benchResult),
 	}
 	for _, hb := range hotBenches() {
+		if !benchSelected(hb.name, only) {
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s ...\n", hb.name)
 		r := testing.Benchmark(hb.fn)
 		out.Benchmarks[hb.name] = benchResult{

@@ -29,17 +29,19 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		seed     = flag.Int64("seed", 1, "random seed")
-		trials   = flag.Int("trials", 0, "trials per sweep point (0 = default)")
-		quick    = flag.Bool("quick", false, "shrunken workloads (smoke mode)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		bench    = flag.Int("bench-json", -1, "run hot-path micro-benches and write BENCH_<n>.json")
-		benchOut = flag.String("bench-out", "", "run hot-path micro-benches and write the results to this path")
-		compare  = flag.Bool("compare", false, "compare two -bench-json files (args: baseline candidate); exit non-zero on gated regressions")
-		gates    = flag.String("gate", "infer/,refresh/,ingest/,shard/,server/,wal/", "comma-separated series-name prefixes under the -compare regression gate")
-		maxNs    = flag.Float64("max-ns-regress", 0.25, "allowed fractional ns/op growth for gated series in -compare")
-		maxAlloc = flag.Float64("max-alloc-regress", 0.001, "allowed fractional allocs/op growth for gated kernel series in -compare, on top of a 1-alloc absolute slack (absorbs EM-iteration and benchmark-harness wobble; server/ series use a fixed 5%+4 slack because their timed windows race async shard refreshes)")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed      = flag.Int64("seed", 1, "random seed")
+		trials    = flag.Int("trials", 0, "trials per sweep point (0 = default)")
+		quick     = flag.Bool("quick", false, "shrunken workloads (smoke mode)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		bench     = flag.Int("bench-json", -1, "run hot-path micro-benches and write BENCH_<n>.json")
+		benchOut  = flag.String("bench-out", "", "run hot-path micro-benches and write the results to this path")
+		benchOnly = flag.String("bench-only", "", "comma-separated series-name prefixes to run (empty = all); e.g. 'shard/' for the multi-core scheduler series")
+		compare   = flag.Bool("compare", false, "compare two -bench-json files (args: baseline candidate); exit non-zero on gated regressions")
+		gates     = flag.String("gate", "infer/,refresh/,ingest/,shard/,server/,wal/", "comma-separated series-name prefixes under the -compare regression gate")
+		maxNs     = flag.Float64("max-ns-regress", 0.25, "allowed fractional ns/op growth for gated kernel series in -compare (concurrency/disk-bearing server/, shard/ and wal/ series never tighten below 25%; OS-paced wal/*-never series are ns-exempt)")
+		maxAlloc  = flag.Float64("max-alloc-regress", 0.001, "allowed fractional allocs/op growth for gated kernel series in -compare, on top of a 1-alloc absolute slack (absorbs EM-iteration and benchmark-harness wobble; server/ series use a fixed 5%+4 slack because their timed windows race async shard refreshes)")
+		waivers   = flag.String("waivers", "", "optional intended-regression declarations for -compare (perf-waivers.json): series prefixes whose gated failures report as WAIVED while the file's baseline_index matches the newest committed BENCH_N.json; stale files are ignored")
 	)
 	flag.Parse()
 
@@ -49,6 +51,12 @@ func main() {
 			os.Exit(2)
 		}
 		cfg := compareConfig{maxNsRegress: *maxNs, maxAllocRegress: *maxAlloc}
+		w, err := loadWaivers(*waivers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcrowd-bench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.waivers = w
 		for _, g := range strings.Split(*gates, ",") {
 			if g = strings.TrimSpace(g); g != "" {
 				cfg.gates = append(cfg.gates, g)
@@ -61,8 +69,15 @@ func main() {
 		return
 	}
 
+	var only []string
+	for _, p := range strings.Split(*benchOnly, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			only = append(only, p)
+		}
+	}
+
 	if *benchOut != "" {
-		if err := runBenchFile(*benchOut, -1); err != nil {
+		if err := runBenchFile(*benchOut, -1, only); err != nil {
 			fmt.Fprintf(os.Stderr, "tcrowd-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -70,7 +85,7 @@ func main() {
 	}
 
 	if *bench >= 0 {
-		if err := runBenchJSON(*bench); err != nil {
+		if err := runBenchJSON(*bench, only); err != nil {
 			fmt.Fprintf(os.Stderr, "tcrowd-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -2,6 +2,7 @@ package assign
 
 import (
 	"math"
+	"slices"
 
 	"tcrowd/internal/core"
 	"tcrowd/internal/metrics"
@@ -17,27 +18,116 @@ import (
 //
 // An "error" is defined against the current estimated truth: for a
 // categorical answer e = 1{a != T-hat}; for a continuous answer
-// e = z(a) - z(T-hat) in standardized units.
+// e = z(a) - z(T-hat) in standardized units. The model keeps one error per
+// (worker, cell) — a worker's latest answer on a cell defines their error
+// there — so an error is a removable unit and the whole model can be
+// maintained from sufficient statistics.
+//
+// # Sufficient-statistics maintenance
+//
+// Every fitted distribution here is a closed-form function of low-order
+// moment sums: Bernoulli and Normal fits need (n, Σe, Σe²); the four
+// Table 5 conditionals and the Pearson W_jk need, per unordered column
+// pair, (n, Σx, Σy, Σx², Σy², Σxy, Σx²y, Σy²x) over the co-observed
+// (e_j, e_k) pairs of each (worker, row) error vector — the third-order
+// cross moments are what lets a pair's class-conditional Normal fits
+// (cases b-d, where one side is a 0/1 indicator) be recovered from sums.
+// The model therefore maintains those accumulators incrementally:
+//
+//   - Rebuild recomputes everything from scratch against fresh estimates —
+//     the polish-anchor path, with every buffer arena-reused so a steady
+//     rebuild allocates nothing.
+//   - UpdateCells adjusts only the accumulator contributions of the given
+//     cells' errors (remove old value, add new) and refits the
+//     closed-forms — O(answers in the touched cells × row width), the
+//     streaming-refresh path.
+//
+// Continuous errors are winsorized at 3 robust sigmas per column; the
+// bounds are frozen at Rebuild time and reused verbatim by UpdateCells and
+// the query paths, so incremental updates never reshuffle every stored
+// error. Incremental add/remove accumulates float rounding relative to a
+// from-scratch pass; the periodic Rebuild at polish anchors resets it.
 type ErrorModel struct {
 	m *core.Model
+	// nCols/rows mirror the table dimensions.
+	nCols, rows int
 	// isCat[j] marks categorical columns.
 	isCat []bool
-	// margCat[j] is the marginal P(e_j = 1) for categorical columns.
-	margCat []stats.Bernoulli
-	// margCont[j] is the marginal N(mean, var) of continuous errors.
-	margCont []stats.Normal
-	// pair[j][k] is the fitted conditional of e_j given e_k (nil when too
-	// few paired samples).
-	pair [][]*pairModel
-	// w[j][k] is the correlation coefficient W_jk.
-	w [][]float64
 	// minPairs is the sample-size floor below which a pair falls back to
 	// the marginal.
 	minPairs int
+
+	// Worker registry: widx maps a worker to its slot; rowVec[w*rows+i]
+	// holds the errArena offset of (worker w, row i)'s dense error vector
+	// (nCols wide, NaN marking columns without an observed error), or -1.
+	widx    map[tabular.WorkerID]int
+	workers []tabular.WorkerID
+	rowVec  []int32
+	// vecSlots lists the rowVec slots with live vectors, for full passes.
+	vecSlots []int32
+	errArena []float64
+
+	// marg[j] are the per-column marginal moment sums; pairs[j*nCols+k]
+	// (j < k only) the per-pair sums with x = e_j, y = e_k.
+	marg  []margAcc
+	pairs []pairAcc
+
+	// Fitted closed-forms, refreshed by fitAll after every accumulator
+	// change. pairFit/pairOK/w are flat [nCols*nCols] ordered-pair tables.
+	margCat  []stats.Bernoulli
+	margCont []stats.Normal
+	pairFit  []pairModel
+	pairOK   []bool
+	w        []float64
+
 	// boundLo/boundHi winsorize continuous errors per column at 3 robust
 	// sigmas: crowd error is long-tailed (a spammer's wild answers would
-	// otherwise dominate every second-moment estimate below).
+	// otherwise dominate every second-moment estimate). Frozen at Rebuild.
 	boundLo, boundHi []float64
+
+	// Rebuild scratch: per-column continuous error samples (for the robust
+	// bounds) and the |x - med| deviations buffer.
+	colScratch [][]float64
+	devScratch []float64
+}
+
+// margAcc holds one column's marginal moment sums over its current errors.
+type margAcc struct {
+	n, sum, sumsq float64
+}
+
+func (a *margAcc) add(x float64)    { a.n++; a.sum += x; a.sumsq += x * x }
+func (a *margAcc) remove(x float64) { a.n--; a.sum -= x; a.sumsq -= x * x }
+
+// pairAcc holds one unordered column pair's moment sums over the
+// co-observed error pairs (x = e_j, y = e_k with j < k).
+type pairAcc struct {
+	n             float64
+	sx, sy        float64
+	sxx, syy, sxy float64
+	sxxy, syyx    float64 // Σx²y and Σy²x — the cat-split cross moments
+}
+
+func (a *pairAcc) add(x, y float64) {
+	a.n++
+	a.sx += x
+	a.sy += y
+	a.sxx += x * x
+	a.syy += y * y
+	a.sxy += x * y
+	a.sxxy += x * x * y
+	a.syyx += y * y * x
+}
+
+func (a *pairAcc) remove(x, y float64) {
+	a.n--
+	a.sx -= x
+	a.sy -= y
+	a.sxx -= x * x
+	a.syy -= y * y
+	a.sxy -= x * y
+	a.sxxy -= x * x * y
+	a.syyx -= y * y * x
 }
 
 // pairModel holds the conditional distribution P(e_j | e_k) in the four
@@ -57,163 +147,375 @@ type pairModel struct {
 	pj                         float64
 }
 
-// BuildErrorModel fits the marginal and pairwise error distributions from
-// the model's answers and current estimates.
-func BuildErrorModel(m *core.Model) *ErrorModel {
+// NewErrorModel returns an empty model bound to m; Rebuild fits it.
+func NewErrorModel(m *core.Model) *ErrorModel {
 	tbl := m.Table
 	nCols := tbl.NumCols()
 	em := &ErrorModel{
-		m:        m,
-		isCat:    make([]bool, nCols),
-		margCat:  make([]stats.Bernoulli, nCols),
-		margCont: make([]stats.Normal, nCols),
-		pair:     make([][]*pairModel, nCols),
-		w:        make([][]float64, nCols),
-		minPairs: 8,
+		m:          m,
+		nCols:      nCols,
+		rows:       tbl.NumRows(),
+		isCat:      make([]bool, nCols),
+		minPairs:   8,
+		widx:       make(map[tabular.WorkerID]int),
+		marg:       make([]margAcc, nCols),
+		pairs:      make([]pairAcc, nCols*nCols),
+		margCat:    make([]stats.Bernoulli, nCols),
+		margCont:   make([]stats.Normal, nCols),
+		pairFit:    make([]pairModel, nCols*nCols),
+		pairOK:     make([]bool, nCols*nCols),
+		w:          make([]float64, nCols*nCols),
+		boundLo:    make([]float64, nCols),
+		boundHi:    make([]float64, nCols),
+		colScratch: make([][]float64, nCols),
 	}
-	est := m.Estimates()
-	em.boundLo = make([]float64, nCols)
-	em.boundHi = make([]float64, nCols)
 	for j := 0; j < nCols; j++ {
 		em.isCat[j] = tbl.Schema.Columns[j].Type == tabular.Categorical
-		em.pair[j] = make([]*pairModel, nCols)
-		em.w[j] = make([]float64, nCols)
+	}
+	return em
+}
+
+// BuildErrorModel fits the marginal and pairwise error distributions from
+// the model's answers and current estimates.
+func BuildErrorModel(m *core.Model) *ErrorModel {
+	em := NewErrorModel(m)
+	em.Rebuild(m.Estimates())
+	return em
+}
+
+// workerOf returns worker u's slot, registering a first-seen worker (and
+// growing the row-vector table) on the way.
+func (em *ErrorModel) workerOf(u tabular.WorkerID) int {
+	k, ok := em.widx[u]
+	if !ok {
+		k = len(em.workers)
+		em.widx[u] = k
+		em.workers = append(em.workers, u)
+		for r := 0; r < em.rows; r++ {
+			em.rowVec = append(em.rowVec, -1)
+		}
+	}
+	return k
+}
+
+// vecFor returns (allocating on first touch) the dense error vector of
+// (worker slot w, row i). Vectors live in one arena addressed by offset, so
+// arena growth never invalidates existing vectors.
+func (em *ErrorModel) vecFor(w, i int) []float64 {
+	slot := int32(w*em.rows + i)
+	if off := em.rowVec[slot]; off >= 0 {
+		return em.errArena[off : off+int32(em.nCols)]
+	}
+	off := len(em.errArena)
+	for j := 0; j < em.nCols; j++ {
+		em.errArena = append(em.errArena, math.NaN())
+	}
+	em.rowVec[slot] = int32(off)
+	em.vecSlots = append(em.vecSlots, slot)
+	return em.errArena[off : off+em.nCols]
+}
+
+// answerError computes one answer's error against guess, clamping
+// continuous errors into the frozen winsorization bounds (when clamp is
+// set and the column has non-degenerate bounds).
+func (em *ErrorModel) answerError(a tabular.Answer, guess tabular.Value, clamp bool) float64 {
+	j := a.Cell.Col
+	if a.Value.Kind == tabular.Label {
+		if a.Value.Equal(guess) {
+			return 0
+		}
+		return 1
+	}
+	e := em.m.ToZ(j, a.Value.X) - em.m.ToZ(j, guess.X)
+	if clamp && em.boundHi[j] > em.boundLo[j] {
+		e = stats.Clamp(e, em.boundLo[j], em.boundHi[j])
+	}
+	return e
+}
+
+// Rebuild refits the whole model from scratch against est: per-(worker,
+// cell) errors, fresh winsorization bounds, accumulators and closed-form
+// fits. Every buffer is arena-reused, so a steady-state rebuild performs no
+// allocations. This is the polish-anchor path; between polishes use
+// UpdateCells.
+func (em *ErrorModel) Rebuild(est metrics.Estimates) {
+	// Reset the per-(worker, row) vectors and accumulators.
+	for i := range em.rowVec {
+		em.rowVec[i] = -1
+	}
+	em.vecSlots = em.vecSlots[:0]
+	em.errArena = em.errArena[:0]
+	for j := range em.marg {
+		em.marg[j] = margAcc{}
+	}
+	for idx := range em.pairs {
+		em.pairs[idx] = pairAcc{}
 	}
 
-	// Per (worker,row) error vectors: errs[u][i][j] present if u answered
-	// cell (i,j) and the cell has an estimate.
-	type key struct {
-		u tabular.WorkerID
-		i int
-	}
-	rowErrs := map[key]map[int]float64{}
-	perCol := make([][]float64, nCols)
-	for _, a := range m.Log.All() {
+	// Pass 1: raw (unclamped) last-answer-wins errors into the vectors.
+	for _, a := range em.m.Log.All() {
 		i, j := a.Cell.Row, a.Cell.Col
 		guess := est[i][j]
 		if guess.IsNone() {
 			continue
 		}
-		var e float64
-		if a.Value.Kind == tabular.Label {
-			if !a.Value.Equal(guess) {
-				e = 1
-			}
-		} else {
-			e = m.ToZ(j, a.Value.X) - m.ToZ(j, guess.X)
-		}
-		k := key{a.Worker, i}
-		if rowErrs[k] == nil {
-			rowErrs[k] = map[int]float64{}
-		}
-		rowErrs[k][j] = e
-		perCol[j] = append(perCol[j], e)
+		v := em.vecFor(em.workerOf(a.Worker), i)
+		v[j] = em.answerError(a, guess, false)
 	}
 
-	// Robust winsorization bounds per continuous column, applied to both
-	// the fitting samples and (via addError) query-time row errors.
-	for j := 0; j < nCols; j++ {
-		if !em.isCat[j] && len(perCol[j]) > 0 {
-			em.boundLo[j], em.boundHi[j] = stats.RobustBounds(perCol[j], 3)
-			perCol[j] = stats.Winsorize(perCol[j], em.boundLo[j], em.boundHi[j])
-		}
-	}
-	for _, errs := range rowErrs {
-		for j, e := range errs {
-			if !em.isCat[j] && em.boundHi[j] > em.boundLo[j] {
-				errs[j] = stats.Clamp(e, em.boundLo[j], em.boundHi[j])
-			}
-		}
-	}
-
-	// Marginals (Table 4).
-	for j := 0; j < nCols; j++ {
+	// Pass 2: fresh robust winsorization bounds per continuous column.
+	for j := 0; j < em.nCols; j++ {
 		if em.isCat[j] {
-			em.margCat[j] = stats.FitBernoulli(perCol[j])
-		} else {
-			em.margCont[j] = stats.FitNormal(perCol[j], 1e-6)
-		}
-	}
-
-	// Pairwise samples.
-	type pairKey struct{ j, k int }
-	pairSamples := map[pairKey][][2]float64{}
-	for _, errs := range rowErrs {
-		for j, ej := range errs {
-			for k, ek := range errs {
-				if j == k {
-					continue
-				}
-				pk := pairKey{j, k}
-				pairSamples[pk] = append(pairSamples[pk], [2]float64{ej, ek})
-			}
-		}
-	}
-	for pk, samples := range pairSamples {
-		if len(samples) < em.minPairs {
 			continue
 		}
-		ejs := make([]float64, len(samples))
-		eks := make([]float64, len(samples))
-		for i, s := range samples {
-			ejs[i] = s[0]
-			eks[i] = s[1]
-		}
-		em.w[pk.j][pk.k] = stats.Pearson(ejs, eks)
-		em.pair[pk.j][pk.k] = fitPair(em.isCat[pk.j], em.isCat[pk.k], ejs, eks, em.margCat[pk.j])
+		em.colScratch[j] = em.colScratch[j][:0]
 	}
-	return em
+	for _, slot := range em.vecSlots {
+		off := em.rowVec[slot]
+		v := em.errArena[off : off+int32(em.nCols)]
+		for j := 0; j < em.nCols; j++ {
+			if !em.isCat[j] && !math.IsNaN(v[j]) {
+				em.colScratch[j] = append(em.colScratch[j], v[j])
+			}
+		}
+	}
+	for j := 0; j < em.nCols; j++ {
+		em.boundLo[j], em.boundHi[j] = 0, 0
+		if !em.isCat[j] && len(em.colScratch[j]) > 0 {
+			em.boundLo[j], em.boundHi[j] = em.robustBounds(em.colScratch[j], 3)
+		}
+	}
+
+	// Pass 3: clamp the stored continuous errors into the new bounds and
+	// fold every vector into the marginal and pairwise accumulators.
+	for _, slot := range em.vecSlots {
+		off := em.rowVec[slot]
+		v := em.errArena[off : off+int32(em.nCols)]
+		for j := 0; j < em.nCols; j++ {
+			if math.IsNaN(v[j]) {
+				continue
+			}
+			if !em.isCat[j] && em.boundHi[j] > em.boundLo[j] {
+				v[j] = stats.Clamp(v[j], em.boundLo[j], em.boundHi[j])
+			}
+		}
+		for j := 0; j < em.nCols; j++ {
+			if math.IsNaN(v[j]) {
+				continue
+			}
+			em.marg[j].add(v[j])
+			for k := j + 1; k < em.nCols; k++ {
+				if !math.IsNaN(v[k]) {
+					em.pairs[j*em.nCols+k].add(v[j], v[k])
+				}
+			}
+		}
+	}
+
+	em.fitAll()
 }
 
-// fitPair fits one Table 5 conditional: e_j given e_k.
-func fitPair(jCat, kCat bool, ejs, eks []float64, margJ stats.Bernoulli) *pairModel {
-	pm := &pairModel{jCat: jCat, kCat: kCat}
-	switch {
-	case jCat && kCat:
-		var right, wrong []float64
-		for i := range ejs {
-			if eks[i] != 0 {
-				wrong = append(wrong, ejs[i])
-			} else {
-				right = append(right, ejs[i])
-			}
+// UpdateCells re-derives the errors of the given cells (core cell keys,
+// row*nCols + col) against est and folds the deltas into the accumulators —
+// the O(batch) maintenance path of a streaming refresh whose polish was
+// deferred (cells come from core.RefreshStats.Cells). Winsorization bounds
+// stay frozen at their last Rebuild values.
+func (em *ErrorModel) UpdateCells(est metrics.Estimates, cells []int) {
+	log := em.m.Log
+	for _, key := range cells {
+		i, j := key/em.nCols, key%em.nCols
+		guess := est[i][j]
+		if guess.IsNone() {
+			continue
 		}
-		pm.pGivenRight = stats.FitBernoulli(right).P
-		pm.pGivenWrong = stats.FitBernoulli(wrong).P
-	case !jCat && !kCat:
-		pm.joint = stats.FitBivariateNormal(ejs, eks, 1e-6)
-	case !jCat && kCat:
-		var right, wrong []float64
-		for i := range ejs {
-			if eks[i] != 0 {
-				wrong = append(wrong, ejs[i])
-			} else {
-				right = append(right, ejs[i])
+		for _, ai := range log.CellIndices(tabular.Cell{Row: i, Col: j}) {
+			a := log.At(ai)
+			e := em.answerError(a, guess, true)
+			v := em.vecFor(em.workerOf(a.Worker), i)
+			old := v[j]
+			if old == e {
+				continue
 			}
-		}
-		pm.contRight = fitNormalOrDefault(right)
-		pm.contWrong = fitNormalOrDefault(wrong)
-	default: // jCat && !kCat
-		var right, wrong []float64
-		for i := range ejs {
-			if ejs[i] != 0 {
-				wrong = append(wrong, eks[i])
-			} else {
-				right = append(right, eks[i])
+			if !math.IsNaN(old) {
+				em.marg[j].remove(old)
+				for k := 0; k < em.nCols; k++ {
+					if k != j && !math.IsNaN(v[k]) {
+						em.pairAcc(j, k).remove(em.orient(j, k, old, v[k]))
+					}
+				}
 			}
+			em.marg[j].add(e)
+			for k := 0; k < em.nCols; k++ {
+				if k != j && !math.IsNaN(v[k]) {
+					em.pairAcc(j, k).add(em.orient(j, k, e, v[k]))
+				}
+			}
+			v[j] = e
 		}
-		pm.ekGivenRight = fitNormalOrDefault(right)
-		pm.ekGivenWrong = fitNormalOrDefault(wrong)
-		pm.pj = margJ.P
 	}
-	return pm
+	em.fitAll()
 }
 
-func fitNormalOrDefault(xs []float64) stats.Normal {
-	if len(xs) < 2 {
+// pairAcc returns the unordered accumulator of columns (j, k).
+func (em *ErrorModel) pairAcc(j, k int) *pairAcc {
+	if j < k {
+		return &em.pairs[j*em.nCols+k]
+	}
+	return &em.pairs[k*em.nCols+j]
+}
+
+// orient maps (e_j, e_k) onto the accumulator's canonical (x, y) = (lower
+// column, higher column) order.
+func (em *ErrorModel) orient(j, k int, ej, ek float64) (x, y float64) {
+	if j < k {
+		return ej, ek
+	}
+	return ek, ej
+}
+
+// robustBounds is stats.RobustBounds (median ± k robust sigmas, MAD scale
+// with std fallback) on sort-based medians: error populations here scale
+// with the whole log, far past the insertion-sort regime stats.Median is
+// tuned for. Mutates xs (sorts it) — callers pass scratch.
+func (em *ErrorModel) robustBounds(xs []float64, k float64) (lo, hi float64) {
+	slices.Sort(xs)
+	med := sortedMedian(xs)
+	devs := em.devScratch[:0]
+	for _, x := range xs {
+		devs = append(devs, math.Abs(x-med))
+	}
+	slices.Sort(devs)
+	sigma := sortedMedian(devs) * stats.MADScale
+	em.devScratch = devs
+	if sigma == 0 {
+		sigma = stats.StdDev(xs)
+	}
+	if sigma == 0 {
+		return med, med
+	}
+	return med - k*sigma, med + k*sigma
+}
+
+func sortedMedian(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return 0.5 * (xs[n/2-1] + xs[n/2])
+}
+
+// fitAll refreshes every closed-form fit from the accumulators: marginals
+// (Table 4), the four-case pair conditionals (Table 5) in both directions
+// of each unordered pair, and the Pearson weights W_jk (Eq. 8, bitwise
+// symmetric since both directions read the same sums). O(nCols²) with
+// constant work per pair.
+func (em *ErrorModel) fitAll() {
+	for j := 0; j < em.nCols; j++ {
+		a := em.marg[j]
+		if em.isCat[j] {
+			em.margCat[j] = bernoulliFromSums(a.n, a.sum)
+		} else {
+			em.margCont[j] = normalFromSums(a.n, a.sum, a.sumsq, 1e-6)
+		}
+	}
+	for j := 0; j < em.nCols; j++ {
+		for k := j + 1; k < em.nCols; k++ {
+			acc := &em.pairs[j*em.nCols+k]
+			jk, kj := j*em.nCols+k, k*em.nCols+j
+			ok := acc.n >= float64(em.minPairs)
+			em.pairOK[jk], em.pairOK[kj] = ok, ok
+			if !ok {
+				em.w[jk], em.w[kj] = 0, 0
+				continue
+			}
+			wv := pearsonFromSums(acc)
+			em.w[jk], em.w[kj] = wv, wv
+			em.pairFit[jk] = fitPairFromSums(em.isCat[j], em.isCat[k],
+				acc.n, acc.sx, acc.sy, acc.sxx, acc.syy, acc.sxy, acc.sxxy, acc.syyx,
+				em.margCat[j].P)
+			em.pairFit[kj] = fitPairFromSums(em.isCat[k], em.isCat[j],
+				acc.n, acc.sy, acc.sx, acc.syy, acc.sxx, acc.sxy, acc.syyx, acc.sxxy,
+				em.margCat[k].P)
+		}
+	}
+}
+
+// bernoulliFromSums is stats.FitBernoulli from (n, Σe): errors of a
+// categorical column are exactly 0/1, so the sum is the ones count.
+func bernoulliFromSums(n, ones float64) stats.Bernoulli {
+	if n <= 0 {
+		return stats.Bernoulli{P: 0.5}
+	}
+	return stats.Bernoulli{P: (ones + 0.5) / (n + 1)}
+}
+
+// normalFromSums is stats.FitNormal from moment sums (population variance,
+// floored at minVar).
+func normalFromSums(n, sum, sumsq, minVar float64) stats.Normal {
+	if n <= 0 {
+		return stats.Normal{Mu: 0, Var: minVar}
+	}
+	mu := sum / n
+	v := sumsq/n - mu*mu
+	if v < minVar {
+		v = minVar
+	}
+	return stats.Normal{Mu: mu, Var: v}
+}
+
+// normalOrDefaultFromSums mirrors the sample-space fitNormalOrDefault:
+// below two samples the N(0, 1) default.
+func normalOrDefaultFromSums(n, sum, sumsq float64) stats.Normal {
+	if n < 2 {
 		return stats.Normal{Mu: 0, Var: 1}
 	}
-	return stats.FitNormal(xs, 1e-6)
+	return normalFromSums(n, sum, sumsq, 1e-6)
+}
+
+// pearsonFromSums is stats.Pearson (population moments) from the pair sums;
+// 0 when either side is degenerate.
+func pearsonFromSums(a *pairAcc) float64 {
+	mx, my := a.sx/a.n, a.sy/a.n
+	vx := a.sxx/a.n - mx*mx
+	vy := a.syy/a.n - my*my
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	cov := a.sxy/a.n - mx*my
+	return cov / (math.Sqrt(vx) * math.Sqrt(vy))
+}
+
+// fitPairFromSums fits one Table 5 conditional — e_j given e_k — from the
+// pair's moment sums oriented as x = e_j, y = e_k. The class splits of the
+// mixed cases fall out of the sums because the categorical side is a 0/1
+// indicator: e.g. the e_k = 1 subgroup of x has count Σy, sum Σxy and
+// square-sum Σx²y.
+func fitPairFromSums(jCat, kCat bool, n, sx, sy, sxx, syy, sxy, sxxy, syyx, pj float64) pairModel {
+	pm := pairModel{jCat: jCat, kCat: kCat}
+	switch {
+	case jCat && kCat:
+		pm.pGivenWrong = bernoulliFromSums(sy, sxy).P
+		pm.pGivenRight = bernoulliFromSums(n-sy, sx-sxy).P
+	case !jCat && !kCat:
+		mx, my := sx/n, sy/n
+		pm.joint = stats.BivariateNormal{
+			MuX: mx, MuY: my,
+			VarX: math.Max(1e-6, sxx/n-mx*mx),
+			VarY: math.Max(1e-6, syy/n-my*my),
+			Cov:  sxy/n - mx*my,
+		}
+	case !jCat && kCat:
+		pm.contWrong = normalOrDefaultFromSums(sy, sxy, sxxy)
+		pm.contRight = normalOrDefaultFromSums(n-sy, sx-sxy, sxx-sxxy)
+	default: // jCat && !kCat
+		pm.ekGivenWrong = normalOrDefaultFromSums(sx, sxy, syyx)
+		pm.ekGivenRight = normalOrDefaultFromSums(n-sx, sy-sxy, syy-syyx)
+		pm.pj = pj
+	}
+	return pm
 }
 
 // condCatWrong returns P(e_j = 1 | e_k = ek) for a categorical target j.
@@ -284,24 +586,11 @@ func (em *ErrorModel) WorkerRowErrors(u tabular.WorkerID, est metrics.Estimates)
 
 // addError records one answer's error against the estimates into dst.
 func (em *ErrorModel) addError(dst map[int]float64, a tabular.Answer, est metrics.Estimates) {
-	j := a.Cell.Col
-	guess := est[a.Cell.Row][j]
+	guess := est[a.Cell.Row][a.Cell.Col]
 	if guess.IsNone() {
 		return
 	}
-	if a.Value.Kind == tabular.Label {
-		if a.Value.Equal(guess) {
-			dst[j] = 0
-		} else {
-			dst[j] = 1
-		}
-	} else {
-		e := em.m.ToZ(j, a.Value.X) - em.m.ToZ(j, guess.X)
-		if len(em.boundHi) > j && em.boundHi[j] > em.boundLo[j] {
-			e = stats.Clamp(e, em.boundLo[j], em.boundHi[j])
-		}
-		dst[j] = e
-	}
+	dst[a.Cell.Col] = em.answerError(a, guess, true)
 }
 
 // CondWrongProb predicts P(worker's answer on categorical column j is
@@ -312,15 +601,15 @@ func (em *ErrorModel) addError(dst map[int]float64, a tabular.Answer, est metric
 func (em *ErrorModel) CondWrongProb(j int, rowErrs map[int]float64) (p float64, ok bool) {
 	num, den := 0.0, 0.0
 	for k, ek := range rowErrs {
-		pm := em.pair[j][k]
-		if pm == nil {
+		idx := j*em.nCols + k
+		if !em.pairOK[idx] {
 			continue
 		}
-		w := math.Abs(em.w[j][k])
+		w := math.Abs(em.w[idx])
 		if w <= 1e-9 {
 			continue
 		}
-		num += w * pm.condCatWrong(ek)
+		num += w * em.pairFit[idx].condCatWrong(ek)
 		den += w
 	}
 	if den > 0 {
@@ -342,15 +631,15 @@ func (em *ErrorModel) CondErrorNormal(j int, rowErrs map[int]float64) (stats.Nor
 	var comps []stats.Normal
 	var weights []float64
 	for k, ek := range rowErrs {
-		pm := em.pair[j][k]
-		if pm == nil {
+		idx := j*em.nCols + k
+		if !em.pairOK[idx] {
 			continue
 		}
-		w := math.Abs(em.w[j][k])
+		w := math.Abs(em.w[idx])
 		if w <= 1e-9 {
 			continue
 		}
-		comps = append(comps, pm.condContNormal(ek))
+		comps = append(comps, em.pairFit[idx].condContNormal(ek))
 		weights = append(weights, w)
 	}
 	if len(comps) == 0 {
@@ -374,7 +663,7 @@ func (em *ErrorModel) CondErrorNormal(j int, rowErrs map[int]float64) (stats.Nor
 }
 
 // W returns the correlation coefficient W_jk (Eq. 8); 0 when unestimated.
-func (em *ErrorModel) W(j, k int) float64 { return em.w[j][k] }
+func (em *ErrorModel) W(j, k int) float64 { return em.w[j*em.nCols+k] }
 
 // MarginalCat returns the marginal wrong-probability of categorical column
 // j (Table 4).

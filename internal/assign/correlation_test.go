@@ -58,11 +58,11 @@ func TestCondWrongProbReactsToRowErrors(t *testing.T) {
 	for j := 0; j < 3; j++ { // categorical columns of Restaurant
 		var other int
 		for other = 0; other < 3; other++ {
-			if other != j && em.pair[j][other] != nil {
+			if other != j && em.pairOK[j*em.nCols+other] {
 				break
 			}
 		}
-		if other >= 3 || em.pair[j][other] == nil {
+		if other >= 3 || !em.pairOK[j*em.nCols+other] {
 			continue
 		}
 		pGood, ok1 := em.CondWrongProb(j, map[int]float64{other: 0})
@@ -81,7 +81,7 @@ func TestCondWrongProbReactsToRowErrors(t *testing.T) {
 func TestCondErrorNormalReactsToRowErrors(t *testing.T) {
 	_, m := restaurantModel(t)
 	em := BuildErrorModel(m)
-	if em.pair[4][3] == nil {
+	if !em.pairOK[4*em.nCols+3] {
 		t.Skip("start/end pair not fitted")
 	}
 	small, ok1 := em.CondErrorNormal(4, map[int]float64{3: 0.1})
@@ -145,5 +145,26 @@ func TestCondFallbacks(t *testing.T) {
 	// Continuous with empty history reports not-ok (caller uses inherent).
 	if _, ok := em.CondErrorNormal(3, map[int]float64{}); ok {
 		t.Fatal("continuous conditional from nothing")
+	}
+}
+
+// TestErrorModelSteadyStateAllocs pins the accumulator-based error model
+// at zero steady-state allocations: once the arenas are sized for the
+// worker set, both a full Rebuild (polish anchors) and an incremental
+// UpdateCells (deferred refreshes) run entirely in reused storage.
+func TestErrorModelSteadyStateAllocs(t *testing.T) {
+	ds, m := restaurantModel(t)
+	em := NewErrorModel(m)
+	est := m.Estimates()
+	em.Rebuild(est) // size every arena
+
+	if avg := testing.AllocsPerRun(20, func() { em.Rebuild(est) }); avg > 0 {
+		t.Fatalf("warm Rebuild allocates %.1f allocs/run, want 0", avg)
+	}
+
+	cells := []int{0, ds.Table.NumCols() + 1, 3*ds.Table.NumCols() + 2}
+	em.UpdateCells(est, cells)
+	if avg := testing.AllocsPerRun(20, func() { em.UpdateCells(est, cells) }); avg > 0 {
+		t.Fatalf("warm UpdateCells allocates %.1f allocs/run, want 0", avg)
 	}
 }

@@ -66,8 +66,7 @@ func (t *TCrowdSystem) Refresh(tbl *tabular.Table, log *tabular.AnswerLog) error
 			if t.Opts.MaxIter > 0 {
 				polish = min(t.Opts.MaxIter, 5)
 			}
-			prev.RefreshIncremental(polish)
-			t.setState(prev, log)
+			t.applyRefresh(prev, log, prev.RefreshIncremental(polish))
 			return nil
 		}
 		// Ingestion failure (e.g. a malformed answer) falls through to the
@@ -108,9 +107,48 @@ func (t *TCrowdSystem) Refresh(tbl *tabular.Table, log *tabular.AnswerLog) error
 func (t *TCrowdSystem) setState(m *core.Model, log *tabular.AnswerLog) {
 	st := &State{Model: m, Log: log, Est: m.Estimates(), RNG: t.tieBreak}
 	if _, isStruct := t.Policy.(StructureIG); isStruct {
-		st.Err = BuildErrorModel(m)
+		st.Err = NewErrorModel(m)
+		st.Err.Rebuild(st.Est)
 	}
 	t.st = st
+}
+
+// applyRefresh folds one streaming refresh into the existing assignment
+// state in place — the zero-allocation steady-state path. A deferred-polish
+// refresh changed only the batch's cells, so exactly those estimates are
+// re-extracted and the error model's accumulators adjusted (UpdateCells); a
+// polished refresh moved the global parameters, so the estimate grid is
+// refilled and the error model rebuilt — both into the arenas the state
+// already owns. Falls back to a fresh setState when no compatible state
+// exists (first streaming refresh after a rebuild with a foreign grid, or a
+// policy change mid-stream).
+func (t *TCrowdSystem) applyRefresh(m *core.Model, log *tabular.AnswerLog, rs core.RefreshStats) {
+	st := t.st
+	if st == nil || st.Model != m || st.Est == nil {
+		t.setState(m, log)
+		return
+	}
+	st.Log = log
+	if rs.Polished {
+		m.EstimatesInto(st.Est)
+	} else {
+		nCols := m.Table.NumCols()
+		for _, key := range rs.Cells {
+			st.Est[key/nCols][key%nCols] = m.EstimateCell(key/nCols, key%nCols)
+		}
+	}
+	if _, isStruct := t.Policy.(StructureIG); !isStruct {
+		return
+	}
+	switch {
+	case st.Err == nil:
+		st.Err = NewErrorModel(m)
+		st.Err.Rebuild(st.Est)
+	case rs.Polished:
+		st.Err.Rebuild(st.Est)
+	default:
+		st.Err.UpdateCells(st.Est, rs.Cells)
+	}
 }
 
 // Select implements System.

@@ -155,6 +155,13 @@ type Options struct {
 	//	>1  explicit worker count, capped at GOMAXPROCS.
 	Parallelism int
 
+	// PolishFrac tunes RefreshIncremental's amortized polish cadence: with
+	// a default (maxIter <= 0) budget, the full EM polish runs only once
+	// the unpolished-ingest backlog reaches
+	// max(minPolishBacklog, PolishFrac * log size), keeping per-refresh
+	// cost O(batch) in steady state. <= 0 means DefaultPolishFrac.
+	PolishFrac float64
+
 	// MStepGradTol overrides the M-step gradient-norm stopping tolerance
 	// (default 1e-7). Values below 1e-10 also tighten the optimizer's
 	// relative objective-improvement cutoff to match (never the reverse:
@@ -282,6 +289,9 @@ type Model struct {
 	lnL1 []float64
 	// medianPhi caches MedianPhi across hot assignment loops.
 	medianPhi float64
+	// pendingPolish counts answers ingested since the last full EM polish;
+	// RefreshIncremental defers the polish until it crosses polishBacklog.
+	pendingPolish int
 	// scr holds every reusable hot-path buffer; see scratch.
 	scr scratch
 }
@@ -290,11 +300,11 @@ type Model struct {
 // and reused across EM iterations so the steady-state engine allocates
 // nothing.
 type scratch struct {
-	// Per-answer M-step constants, refreshed once per mStep while the
-	// posteriors are frozen: posterior mass on the answered label
-	// (categorical), squared residual plus posterior variance
-	// (continuous).
-	p, dv []float64
+	// Per-group M-step constants, refreshed once per mStep while the
+	// posteriors are frozen: total posterior mass on the answered label
+	// (categorical), total squared residual plus posterior variance
+	// (continuous), and the group's answer count.
+	p, dv, cnt []float64
 	// theta packing and its (alpha, beta, phi) views.
 	theta, alpha, beta, phi []float64
 	// Reference-path gradient accumulators.
@@ -309,6 +319,9 @@ type scratch struct {
 	// colChanged is its per-column changed-constants flag set.
 	dec        []ingest.Answer
 	colChanged []bool
+	// refreshCells snapshots the dirty-cell set per RefreshIncremental and
+	// backs the RefreshStats.Cells view handed to callers.
+	refreshCells []int
 	// Per-shard parallel state (index = shard id): M-step partial values
 	// and partial gradients.
 	shardVal []float64

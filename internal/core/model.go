@@ -10,23 +10,40 @@ import (
 
 // Estimates extracts the point estimates T̂_ij: the posterior argmax for
 // categorical cells, the posterior mean (mapped back to natural units) for
-// continuous cells. Cells without usable answers remain None.
+// continuous cells. Cells without usable answers remain None. The returned
+// grid is freshly allocated — callers may retain it across refreshes (the
+// platform's immutable generation snapshots do). Hot refresh paths that
+// own a reusable grid should use EstimatesInto instead.
 func (m *Model) Estimates() metrics.Estimates {
 	est := metrics.NewEstimates(m.Table)
+	m.EstimatesInto(est)
+	return est
+}
+
+// EstimatesInto fills a caller-owned grid (shaped for m.Table, e.g. by
+// metrics.NewEstimates) with the current point estimates, allocating
+// nothing. This is the steady-state path of the assignment engine's
+// per-refresh state rebuild.
+func (m *Model) EstimatesInto(est metrics.Estimates) {
 	for i := 0; i < m.Table.NumRows(); i++ {
+		row := est[i]
 		for j := 0; j < m.Table.NumCols(); j++ {
-			if !m.Answered[i][j] {
-				continue
-			}
-			if post := m.CatPost[i][j]; post != nil {
-				est[i][j] = tabular.LabelValue(argMax(post))
-			} else {
-				x := stats.Unstandardize(m.ContMu[i][j], m.ColMean[j], m.ColStd[j])
-				est[i][j] = tabular.NumberValue(x)
-			}
+			row[j] = m.EstimateCell(i, j)
 		}
 	}
-	return est
+}
+
+// EstimateCell returns the current point estimate of one cell (None when
+// unanswered).
+func (m *Model) EstimateCell(i, j int) tabular.Value {
+	if !m.Answered[i][j] {
+		return tabular.Value{}
+	}
+	if post := m.CatPost[i][j]; post != nil {
+		return tabular.LabelValue(argMax(post))
+	}
+	x := stats.Unstandardize(m.ContMu[i][j], m.ColMean[j], m.ColStd[j])
+	return tabular.NumberValue(x)
 }
 
 func argMax(p []float64) int {

@@ -18,10 +18,15 @@ import (
 // The production path is fused: optimize.MinimizeFused evaluates the
 // objective and the gradient in a single pass per line-search trial
 // (qFusedRange), sharing the erf/log work of the quality model between the
-// two, with all buffers drawn from the model scratch. The unfused
-// reference path (mStepReference) performs separate value and gradient
-// passes exactly as the paper describes and is retained for the
-// numerical-equivalence tests; both paths compute bit-identical iterates.
+// two, with all buffers drawn from the model scratch. Since PR 7 the fused
+// loops iterate the ingest store's sufficient-statistics Groups instead of
+// the raw answers: every answer in a (cell, worker, label) run shares its
+// posterior term and its variance triple, so the run collapses to a single
+// evaluation driven by (Count, ΣZ, ΣZ²) — the objective/gradient never
+// re-reads the answer log. The unfused reference path (mStepReference)
+// still performs separate per-answer value and gradient passes over the
+// full log exactly as the paper describes; the equivalence tests pin the
+// sufficient-stats path against it.
 func (m *Model) mStep() {
 	if m.Opts.refMStep {
 		m.mStepReference()
@@ -107,30 +112,35 @@ func (m *Model) ensureMStepScratch(dim int) {
 		scr.phi = make([]float64, len(m.Phi))
 		scr.gp = make([]float64, len(m.Phi))
 	}
-	if na := len(m.ilog.Ans); cap(scr.p) < na {
-		scr.p = make([]float64, na+na/4+64)
-		scr.dv = make([]float64, na+na/4+64)
+	if ng := len(m.ilog.Groups); cap(scr.p) < ng {
+		scr.p = make([]float64, ng+ng/4+64)
+		scr.dv = make([]float64, ng+ng/4+64)
+		scr.cnt = make([]float64, ng+ng/4+64)
 	}
 }
 
-// prepMStepConsts precomputes the per-answer quantities that stay constant
+// prepMStepConsts precomputes the per-group quantities that stay constant
 // across every objective/gradient evaluation of one M-step (the posteriors
-// are frozen): the posterior mass on the answered label, and the squared
-// residual plus posterior variance of continuous answers. This hoists the
-// posterior double-indexing and residual arithmetic out of the line-search
-// loop.
+// are frozen): the run's answer count, the posterior mass the run puts on
+// its answered label (Count * CatPost), and the run's total squared
+// residual plus posterior variance ΣZ² - 2μΣZ + Count(μ²+v) for continuous
+// runs. This hoists the posterior double-indexing and all per-answer
+// arithmetic out of the line-search loop — each evaluation is O(groups).
 func (m *Model) prepMStepConsts() {
 	scr := &m.scr
-	na := len(m.ilog.Ans)
-	scr.p, scr.dv = scr.p[:na], scr.dv[:na]
-	for idx := range m.ilog.Ans {
-		a := &m.ilog.Ans[idx]
-		if a.IsCat {
-			scr.p[idx] = m.CatPost[a.I][a.J][a.Label]
+	ng := len(m.ilog.Groups)
+	scr.p, scr.dv, scr.cnt = scr.p[:ng], scr.dv[:ng], scr.cnt[:ng]
+	for idx := range m.ilog.Groups {
+		g := &m.ilog.Groups[idx]
+		cnt := float64(g.Count)
+		scr.cnt[idx] = cnt
+		if g.IsCat {
+			scr.p[idx] = cnt * m.CatPost[g.I][g.J][g.Label]
 		} else {
-			mu, v := m.ContMu[a.I][a.J], m.ContVar[a.I][a.J]
-			d := a.Z - mu
-			scr.dv[idx] = d*d + v
+			mu, v := m.ContMu[g.I][g.J], m.ContVar[g.I][g.J]
+			// Mathematically Σ(z-μ)² + Count·v ≥ 0; the moment form can
+			// dip below zero by cancellation when residuals are tiny.
+			scr.dv[idx] = math.Max(0, g.SumZ2-2*mu*g.SumZ+cnt*(mu*mu+v))
 		}
 	}
 }
@@ -188,14 +198,14 @@ func (m *Model) negQValueFast(theta []float64) float64 {
 }
 
 // qValueFast evaluates the MAP objective without gradients, with the same
-// memoisation and per-answer constants as the fused pass.
+// memoisation and per-group constants as the fused pass.
 func (m *Model) qValueFast(alpha, beta, phi []float64) float64 {
 	if w := m.effectiveParallelism(); w > 1 {
 		m.ensureShards(w)
 		scr := &m.scr
-		na := len(m.ilog.Ans)
+		ng := len(m.ilog.Groups)
 		pool.Run(w, func(shard int) {
-			lo, hi := pool.ChunkBounds(na, w, shard)
+			lo, hi := pool.ChunkBounds(ng, w, shard)
 			scr.shardVal[shard] = m.qValueFastRange(alpha, beta, phi, lo, hi)
 		})
 		val := 0.0
@@ -204,7 +214,7 @@ func (m *Model) qValueFast(alpha, beta, phi []float64) float64 {
 		}
 		return m.paramLogPrior(alpha, beta, phi) + val
 	}
-	return m.paramLogPrior(alpha, beta, phi) + m.qValueFastRange(alpha, beta, phi, 0, len(m.ilog.Ans))
+	return m.paramLogPrior(alpha, beta, phi) + m.qValueFastRange(alpha, beta, phi, 0, len(m.ilog.Groups))
 }
 
 // qValueFastRange mirrors qFusedRange's value accumulation exactly, minus
@@ -213,25 +223,25 @@ func (m *Model) qValueFastRange(alpha, beta, phi []float64, lo, hi int) float64 
 	scr := &m.scr
 	eps := m.Opts.Eps
 	q := 0.0
-	prevI, prevJ, prevW := -1, -1, -1
+	var prevI, prevJ, prevW int32 = -1, -1, -1
 	var twoS, lnQ, lnNotQ, ln2pis float64
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ilog.Ans[idx]
-		if a.I != prevI || a.J != prevJ || a.W != prevW {
-			prevI, prevJ, prevW = a.I, a.J, a.W
-			s := stats.Clamp(alpha[a.I]*beta[a.J]*phi[a.W], minS, maxS)
-			if a.IsCat {
+		g := &m.ilog.Groups[idx]
+		if g.I != prevI || g.J != prevJ || g.W != prevW {
+			prevI, prevJ, prevW = g.I, g.J, g.W
+			s := stats.Clamp(alpha[g.I]*beta[g.J]*phi[g.W], minS, maxS)
+			if g.IsCat {
 				lnQ, lnNotQ = logQ(eps, s)
 			} else {
 				twoS = 2 * s
 				ln2pis = math.Log(2 * math.Pi * s)
 			}
 		}
-		if a.IsCat {
-			p := scr.p[idx]
-			q += p*lnQ + (1-p)*(lnNotQ-m.lnL1[a.J])
+		if g.IsCat {
+			sumP := scr.p[idx]
+			q += sumP*lnQ + (scr.cnt[idx]-sumP)*(lnNotQ-m.lnL1[g.J])
 		} else {
-			q += -0.5*ln2pis - scr.dv[idx]/twoS
+			q += -0.5*scr.cnt[idx]*ln2pis - scr.dv[idx]/twoS
 		}
 	}
 	return q
@@ -239,25 +249,25 @@ func (m *Model) qValueFastRange(alpha, beta, phi []float64, lo, hi int) float64 
 
 // qFused evaluates the MAP objective (Eq. 5 plus parameter log-priors) AND
 // accumulates its log-space gradient into (ga, gb, gp) in one pass over
-// the answers.
+// the sufficient-statistics groups.
 func (m *Model) qFused(alpha, beta, phi []float64, ga, gb, gp []float64) float64 {
 	if w := m.effectiveParallelism(); w > 1 {
 		return m.qFusedParallel(alpha, beta, phi, ga, gb, gp, w)
 	}
 	m.priorGradLog(alpha, beta, phi, ga, gb, gp)
-	val := m.qFusedRange(alpha, beta, phi, 0, len(m.ilog.Ans), ga, gb, gp)
+	val := m.qFusedRange(alpha, beta, phi, 0, len(m.ilog.Groups), ga, gb, gp)
 	return m.paramLogPrior(alpha, beta, phi) + val
 }
 
-// qFusedParallel shards qFusedRange over answer ranges on the worker pool;
+// qFusedParallel shards qFusedRange over group ranges on the worker pool;
 // per-shard partial values and gradients reduce in shard order (results
 // deterministic for a fixed worker count).
 func (m *Model) qFusedParallel(alpha, beta, phi []float64, ga, gb, gp []float64, workers int) float64 {
 	m.ensureShards(workers)
 	scr := &m.scr
-	na := len(m.ilog.Ans)
+	ng := len(m.ilog.Groups)
 	pool.Run(workers, func(shard int) {
-		lo, hi := pool.ChunkBounds(na, workers, shard)
+		lo, hi := pool.ChunkBounds(ng, workers, shard)
 		sga, sgb, sgp := scr.shardGA[shard], scr.shardGB[shard], scr.shardGP[shard]
 		zero(sga)
 		zero(sgb)
@@ -307,29 +317,32 @@ func catTerms(eps, s float64) (lnQ, lnNotQ, dOverQ, dOverNotQ float64) {
 	return lnQ, lnNotQ, math.Exp(lnD - lnQ), math.Exp(lnD - lnNotQ)
 }
 
-// qFusedRange is the fused hot loop: for answers [lo, hi) it returns the
-// data term of Q and accumulates the per-answer gradient contribution
-// g = s * dQ_a/ds into (ga, gb, gp) — see qValueRange / qGradLogRange for
-// the derivations. The expensive transcendentals (erf, log, exp of the
-// quality model) are computed once per variance triple and shared between
-// value and gradient; consecutive answers with the same (row, column,
-// worker) triple (adjacent after the model's answer sort) reuse them
-// outright.
+// qFusedRange is the fused hot loop: for sufficient-statistics groups
+// [lo, hi) it returns the data term of Q and accumulates the per-group
+// gradient contribution g = Σ_a s * dQ_a/ds into (ga, gb, gp) — see
+// qValueRange / qGradLogRange for the per-answer derivations. A group's
+// answers share their posterior term and variance triple, so the whole run
+// contributes sumP*lnq + (cnt-sumP)*(ln(1-q)-ln(L-1)) with sumP = cnt*p
+// (categorical), or -cnt*ln(2πs)/2 - Σdv/(2s) with Σdv precomputed from
+// (ΣZ, ΣZ²) (continuous). The expensive transcendentals are computed once
+// per variance triple and shared between value and gradient; consecutive
+// groups with the same (row, column, worker) triple (adjacent label runs)
+// reuse them outright.
 func (m *Model) qFusedRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp []float64) float64 {
 	scr := &m.scr
 	eps := m.Opts.Eps
 	q := 0.0
-	prevI, prevJ, prevW := -1, -1, -1
+	var prevI, prevJ, prevW int32 = -1, -1, -1
 	var twoS, lnQ, lnNotQ, dOverQ, dOverNotQ, ln2pis float64
 	var clamped bool
 	for idx := lo; idx < hi; idx++ {
-		a := &m.ilog.Ans[idx]
-		if a.I != prevI || a.J != prevJ || a.W != prevW {
-			prevI, prevJ, prevW = a.I, a.J, a.W
-			raw := alpha[a.I] * beta[a.J] * phi[a.W]
+		gr := &m.ilog.Groups[idx]
+		if gr.I != prevI || gr.J != prevJ || gr.W != prevW {
+			prevI, prevJ, prevW = gr.I, gr.J, gr.W
+			raw := alpha[gr.I] * beta[gr.J] * phi[gr.W]
 			clamped = raw < minS || raw > maxS
 			s := stats.Clamp(raw, minS, maxS)
-			if a.IsCat {
+			if gr.IsCat {
 				lnQ, lnNotQ, dOverQ, dOverNotQ = catTerms(eps, s)
 			} else {
 				twoS = 2 * s
@@ -337,23 +350,24 @@ func (m *Model) qFusedRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp [
 			}
 		}
 		var g float64
-		if a.IsCat {
-			p := scr.p[idx]
-			q += p*lnQ + (1-p)*(lnNotQ-m.lnL1[a.J])
-			g = (1-p)*dOverNotQ - p*dOverQ
+		if gr.IsCat {
+			sumP := scr.p[idx]
+			rest := scr.cnt[idx] - sumP
+			q += sumP*lnQ + rest*(lnNotQ-m.lnL1[gr.J])
+			g = rest*dOverNotQ - sumP*dOverQ
 		} else {
 			dv := scr.dv[idx]
-			q += -0.5*ln2pis - dv/twoS
-			g = -0.5 + dv/twoS
+			q += -0.5*scr.cnt[idx]*ln2pis - dv/twoS
+			g = -0.5*scr.cnt[idx] + dv/twoS
 		}
 		if clamped {
 			// At the variance clamp the objective is flat; do not push
 			// parameters further out.
 			g = 0
 		}
-		ga[a.I] += g
-		gb[a.J] += g
-		gp[a.W] += g
+		ga[gr.I] += g
+		gb[gr.J] += g
+		gp[gr.W] += g
 	}
 	return q
 }

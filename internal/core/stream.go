@@ -45,6 +45,20 @@ import (
 // pass a full budget instead and let the tolerance stop early.
 const DefaultPolishIter = 1
 
+// Amortized polish cadence constants (see RefreshIncremental): a
+// default-budget refresh defers the full EM polish until the unpolished
+// ingest backlog reaches max(minPolishBacklog, PolishFrac * log size).
+const (
+	// minPolishBacklog keeps small logs responsive: below it a deferral
+	// would save nothing, so every refresh polishes.
+	minPolishBacklog = 32
+	// DefaultPolishFrac is the default backlog fraction: a full polish
+	// roughly every 5% log growth keeps amortized polish cost per answer
+	// constant while the posteriors between polishes stay within the
+	// dirty-cell E-step's reach.
+	DefaultPolishFrac = 0.05
+)
+
 // ErrLogMismatch is returned by IngestFrom when the given log is not the
 // model's source log: the model cannot know which suffix is new, so the
 // caller must fall back to a (warm) rebuild.
@@ -215,6 +229,12 @@ func (m *Model) Ingest(batch []tabular.Answer) error {
 	}
 	if len(scr.dec) > 0 {
 		m.ilog.Append(scr.dec)
+		m.pendingPolish += len(scr.dec)
+	} else if changed {
+		// No answers survived the mode filter but a column's constants
+		// shifted: the re-standardized cells' sufficient statistics must be
+		// brought back in sync without an Append.
+		m.ilog.RecomputeDirtyGroups()
 	}
 	// Worker medians may have shifted (new workers, at least): drop the
 	// cache; RefreshIncremental refreezes it.
@@ -222,25 +242,84 @@ func (m *Model) Ingest(batch []tabular.Answer) error {
 	return nil
 }
 
+// RefreshStats reports what one RefreshIncremental did, so callers can
+// update downstream state (estimates caches, assignment error models)
+// incrementally instead of rebuilding it.
+type RefreshStats struct {
+	// Cells are the cell keys (row*cols + col) whose posteriors were
+	// recomputed this refresh — the ingest dirty set, captured before it
+	// was cleared. The slice is model-owned scratch, valid until the next
+	// RefreshIncremental.
+	Cells []int
+	// Polished reports whether the full EM polish ran. When false, only
+	// the Cells posteriors (and therefore only those cells' estimates)
+	// changed; the global parameters are untouched and the polish debt
+	// carries over to a later refresh.
+	Polished bool
+	// Pending is the number of ingested answers still awaiting a polish.
+	Pending int
+}
+
 // RefreshIncremental reconverges the model after one or more Ingest calls:
 // the E-step runs on exactly the dirty cells' posteriors (new answers,
-// newly answered cells, re-standardized columns), then a short warm EM
-// polish — at most maxIter iterations, DefaultPolishIter when maxIter <= 0
-// — re-runs full EM from the previous optimum until the model's parameter
-// tolerance fires. Iterations and Converged report the polish.
+// newly answered cells, re-standardized columns), then a warm EM polish —
+// at most maxIter iterations — re-runs full EM from the previous optimum
+// until the model's parameter tolerance fires. Iterations and Converged
+// report the polish.
+//
+// Amortized polish cadence: with maxIter <= 0 (the serving default) the
+// full polish is deferred until enough new answers have accumulated —
+// max(minPolishBacklog, PolishFrac·log size) — and then runs for
+// DefaultPolishIter iterations. In between, a refresh is dirty-cell E-step
+// only, so its cost is O(batch) regardless of log size while the amortized
+// polish cost per answer stays constant (online EM with a batch schedule
+// proportional to the data seen, cf. Liang & Klein's stepwise EM). An
+// explicit maxIter > 0 always polishes now — callers needing
+// convergence-grade estimates (the platform's requester-facing inference,
+// the equivalence tests) keep their full budget semantics.
 //
 // Equivalence: run with a tight Options.Tol (and matching MStepGradTol),
 // the polish converges to the same fixed point a cold Infer over the grown
 // log reaches — the equivalence property test pins estimates to 1e-9.
-func (m *Model) RefreshIncremental(maxIter int) {
-	if maxIter <= 0 {
-		maxIter = DefaultPolishIter
-	}
-	for _, key := range m.ilog.DirtyKeys() {
+func (m *Model) RefreshIncremental(maxIter int) RefreshStats {
+	scr := &m.scr
+	scr.refreshCells = append(scr.refreshCells[:0], m.ilog.DirtyKeys()...)
+	st := RefreshStats{Cells: scr.refreshCells}
+	for _, key := range st.Cells {
 		m.eStepCells(key, key+1)
 	}
 	m.ilog.ClearDirty()
+	if maxIter <= 0 {
+		if m.pendingPolish < m.polishBacklog() {
+			// Defer the O(log) polish: report zero EM iterations so the
+			// deferral is observable, keep the debt.
+			m.Iterations, m.Converged = 0, false
+			st.Pending = m.pendingPolish
+			m.medianPhi = 0
+			m.medianPhi = m.MedianPhi()
+			return st
+		}
+		maxIter = DefaultPolishIter
+	}
 	m.emLoop(maxIter)
+	m.pendingPolish = 0
+	st.Polished = true
 	m.medianPhi = 0
 	m.medianPhi = m.MedianPhi()
+	return st
+}
+
+// polishBacklog is the deferred-polish trigger: the number of unpolished
+// ingested answers at which a default-budget refresh pays the full EM
+// sweep.
+func (m *Model) polishBacklog() int {
+	frac := m.Opts.PolishFrac
+	if frac <= 0 {
+		frac = DefaultPolishFrac
+	}
+	t := int(frac * float64(m.ilog.Len()))
+	if t < minPolishBacklog {
+		t = minPolishBacklog
+	}
+	return t
 }

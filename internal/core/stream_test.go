@@ -198,9 +198,35 @@ func TestIngestFromSyncsSourceLog(t *testing.T) {
 	if m.NumAnswersUsed() != before+40 {
 		t.Fatalf("store grew by %d answers, want 40", m.NumAnswersUsed()-before)
 	}
-	m.RefreshIncremental(0)
-	if m.Iterations == 0 {
-		t.Fatal("polish did not run")
+	// A default-budget refresh below the polish backlog defers the EM
+	// sweep: dirty-cell E-step only, zero reported iterations, debt kept.
+	rs := m.RefreshIncremental(0)
+	if rs.Polished || m.Iterations != 0 {
+		t.Fatalf("refresh below backlog polished (stats %+v, iterations %d)", rs, m.Iterations)
+	}
+	if rs.Pending != 40 {
+		t.Fatalf("refresh reported %d pending answers, want 40", rs.Pending)
+	}
+	if len(rs.Cells) == 0 {
+		t.Fatal("refresh reported no refreshed cells")
+	}
+	// Growing the backlog past max(minPolishBacklog, frac*log) triggers the
+	// deferred polish on the next default-budget refresh.
+	simulate.NewCrowd(ds, 3202).AppendBatch(log, 2*minPolishBacklog)
+	if _, err := m.IngestFrom(log); err != nil {
+		t.Fatal(err)
+	}
+	rs = m.RefreshIncremental(0)
+	if !rs.Polished || m.Iterations == 0 {
+		t.Fatalf("refresh past backlog did not polish (stats %+v, iterations %d)", rs, m.Iterations)
+	}
+	// An explicit budget always polishes now, regardless of backlog.
+	simulate.NewCrowd(ds, 3203).AppendBatch(log, 5)
+	if _, err := m.IngestFrom(log); err != nil {
+		t.Fatal(err)
+	}
+	if rs = m.RefreshIncremental(5); !rs.Polished || m.Iterations == 0 {
+		t.Fatalf("explicit-budget refresh did not polish (stats %+v)", rs)
 	}
 	// Sync is idempotent once caught up.
 	if n, err := m.IngestFrom(log); err != nil || n != 0 {
@@ -382,5 +408,21 @@ func TestIngestSteadyStateAllocs(t *testing.T) {
 	}
 	if large > small+8 {
 		t.Fatalf("ingest allocations scale with log size: %0.f -> %0.f", small, large)
+	}
+}
+
+// TestEstimatesIntoSteadyStateAllocs pins the zero-alloc estimate fill:
+// once a flat-backed Estimates exists, refreshing it in place allocates
+// nothing — the assignment engine's applyRefresh depends on this to keep
+// the streaming tier allocation-free.
+func TestEstimatesIntoSteadyStateAllocs(t *testing.T) {
+	ds, log := equivDataset(3600, 25)
+	m, err := Infer(ds.Table, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := m.Estimates()
+	if avg := testing.AllocsPerRun(50, func() { m.EstimatesInto(est) }); avg > 0 {
+		t.Fatalf("EstimatesInto allocates %.1f allocs/run, want 0", avg)
 	}
 }

@@ -22,6 +22,19 @@
 //   - duplicate (row, column, worker) variance triples sit adjacent, so the
 //     fused M-step reuses their transcendental work (memoisation).
 //
+// Sufficient statistics. On top of the per-answer layout the store
+// maintains Groups: one accumulator per maximal run of answers sharing
+// (cell, worker, label), carrying the run's Count, ΣZ and ΣZ². The M-step
+// objective/gradient is a sum of per-answer terms that depend on the answer
+// only through these moments, so the hot loops iterate Groups instead of
+// re-reading the log — O(groups) per evaluation with group count bounded by
+// distinct (cell, worker, label) triples, and the accumulators are updated
+// at Append time from exactly the dirty cells. Group stats are always
+// re-accumulated from the cell's answers in canonical CSR order, never
+// adjusted in place, so they are a pure function of the final log content:
+// any sequence of batch splits that yields the same log yields bitwise
+// identical Groups.
+//
 // Concurrency. A Log is not safe for concurrent mutation; the owning model
 // serialises Append against the EM loops. Read-only access from parallel
 // E/M-step shards is safe because shards never mutate the store.
@@ -49,6 +62,25 @@ type Answer struct {
 	X float64
 }
 
+// Group is one sufficient-statistics accumulator: a maximal run of stored
+// answers sharing (cell, worker, label). For continuous cells Label is the
+// decoded answers' (constant) label field and SumZ/SumZ2 carry the moments;
+// for categorical cells SumZ/SumZ2 stay zero and Count alone matters.
+type Group struct {
+	// W, I, J are the worker, row and column indices of every answer in
+	// the run.
+	W, I, J int32
+	// Label is the shared label index (categorical) or the constant label
+	// field of the continuous answers.
+	Label int32
+	// Count is the number of answers in the run.
+	Count int32
+	// IsCat marks a categorical run.
+	IsCat bool
+	// SumZ and SumZ2 are Σz and Σz² over the run's standardized values.
+	SumZ, SumZ2 float64
+}
+
 // Log is the mutable CSR answer store. The zero value is not usable; call
 // NewLog.
 type Log struct {
@@ -58,21 +90,33 @@ type Log struct {
 	Ans []Answer
 	// CellOff is the CSR index: cell key k owns Ans[CellOff[k]:CellOff[k+1]].
 	CellOff []int32
+	// Groups holds the sufficient-statistics runs in the same global order
+	// as Ans; GroupOff is its CSR index: cell key k owns
+	// Groups[GroupOff[k]:GroupOff[k+1]]. Maintained by Rebuild and Append.
+	Groups   []Group
+	GroupOff []int32
 
 	rows, cols int
 	// dirty flags + insertion-ordered key list of cells touched since the
 	// last ClearDirty.
 	dirty     []bool
 	dirtyKeys []int
+
+	// Scratch for the group splice in Append: ping-pong group buffer,
+	// sorted dirty keys, and their freshly counted group sizes.
+	spare      []Group
+	keyScratch []int
+	cntScratch []int32
 }
 
 // NewLog returns an empty store for a rows x cols table.
 func NewLog(rows, cols int) *Log {
 	return &Log{
-		rows:    rows,
-		cols:    cols,
-		CellOff: make([]int32, rows*cols+1),
-		dirty:   make([]bool, rows*cols),
+		rows:     rows,
+		cols:     cols,
+		CellOff:  make([]int32, rows*cols+1),
+		GroupOff: make([]int32, rows*cols+1),
+		dirty:    make([]bool, rows*cols),
 	}
 }
 
@@ -92,6 +136,14 @@ func (l *Log) Key(i, j int) int { return i*l.cols + j }
 func (l *Log) CellRange(key int) (lo, hi int) {
 	return int(l.CellOff[key]), int(l.CellOff[key+1])
 }
+
+// GroupRange returns the half-open Groups range of cell key k.
+func (l *Log) GroupRange(key int) (lo, hi int) {
+	return int(l.GroupOff[key]), int(l.GroupOff[key+1])
+}
+
+// NumGroups returns the number of sufficient-statistics groups.
+func (l *Log) NumGroups() int { return len(l.Groups) }
 
 // less is the canonical CSR ordering. Ties (identical key, worker, label
 // and z) are fully interchangeable observations, so an unstable sort is
@@ -136,7 +188,76 @@ func (l *Log) Rebuild(ans []Answer) {
 	for key := 0; key < l.rows*l.cols; key++ {
 		l.CellOff[key+1] += l.CellOff[key]
 	}
+	l.rebuildGroups()
 	l.ClearDirty()
+}
+
+// rebuildGroups recomputes the whole sufficient-statistics index from the
+// sorted answer array: one linear pass over Ans emitting a group per
+// maximal (cell, worker, label) run, then a counting pass for GroupOff.
+func (l *Log) rebuildGroups() {
+	l.Groups = l.Groups[:0]
+	for k := range l.GroupOff {
+		l.GroupOff[k] = 0
+	}
+	for idx := 0; idx < len(l.Ans); {
+		l.Groups = appendCellRunGroup(l.Groups, l.Ans, &idx, len(l.Ans))
+	}
+	for g := range l.Groups {
+		gr := &l.Groups[g]
+		l.GroupOff[int(gr.I)*l.cols+int(gr.J)+1]++
+	}
+	for key := 0; key < l.rows*l.cols; key++ {
+		l.GroupOff[key+1] += l.GroupOff[key]
+	}
+}
+
+// appendCellRunGroup consumes one maximal (cell, worker, label) run
+// starting at *idx (bounded by hi and by any change of cell) and appends
+// its accumulator. Stats are summed from scratch in canonical order, which
+// keeps them a pure function of the stored content.
+func appendCellRunGroup(dst []Group, ans []Answer, idx *int, hi int) []Group {
+	a := &ans[*idx]
+	g := Group{
+		W: int32(a.W), I: int32(a.I), J: int32(a.J),
+		Label: int32(a.Label), IsCat: a.IsCat,
+	}
+	for *idx < hi {
+		b := &ans[*idx]
+		if b.I != a.I || b.J != a.J || b.W != a.W || b.Label != a.Label {
+			break
+		}
+		g.Count++
+		g.SumZ += b.Z
+		g.SumZ2 += b.Z * b.Z
+		*idx++
+	}
+	return append(dst, g)
+}
+
+// countCellGroups returns the number of (worker, label) runs in cell key's
+// current answer range.
+func (l *Log) countCellGroups(key int) int32 {
+	lo, hi := l.CellRange(key)
+	var n int32
+	for idx := lo; idx < hi; {
+		a := &l.Ans[idx]
+		for idx < hi && l.Ans[idx].W == a.W && l.Ans[idx].Label == a.Label {
+			idx++
+		}
+		n++
+	}
+	return n
+}
+
+// appendCellGroups re-derives cell key's groups from its (already merged)
+// answer range and appends them to dst.
+func (l *Log) appendCellGroups(dst []Group, key int) []Group {
+	lo, hi := l.CellRange(key)
+	for idx := lo; idx < hi; {
+		dst = appendCellRunGroup(dst, l.Ans, &idx, hi)
+	}
+	return dst
 }
 
 // Append merges a batch of decoded answers into the CSR layout in place and
@@ -188,6 +309,61 @@ func (l *Log) Append(batch []Answer) {
 			add++
 		}
 		l.CellOff[key+1] += add
+	}
+
+	l.regroupDirty()
+}
+
+// RecomputeDirtyGroups re-derives the sufficient statistics of every
+// currently dirty cell from its stored answers. Append does this
+// automatically; callers that mutate answer values in place (the model's
+// re-standardisation path rewrites Z when a batch shifts a column's
+// standardisation constants) and cannot immediately follow with an Append
+// use this to bring Groups back in sync.
+func (l *Log) RecomputeDirtyGroups() { l.regroupDirty() }
+
+// regroupDirty splices fresh groups for every dirty cell into the
+// sufficient-statistics index. Dirty cells' runs are re-accumulated from
+// scratch in canonical order (bitwise batch-split invariance); clean cells'
+// groups move by bulk copy into a ping-pong buffer, so the cost is
+// O(|groups| memmove + dirty answers + cells), mirroring the answer merge.
+func (l *Log) regroupDirty() {
+	if len(l.dirtyKeys) == 0 {
+		return
+	}
+	keys := append(l.keyScratch[:0], l.dirtyKeys...)
+	slices.Sort(keys)
+	cnt := l.cntScratch[:0]
+	for _, key := range keys {
+		cnt = append(cnt, l.countCellGroups(key))
+	}
+
+	// Build the new group array: alternate bulk copies of clean spans with
+	// fresh scans of dirty cells.
+	dst := l.spare[:0]
+	prev := 0
+	for _, key := range keys {
+		dst = append(dst, l.Groups[l.GroupOff[prev]:l.GroupOff[key]]...)
+		dst = l.appendCellGroups(dst, key)
+		prev = key + 1
+	}
+	dst = append(dst, l.Groups[l.GroupOff[prev]:]...)
+	l.spare, l.Groups = l.Groups[:0], dst
+	l.keyScratch, l.cntScratch = keys, cnt
+
+	// Rewrite GroupOff from the first dirty cell on: new end = old end plus
+	// the accumulated group-count delta of dirty cells at or below the key.
+	var shift int32
+	si := 0
+	oldStart := l.GroupOff[keys[0]]
+	for key := keys[0]; key < l.rows*l.cols; key++ {
+		oldEnd := l.GroupOff[key+1]
+		if si < len(keys) && keys[si] == key {
+			shift += cnt[si] - (oldEnd - oldStart)
+			si++
+		}
+		l.GroupOff[key+1] = oldEnd + shift
+		oldStart = oldEnd
 	}
 }
 

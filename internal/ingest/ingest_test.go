@@ -92,6 +92,27 @@ func TestAppendMatchesRebuild(t *testing.T) {
 					trial, key, inc.CellOff[key], bulk.CellOff[key])
 			}
 		}
+		// The sufficient-statistics store must be batch-split invariant
+		// BITWISE: groups are always re-accumulated in canonical CSR
+		// order, so the float sums (SumZ, SumZ2) of any split schedule
+		// equal the bulk rebuild's exactly — which is what lets the
+		// group-based M-step replace the full-log read without any
+		// split-dependent drift.
+		if inc.NumGroups() != bulk.NumGroups() {
+			t.Fatalf("trial %d: %d groups incremental vs %d bulk", trial, inc.NumGroups(), bulk.NumGroups())
+		}
+		for g := range inc.Groups {
+			if inc.Groups[g] != bulk.Groups[g] {
+				t.Fatalf("trial %d: group %d diverged: %+v vs %+v",
+					trial, g, inc.Groups[g], bulk.Groups[g])
+			}
+		}
+		for key := range inc.GroupOff {
+			if inc.GroupOff[key] != bulk.GroupOff[key] {
+				t.Fatalf("trial %d: GroupOff[%d] diverged: %d vs %d",
+					trial, key, inc.GroupOff[key], bulk.GroupOff[key])
+			}
+		}
 	}
 }
 

@@ -19,9 +19,13 @@ type Estimates [][]tabular.Value
 
 // NewEstimates allocates an all-None estimate grid for table t.
 func NewEstimates(t *tabular.Table) Estimates {
-	e := make(Estimates, t.NumRows())
+	// Flat backing: two allocations regardless of the row count, so the
+	// per-refresh estimate extraction stays off the allocator's hot path.
+	n, m := t.NumRows(), t.NumCols()
+	e := make(Estimates, n)
+	flat := make([]tabular.Value, n*m)
 	for i := range e {
-		e[i] = make([]tabular.Value, t.NumCols())
+		e[i] = flat[i*m : (i+1)*m : (i+1)*m]
 	}
 	return e
 }

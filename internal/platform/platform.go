@@ -82,7 +82,12 @@ type Project struct {
 	// inference refreshes of sys.
 	refreshEvery int
 	sinceRefresh int
-	rng          *rand.Rand
+	// fsyncPolicy is the project's durability override ("always",
+	// "interval", "never"; empty = platform default). Immutable after
+	// creation; recorded in the WAL create record so recovery reopens
+	// the log under the same policy.
+	fsyncPolicy string
+	rng         *rand.Rand
 	// labelIdx[j] maps a categorical column's label strings to their
 	// indices (nil for continuous columns). Built once at project
 	// creation and immutable afterwards, so the HTTP layer resolves
@@ -92,11 +97,19 @@ type Project struct {
 	// project's shard worker (off the request goroutine and off the
 	// platform lock), while Select runs on request goroutines.
 	assignMu sync.Mutex
-	// assignLog is the engine's shadow answer log: the refresh job grows
-	// it in place from the main log's delta, preserving the pointer
-	// identity the streaming-ingest tier keys on. Guarded by assignMu.
-	assignLog *tabular.AnswerLog
-	// assignAt is the main-log length absorbed into assignLog.
+	// shadow is the serving-side answer log shared by the inference model
+	// and the assignment engine: refresh jobs grow it in place from the
+	// main log's delta, preserving the pointer identity both engines'
+	// streaming-ingest tiers key on (each keeps its own consumed cursor
+	// into it). Growth happens only on the project's home shard worker
+	// (which serialises the two refresh kinds) and under assignMu
+	// (concurrent RequestTasks iterate the log while holding it).
+	shadow *tabular.AnswerLog
+	// shadowAt is the main-log length absorbed into shadow.
+	shadowAt int
+	// assignAt is the main-log length the assignment engine has refreshed
+	// against (<= shadowAt when an inference refresh grew the shadow
+	// more recently). Guarded by assignMu.
 	assignAt int
 	// inferMu serialises truth inference per project: the cached model is
 	// refreshed incrementally in place, so exactly one RunInference may
@@ -247,6 +260,12 @@ type ProjectConfig struct {
 	// asynchronous estimate-snapshot refresh Submit enqueues (default 25;
 	// use 1 for a refresh per answer).
 	RefreshEvery int
+	// FsyncPolicy overrides the platform-wide WAL fsync policy for this
+	// project: "always", "interval" or "never" (empty = platform
+	// default). A hot campaign can demand fsync-per-batch while a bulk
+	// import scratch project skips fsyncs entirely, on the same
+	// platform. Ignored when durability is disabled.
+	FsyncPolicy string
 }
 
 // CreateProject registers a new campaign. With durability enabled the
@@ -273,7 +292,7 @@ func (p *Platform) CreateProject(id string, schema tabular.Schema, cfg ProjectCo
 // it would fork history), and makes the registration durable. Caller
 // holds p.mu.
 func (p *Platform) attachProjectWAL(proj *Project) error {
-	l, replay, err := p.walOpts.openProjectWAL(proj.ID)
+	l, replay, err := p.walOpts.openProjectWAL(proj.ID, proj.fsyncPolicy)
 	if err != nil {
 		return fmt.Errorf("%w: open wal for %q: %v", ErrDurability, proj.ID, err)
 	}
@@ -312,6 +331,11 @@ func (p *Platform) createProjectLocked(id string, schema tabular.Schema, cfg Pro
 	if cfg.Entities != nil && len(cfg.Entities) != cfg.Rows {
 		return nil, fmt.Errorf("platform: %d entities for %d rows", len(cfg.Entities), cfg.Rows)
 	}
+	if cfg.FsyncPolicy != "" {
+		if _, err := wal.ParseSyncPolicy(cfg.FsyncPolicy); err != nil {
+			return nil, fmt.Errorf("platform: project %q: %w", id, err)
+		}
+	}
 	if _, dup := p.projects[id]; dup {
 		return nil, ErrDuplicateID
 	}
@@ -324,6 +348,7 @@ func (p *Platform) createProjectLocked(id string, schema tabular.Schema, cfg Pro
 		Table:        tbl,
 		Log:          tabular.NewAnswerLog(),
 		refreshEvery: cfg.RefreshEvery,
+		fsyncPolicy:  cfg.FsyncPolicy,
 		rng:          stats.NewRNG(p.seed + int64(len(p.projects))),
 		labelIdx:     buildLabelIndex(schema),
 		hub:          newWatchHub(),
@@ -922,36 +947,46 @@ func (proj *Project) assignUpToDate(logLen int) bool {
 		return false
 	}
 	defer proj.assignMu.Unlock()
-	return proj.assignLog != nil && proj.assignAt == logLen
+	return proj.shadow != nil && proj.assignAt == logLen
+}
+
+// growShadow appends the main log's unabsorbed delta to the project's
+// shared shadow log and returns the table. Callers must hold assignMu and
+// run on the project's home shard worker; the platform lock is taken only
+// to copy the delta.
+func (p *Platform) growShadow(proj *Project) *tabular.Table {
+	p.mu.Lock()
+	tbl := proj.Table
+	total := proj.Log.Len()
+	var batch []tabular.Answer
+	if total > proj.shadowAt {
+		batch = append([]tabular.Answer(nil), proj.Log.All()[proj.shadowAt:total]...)
+	}
+	p.mu.Unlock()
+
+	if proj.shadow == nil {
+		proj.shadow = tabular.NewAnswerLog()
+	}
+	proj.shadow.AddAll(batch)
+	proj.shadowAt = total
+	return tbl
 }
 
 // refreshAssign brings the project's assignment engine up to date with the
 // answer log. It runs on the project's shard worker (submitted by
 // RequestTasks under the assign job key) — never on a request goroutine,
 // and never under the platform lock, which it takes only to copy the
-// submission delta. The engine refreshes against a shadow log grown in
-// place from that delta, so the streaming-ingest tier (which keys on
-// source-log pointer identity) stays hot: refresh cost is O(batch since
-// last refresh), not O(log).
+// submission delta. The engine refreshes against the project's shared
+// shadow log grown in place from that delta, so the streaming-ingest tier
+// (which keys on source-log pointer identity) stays hot: refresh cost is
+// O(batch since last refresh), not O(log).
 func (p *Platform) refreshAssign(proj *Project) error {
 	proj.assignMu.Lock()
 	defer proj.assignMu.Unlock()
 
-	p.mu.Lock()
-	tbl := proj.Table
-	total := proj.Log.Len()
-	var batch []tabular.Answer
-	if total > proj.assignAt {
-		batch = append([]tabular.Answer(nil), proj.Log.All()[proj.assignAt:total]...)
-	}
-	p.mu.Unlock()
-
-	if proj.assignLog == nil {
-		proj.assignLog = tabular.NewAnswerLog()
-	}
-	proj.assignLog.AddAll(batch)
-	proj.assignAt = total
-	return proj.sys.Refresh(tbl, proj.assignLog)
+	tbl := p.growShadow(proj)
+	proj.assignAt = proj.shadowAt
+	return proj.sys.Refresh(tbl, proj.shadow)
 }
 
 // refreshProject brings the project's cached model up to date with its
@@ -962,45 +997,51 @@ func (p *Platform) refreshProject(proj *Project) error {
 	proj.inferMu.Lock()
 	defer proj.inferMu.Unlock()
 
-	// Snapshot the submission delta under the platform lock. Project logs
-	// are append-only and reloads build fresh projects, so the cached fit
-	// is always for a prefix of the current log.
+	// Grow the shared shadow log (under assignMu: concurrent RequestTasks
+	// iterate it). The reads below run lock-free: both refresh kinds are
+	// serialised on the project's home shard worker, so nothing else grows
+	// the shadow while this job runs, and project logs are append-only
+	// with reloads building fresh projects — the cached fit is always for
+	// a prefix of the shadow.
+	proj.assignMu.Lock()
+	tbl := p.growShadow(proj)
+	proj.assignMu.Unlock()
+	shadow := proj.shadow
+	total := proj.shadowAt
+
 	p.mu.Lock()
-	tbl := proj.Table
-	total := proj.Log.Len()
 	m := proj.lastModel
-	var batch []tabular.Answer
-	if m != nil && total > proj.logAtModel {
-		batch = append([]tabular.Answer(nil), proj.Log.All()[proj.logAtModel:total]...)
-	}
 	p.mu.Unlock()
 
 	switch {
 	case m == nil:
-		// Cold start on a snapshot clone: EM may run long, and Submit
-		// must not block behind it.
-		p.mu.Lock()
-		snap := proj.Log.Clone()
-		p.mu.Unlock()
-		fit, err := core.Infer(tbl, snap, core.Options{MaxIter: 50})
+		// Cold start directly on the shadow log: EM may run long, and
+		// Submit must not block behind it — the shadow is exactly the
+		// decoupling the old snapshot clone provided, minus the copy, and
+		// the fitted model keys on its pointer identity so every later
+		// refresh streams.
+		fit, err := core.Infer(tbl, shadow, core.Options{MaxIter: 50})
 		if err != nil {
 			return err
 		}
 		m = fit
 		p.mu.Lock()
-		proj.lastModel, proj.logAtModel = m, snap.Len()
+		proj.lastModel, proj.logAtModel = m, total
 		p.mu.Unlock()
-	case len(batch) > 0:
-		// Streaming refresh: absorb the delta in place. The polish keeps
-		// the full iteration budget — seeding at the previous optimum
-		// shortens the path to convergence, it must not lower the
+	case total > proj.logAtModel:
+		// Streaming refresh: absorb the shadow's new suffix in place. The
+		// polish keeps the full iteration budget — seeding at the previous
+		// optimum shortens the path to convergence, it must not lower the
 		// convergence guarantee of requester-facing estimates; runs that
 		// start near the optimum still stop after a couple of iterations
 		// via the tolerance.
-		if err := m.Ingest(batch); err != nil {
+		n, err := m.IngestFrom(shadow)
+		if err != nil {
 			return err
 		}
-		m.RefreshIncremental(50)
+		if n > 0 {
+			m.RefreshIncremental(50)
+		}
 		p.mu.Lock()
 		proj.logAtModel = total
 		p.mu.Unlock()
@@ -1143,6 +1184,9 @@ type projectJSON struct {
 	// RefreshEvery persists the project's refresh cadence (0 in state
 	// files predating the field decodes to the default).
 	RefreshEvery int `json:"refresh_every,omitempty"`
+	// FsyncPolicy persists the project's durability override (empty in
+	// state files predating the field decodes to the platform default).
+	FsyncPolicy string `json:"fsync_policy,omitempty"`
 }
 
 type platformJSON struct {
@@ -1167,6 +1211,7 @@ func (p *Platform) Save(w io.Writer) error {
 			Answers:      json.RawMessage(buf.Bytes()),
 			TCrowd:       proj.sys != nil,
 			RefreshEvery: proj.refreshEvery,
+			FsyncPolicy:  proj.fsyncPolicy,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -1228,6 +1273,7 @@ func (p *Platform) ImportProjects(r io.Reader) (int, error) {
 			Entities:            pj.Entities,
 			UseTCrowdAssignment: pj.TCrowd,
 			RefreshEvery:        pj.RefreshEvery,
+			FsyncPolicy:         pj.FsyncPolicy,
 		})
 		if err != nil {
 			return n, err
@@ -1266,7 +1312,13 @@ func (p *Platform) importAnswers(proj *Project, log *tabular.AnswerLog) error {
 			return fmt.Errorf("%w: %v", ErrDurability, err)
 		}
 	}
+	// The swap is safe for the shared shadow log because imports target
+	// freshly created (answerless) projects: the shadow has absorbed
+	// nothing, so the new log still extends its empty prefix. The model
+	// cursors are reset for the same reason — defensively, since a cached
+	// fit cannot exist yet.
 	proj.Log = log
+	proj.lastModel, proj.logAtModel = nil, 0
 	if rotated {
 		p.scheduleCompaction(proj.ID, proj)
 	}

@@ -116,6 +116,9 @@ type createProjectReq struct {
 	// RefreshEvery bounds submissions between inference refreshes
 	// (0 = default 25, 1 = refresh per answer).
 	RefreshEvery int `json:"refresh_every"`
+	// FsyncPolicy overrides the server-wide WAL fsync policy for this
+	// project ("always", "interval", "never"; empty = server default).
+	FsyncPolicy string `json:"fsync_policy"`
 }
 
 func (s *Server) createProject(w http.ResponseWriter, r *http.Request) {
@@ -132,6 +135,7 @@ func (s *Server) createProject(w http.ResponseWriter, r *http.Request) {
 		Rows:                req.Rows,
 		UseTCrowdAssignment: req.TCrowd,
 		RefreshEvery:        req.RefreshEvery,
+		FsyncPolicy:         req.FsyncPolicy,
 	})
 	if err != nil {
 		writeErr(w, err)

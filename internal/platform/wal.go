@@ -72,15 +72,30 @@ func (o *WALOptions) projDir(id string) string {
 	return filepath.Join(o.Dir, url.PathEscape(id))
 }
 
-// openProjectWAL mounts (creating if needed) one project's log.
-func (o *WALOptions) openProjectWAL(id string) (*wal.Log, wal.Replay, error) {
-	return wal.Open(o.projDir(id), wal.Options{
+// walOptions builds the wal.Options for one project log. A non-empty
+// policyOverride (already validated by createProjectLocked or the create
+// record's decoder) replaces the platform-wide fsync policy — hot
+// projects can run "always" while bulk-import scratch projects run
+// "never" on the same platform.
+func (o *WALOptions) walOptions(policyOverride string) wal.Options {
+	policy := o.Policy
+	if policyOverride != "" {
+		if p, err := wal.ParseSyncPolicy(policyOverride); err == nil {
+			policy = p
+		}
+	}
+	return wal.Options{
 		SegmentBytes:   o.SegmentBytes,
-		Policy:         o.Policy,
+		Policy:         policy,
 		Interval:       o.Interval,
 		FS:             o.FS,
 		CheckpointType: walRecCheckpoint,
-	})
+	}
+}
+
+// openProjectWAL mounts (creating if needed) one project's log.
+func (o *WALOptions) openProjectWAL(id, policyOverride string) (*wal.Log, wal.Replay, error) {
+	return wal.Open(o.projDir(id), o.walOptions(policyOverride))
 }
 
 // walCreateJSON is the payload of a create record: everything needed to
@@ -91,6 +106,11 @@ type walCreateJSON struct {
 	Entities     []string       `json:"entities"`
 	TCrowd       bool           `json:"tcrowd,omitempty"`
 	RefreshEvery int            `json:"refresh_every,omitempty"`
+	// FsyncPolicy is the project's durability override ("always",
+	// "interval" or "never"; empty = platform default). Recorded so
+	// recovery reopens the log under the same policy the project was
+	// created with.
+	FsyncPolicy string `json:"fsync_policy,omitempty"`
 }
 
 // walCheckpointJSON is the payload of a checkpoint record. It embeds the
@@ -114,6 +134,7 @@ func walCreateInfo(proj *Project) walCreateJSON {
 		Entities:     proj.Table.Entities,
 		TCrowd:       proj.sys != nil,
 		RefreshEvery: proj.refreshEvery,
+		FsyncPolicy:  proj.fsyncPolicy,
 	}
 }
 
@@ -249,13 +270,7 @@ func Recover(seed int64, opts Options) (*Platform, RecoveryReport, error) {
 // recoverProject replays one project directory. A nil project with nil
 // error means the directory held no durable records and was removed.
 func (p *Platform) recoverProject(dir string) (*Project, wal.Replay, error) {
-	l, replay, err := wal.Open(dir, wal.Options{
-		SegmentBytes:   p.walOpts.SegmentBytes,
-		Policy:         p.walOpts.Policy,
-		Interval:       p.walOpts.Interval,
-		FS:             p.walOpts.FS,
-		CheckpointType: walRecCheckpoint,
-	})
+	l, replay, err := wal.Open(dir, p.walOpts.walOptions(""))
 	if err != nil {
 		return nil, wal.Replay{}, err
 	}
@@ -294,12 +309,32 @@ func (p *Platform) recoverProject(dir string) (*Project, wal.Replay, error) {
 		answerBlobs = append(answerBlobs, rec.Data)
 	}
 
+	// A project created with a per-project fsync override must keep it
+	// across restarts: reopen the healed log under the recorded policy.
+	// An unknown policy string is unattributable corruption, same as any
+	// other undecodable create field.
+	if info.FsyncPolicy != "" {
+		pol, perr := wal.ParseSyncPolicy(info.FsyncPolicy)
+		if perr != nil {
+			_ = l.Close()
+			return nil, wal.Replay{}, fmt.Errorf("%w: create record: %v", wal.ErrWALCorrupt, perr)
+		}
+		if pol != p.walOpts.Policy {
+			_ = l.Close()
+			l, _, err = wal.Open(dir, p.walOpts.walOptions(info.FsyncPolicy))
+			if err != nil {
+				return nil, wal.Replay{}, err
+			}
+		}
+	}
+
 	p.mu.Lock()
 	proj, err := p.createProjectLocked(info.ID, info.Schema, ProjectConfig{
 		Rows:                len(info.Entities),
 		Entities:            info.Entities,
 		UseTCrowdAssignment: info.TCrowd,
 		RefreshEvery:        info.RefreshEvery,
+		FsyncPolicy:         info.FsyncPolicy,
 	})
 	if err == nil {
 		for _, blob := range answerBlobs {

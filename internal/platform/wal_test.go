@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -619,5 +620,106 @@ func TestImportIntoDurablePlatform(t *testing.T) {
 	recProj, _ := p2.Project("mig")
 	if !reflect.DeepEqual(recProj.Log.All(), srcProj.Log.All()) {
 		t.Fatal("recovered imported answers differ from source")
+	}
+}
+
+// TestPerProjectFsyncPolicy pins the per-project durability override: a
+// "hot" project created with fsync=always on a platform whose default is
+// fsync=never keeps every acknowledged batch across a hard crash, while
+// a sibling project on the lazy default loses its unsynced batches (the
+// create record itself is force-synced regardless of policy, so the
+// project survives empty). Recovery must re-apply the override from the
+// create record: batches written after a restart are crash-durable too.
+func TestPerProjectFsyncPolicy(t *testing.T) {
+	fs := wal.NewMemFS()
+	p := NewWithOptions(3, walTestOpts(fs, wal.SyncNever))
+	if _, err := p.CreateProject("hot", demoSchema(), ProjectConfig{Rows: 4, FsyncPolicy: "always"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateProject("lazy", demoSchema(), ProjectConfig{Rows: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateProject("bad", demoSchema(), ProjectConfig{Rows: 4, FsyncPolicy: "sometimes"}); err == nil {
+		t.Fatal("invalid fsync policy accepted")
+	}
+	hotBatch := []tabular.Answer{catAnswer("w1", 0), catAnswer("w1", 1)}
+	if _, err := p.SubmitBatch("hot", hotBatch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SubmitBatch("lazy", []tabular.Answer{catAnswer("w1", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash(0) // hard kill: unsynced bytes are gone
+
+	fs2 := fs.Recovered()
+	p2, rep, err := Recover(3, walTestOpts(fs2, wal.SyncNever))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rep.Projects != 2 {
+		t.Fatalf("report = %+v, want both projects back", rep)
+	}
+	hot, err := p2.Project("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hot.Log.All(), hotBatch) {
+		t.Fatalf("fsync=always project lost acknowledged answers: %v", hot.Log.All())
+	}
+	if hot.fsyncPolicy != "always" {
+		t.Fatalf("recovered override = %q, want always", hot.fsyncPolicy)
+	}
+	lazy, err := p2.Project("lazy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Log.Len() != 0 {
+		t.Fatalf("fsync=never project kept %d unsynced answers past a crash", lazy.Log.Len())
+	}
+
+	// The override must survive the restart, not just the record: a batch
+	// accepted by the recovered platform is durable across a second crash.
+	if _, err := p2.SubmitBatch("hot", []tabular.Answer{catAnswer("w2", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	fs2.Crash(0)
+	_ = p2.Close()
+	p3, _, err := Recover(3, walTestOpts(fs2.Recovered(), wal.SyncNever))
+	if err != nil {
+		t.Fatalf("second recover: %v", err)
+	}
+	defer p3.Close()
+	hot3, err := p3.Project("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot3.Log.Len() != 3 {
+		t.Fatalf("post-recovery batch on fsync=always project not durable: %d answers", hot3.Log.Len())
+	}
+}
+
+// TestFsyncPolicySurvivesSaveImport pins the export round-trip: Save
+// carries the override and ImportProjects re-applies it.
+func TestFsyncPolicySurvivesSaveImport(t *testing.T) {
+	src := New(11)
+	if _, err := src.CreateProject("hot", demoSchema(), ProjectConfig{Rows: 2, FsyncPolicy: "interval"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+	dst := New(11)
+	defer dst.Close()
+	if n, err := dst.ImportProjects(strings.NewReader(buf.String())); err != nil || n != 1 {
+		t.Fatalf("import: n=%d err=%v", n, err)
+	}
+	proj, err := dst.Project("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.fsyncPolicy != "interval" {
+		t.Fatalf("imported override = %q, want interval", proj.fsyncPolicy)
 	}
 }
