@@ -57,6 +57,16 @@ const (
 	// means durable. Retryable: the fault may be transient and the log
 	// self-heals torn appends.
 	CodeDurabilityFailure = "durability_failure"
+	// CodeWorkerBanned: the submitting worker was auto-banned by the
+	// project's reputation engine. Not retryable — bans are sticky, and
+	// resubmitting the same answers under the same worker id will keep
+	// failing. In a batch rejection each offending answer's item carries
+	// this code.
+	CodeWorkerBanned = "worker_banned"
+	// CodeRateLimited: the per-worker token-bucket rate limit was
+	// exceeded. Retryable — back off per the Retry-After header (the SDK
+	// does this automatically).
+	CodeRateLimited = "rate_limited"
 )
 
 // Error is the typed error payload carried by every non-2xx response.
@@ -128,6 +138,16 @@ type CreateProjectRequest struct {
 	// the server default. Rejected with 400 on any other value; ignored
 	// when the server runs without durability.
 	FsyncPolicy string `json:"fsync_policy,omitempty"`
+	// PolishFrac is the polish-cadence knob: the fraction of streaming
+	// inference refreshes that re-converge the model with a full EM
+	// polish (the rest run the cheap dirty-cell pass only). 0 (or 1)
+	// polishes every refresh; values outside [0,1] are rejected with 400.
+	PolishFrac float64 `json:"polish_frac,omitempty"`
+	// Reputation enables the online worker-reputation engine: per-worker
+	// trust scores from agreement/work-time/model-quality signals, with
+	// graduated responses (down-weighting, assignment quarantine, and an
+	// auto-ban rejecting further answers with CodeWorkerBanned).
+	Reputation bool `json:"reputation,omitempty"`
 }
 
 // CreateProjectResponse is the 201 body of POST /v1/projects.
@@ -152,6 +172,14 @@ type Answer struct {
 	Column string   `json:"column"`
 	Label  *string  `json:"label,omitempty"`
 	Number *float64 `json:"number,omitempty"`
+	// WorkTimeMs is the client-reported time the worker spent on the task
+	// in milliseconds (0 = not reported). Negative values are rejected
+	// with 400. Feeds the reputation engine's response-time signal when
+	// the project runs with reputation enabled.
+	WorkTimeMs int64 `json:"work_time_ms,omitempty"`
+	// Client optionally identifies the submitting client software
+	// (free-form, e.g. "webform/2.1"); recorded for diagnostics only.
+	Client string `json:"client,omitempty"`
 }
 
 // LabelAnswer builds a categorical Answer.
@@ -297,6 +325,35 @@ type StatsResponse struct {
 	Answers        int     `json:"answers"`
 	Workers        int     `json:"workers"`
 	AnswersPerTask float64 `json:"answers_per_task"`
+}
+
+// WorkerReputation is one worker's reputation record in GET
+// /v1/projects/{id}/workers.
+type WorkerReputation struct {
+	Worker string `json:"worker"`
+	// State is the graduated-response state: "active", "watched",
+	// "quarantined" or "banned".
+	State string `json:"state"`
+	// Score is the current suspicion score in [0,1] (higher = worse).
+	Score float64 `json:"score"`
+	// Seen counts every observed answer; Judged counts the ones that had
+	// enough peer context to be scored.
+	Seen   int `json:"seen"`
+	Judged int `json:"judged"`
+	// Weight is the multiplier the inference E-step applies to this
+	// worker's answers (1 = full trust, 0 = excluded).
+	Weight float64 `json:"weight"`
+	// ModelQ is the model's posterior quality q_u for the worker from the
+	// last refresh (0 when the model has not seen the worker yet).
+	ModelQ float64 `json:"model_q,omitempty"`
+}
+
+// WorkersResponse is the body of GET /v1/projects/{id}/workers.
+type WorkersResponse struct {
+	// Defense reports whether the project runs the reputation engine; when
+	// false Workers is empty.
+	Defense bool               `json:"defense"`
+	Workers []WorkerReputation `json:"workers"`
 }
 
 // ShardMetrics is one inference shard's counters in GET /v1/stats.

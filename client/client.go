@@ -493,6 +493,41 @@ func (c *Client) Stats(ctx context.Context, project string) (*api.StatsResponse,
 	return &out, nil
 }
 
+// Workers fetches a project's worker-reputation roster: one row per
+// observed worker with its defense state ("active", "watched",
+// "quarantined", "banned"), reputation score and current inference
+// weight. Defense reports whether the project runs the reputation engine
+// at all; with it off the list is empty.
+func (c *Client) Workers(ctx context.Context, project string) (*api.WorkersResponse, error) {
+	var out api.WorkersResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/projects/"+url.PathEscape(project)+"/workers", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IsWorkerBanned reports whether err is the server's 403 worker_banned
+// rejection — the submitting (or task-requesting) worker was auto-banned
+// by the project's reputation engine. Bans are permanent, so the right
+// client reaction is to stop retrying on that worker's behalf. Works on
+// both the single-answer error and per-item codes inside a
+// batch_rejected envelope.
+func IsWorkerBanned(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	if ae.Code == api.CodeWorkerBanned {
+		return true
+	}
+	for _, it := range ae.Items {
+		if it.Code == api.CodeWorkerBanned {
+			return true
+		}
+	}
+	return false
+}
+
 // ShardStats fetches the server's shard-scheduler metrics.
 func (c *Client) ShardStats(ctx context.Context) (*api.ShardStatsResponse, error) {
 	var out api.ShardStatsResponse

@@ -35,14 +35,21 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics carries the benchmark's custom b.ReportMetric units (e.g.
+	// the sim/accuracy-spam series' acc_on_pct / acc_off_pct / gap_pct).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchFile is the schema of BENCH_<n>.json.
 type benchFile struct {
-	Index      int                    `json:"index"`
-	GoVersion  string                 `json:"go_version"`
-	GOOS       string                 `json:"goos"`
-	GOARCH     string                 `json:"goarch"`
+	Index     int    `json:"index"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Cores is GOMAXPROCS at run time — context for the shard/ multi-core
+	// series (a w4 number measured on 2 cores is not comparable to one
+	// measured on 8).
+	Cores      int                    `json:"cores"`
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 }
 
@@ -100,6 +107,8 @@ func hotBenches() []struct {
 		{"server/estimates-paged-10k", benchServerEstimatesPaged},
 		{"server/watch-fanout-32", benchServerWatchFanout(32)},
 		{"infogain-scoring", benchInfoGain},
+		{"sim/accuracy-spam-10pct", benchAccuracySpam(0.1, 0, 0.4)},
+		{"sim/accuracy-spam-30pct", benchAccuracySpam(0.3, 0, 0.4)},
 	}
 }
 
@@ -717,6 +726,7 @@ func runBenchFile(path string, n int, only []string) error {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		Cores:      runtime.GOMAXPROCS(0),
 		Benchmarks: make(map[string]benchResult),
 	}
 	for _, hb := range hotBenches() {
@@ -725,14 +735,24 @@ func runBenchFile(path string, n int, only []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s ...\n", hb.name)
 		r := testing.Benchmark(hb.fn)
-		out.Benchmarks[hb.name] = benchResult{
+		res := benchResult{
 			N:           r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		out.Benchmarks[hb.name] = res
 		fmt.Fprintf(os.Stderr, "  %s: %.0f ns/op  %d B/op  %d allocs/op\n",
-			hb.name, out.Benchmarks[hb.name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+			hb.name, res.NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+		for k, v := range res.Metrics {
+			fmt.Fprintf(os.Stderr, "    %s: %.2f\n", k, v)
+		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

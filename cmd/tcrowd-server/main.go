@@ -105,16 +105,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		state    = flag.String("state", "", "optional JSON export file (imported at start when the platform is empty, exported atomically on SIGINT/SIGTERM); durability lives in -wal-dir")
-		seed     = flag.Int64("seed", 1, "assignment tie-breaking seed")
-		workers  = flag.Int("workers", 0, "inference shard workers (0 = GOMAXPROCS-derived)")
-		depth    = flag.Int("queue-depth", 0, "per-shard refresh queue bound (0 = default 64)")
-		retain   = flag.Int("retain-generations", 0, "published snapshot generations kept addressable per project for pinned reads (0 = default 8)")
-		walDir   = flag.String("wal-dir", "", "write-ahead log directory: answers are persisted before acknowledgement and replayed at boot (empty = no durability)")
-		fsync    = flag.String("fsync", "always", "WAL fsync policy: always (ack = durable), interval (bounded loss, background flush), never (OS-paced)")
-		walSeg   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes; rotation triggers checkpoint compaction (0 = default 4 MiB)")
-		fsyncInt = flag.Duration("fsync-interval", 0, "flush cadence for -fsync=interval (0 = default 100ms)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		state     = flag.String("state", "", "optional JSON export file (imported at start when the platform is empty, exported atomically on SIGINT/SIGTERM); durability lives in -wal-dir")
+		seed      = flag.Int64("seed", 1, "assignment tie-breaking seed")
+		workers   = flag.Int("workers", 0, "inference shard workers (0 = GOMAXPROCS-derived)")
+		depth     = flag.Int("queue-depth", 0, "per-shard refresh queue bound (0 = default 64)")
+		retain    = flag.Int("retain-generations", 0, "published snapshot generations kept addressable per project for pinned reads (0 = default 8)")
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory: answers are persisted before acknowledgement and replayed at boot (empty = no durability)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always (ack = durable), interval (bounded loss, background flush), never (OS-paced)")
+		walSeg    = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes; rotation triggers checkpoint compaction (0 = default 4 MiB)")
+		fsyncInt  = flag.Duration("fsync-interval", 0, "flush cadence for -fsync=interval (0 = default 100ms)")
+		rateLimit = flag.Float64("rate-limit", 0, "per-worker request rate limit in tokens/sec (1 token = 1 answer or task request; 0 = unlimited); exceeding it answers 429 rate_limited with Retry-After")
+		rateBurst = flag.Float64("rate-burst", 0, "per-worker token-bucket capacity for -rate-limit (0 = max(rate, 1))")
 	)
 	flag.Parse()
 
@@ -169,7 +171,15 @@ func main() {
 		p = platform.NewWithOptions(*seed, opts)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: platform.NewServer(p)}
+	handler := platform.NewServer(p)
+	if *rateLimit > 0 {
+		handler.SetRateLimiter(platform.NewRateLimiter(platform.RateLimiterConfig{
+			Rate:  *rateLimit,
+			Burst: *rateBurst,
+		}))
+		fmt.Printf("per-worker rate limit: %.3g tokens/sec (burst %.3g)\n", *rateLimit, *rateBurst)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)

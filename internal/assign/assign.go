@@ -40,6 +40,14 @@ type Policy interface {
 	Select(st *State, u tabular.WorkerID, k int) []tabular.Cell
 }
 
+// WorkerGate is an optional System extension: the platform installs a
+// predicate deciding whether a worker may receive tasks at all (the
+// reputation layer's quarantine hook). A gated-out worker gets no cells
+// from Select, whatever the policy would have scored for them.
+type WorkerGate interface {
+	SetWorkerGate(allow func(tabular.WorkerID) bool)
+}
+
 // System is a complete crowdsourcing pipeline for the end-to-end comparison
 // (Fig. 2): inference plus assignment plus any internal bookkeeping (e.g.
 // CDAS task termination).

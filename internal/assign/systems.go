@@ -24,7 +24,13 @@ type TCrowdSystem struct {
 
 	st       *State
 	tieBreak *rand.Rand
+	// gate, when set, decides whether a worker may receive tasks at all
+	// (see WorkerGate); a rejected worker gets nil from Select.
+	gate func(tabular.WorkerID) bool
 }
+
+// SetWorkerGate implements WorkerGate.
+func (t *TCrowdSystem) SetWorkerGate(allow func(tabular.WorkerID) bool) { t.gate = allow }
 
 // NewTCrowdSystem builds the default T-Crowd system.
 func NewTCrowdSystem(seed int64) *TCrowdSystem {
@@ -153,6 +159,9 @@ func (t *TCrowdSystem) applyRefresh(m *core.Model, log *tabular.AnswerLog, rs co
 
 // Select implements System.
 func (t *TCrowdSystem) Select(u tabular.WorkerID, k int, log *tabular.AnswerLog) []tabular.Cell {
+	if t.gate != nil && !t.gate(u) {
+		return nil
+	}
 	if t.st == nil || t.st.Model == nil {
 		return nil
 	}

@@ -162,6 +162,15 @@ type Options struct {
 	// cost O(batch) in steady state. <= 0 means DefaultPolishFrac.
 	PolishFrac float64
 
+	// WorkerWeights seeds per-worker likelihood multipliers at fit time:
+	// every answer from worker u contributes weight[u] times its usual
+	// E-step evidence, M-step objective/gradient mass and ELBO term
+	// (1 = full weight, 0 = the worker's answers are ignored). Workers
+	// absent from the map get weight 1. The reputation layer uses this to
+	// down-weight suspected spammers without rewriting the answer log; a
+	// fitted model adjusts weights between refreshes via SetWorkerWeights.
+	WorkerWeights map[tabular.WorkerID]float64
+
 	// MStepGradTol overrides the M-step gradient-norm stopping tolerance
 	// (default 1e-7). Values below 1e-10 also tighten the optimizer's
 	// relative objective-improvement cutoff to match (never the reverse:
@@ -287,6 +296,10 @@ type Model struct {
 	decoded int
 	// lnL1[j] caches ln(numLabels-1) for categorical columns.
 	lnL1 []float64
+	// wgt[k] is the likelihood multiplier of the k-th worker in WorkerIDs
+	// order; nil means every worker has weight 1 (the common case keeps
+	// the hot loops' memoised fast paths untouched). See SetWorkerWeights.
+	wgt []float64
 	// medianPhi caches MedianPhi across hot assignment loops.
 	medianPhi float64
 	// pendingPolish counts answers ingested since the last full EM polish;
@@ -507,6 +520,9 @@ func newModel(tbl *tabular.Table, log *tabular.AnswerLog, opts Options) (*Model,
 	for k := range m.Phi {
 		m.Phi[k] = o.InitPhi
 	}
+	if len(o.WorkerWeights) > 0 {
+		m.SetWorkerWeights(o.WorkerWeights)
+	}
 	warmed := false
 	if w := o.Warm; w != nil {
 		if len(w.Alpha) == n && !o.FixDifficulty {
@@ -573,6 +589,10 @@ func (m *Model) decodeAnswer(a tabular.Answer) (oa ingest.Answer, use bool, err 
 			// worker starts at the initial variance, like a cold start.
 			m.Phi = append(m.Phi, m.Opts.InitPhi)
 		}
+		if m.wgt != nil {
+			// New workers enter at full weight until told otherwise.
+			m.wgt = append(m.wgt, 1)
+		}
 	}
 	oa = ingest.Answer{W: k, I: a.Cell.Row, J: a.Cell.Col, IsCat: isCat}
 	if isCat {
@@ -582,6 +602,67 @@ func (m *Model) decodeAnswer(a tabular.Answer) (oa ingest.Answer, use bool, err 
 		oa.Z = stats.Standardize(a.Value.X, m.ColMean[a.Cell.Col], m.ColStd[a.Cell.Col])
 	}
 	return oa, true, nil
+}
+
+// SetWorkerWeights installs per-worker likelihood multipliers on a fitted
+// model: weight 1 is the unweighted default, 0 removes the worker's
+// evidence entirely, values between scale it proportionally. Workers absent
+// from the map (and workers that arrive in later batches) get weight 1;
+// negative weights clamp to 0. Passing nil (or an all-ones map) restores
+// the unweighted fast path. The weights take effect at the next E-/M-step,
+// so callers should follow with a refresh (e.g. RefreshIncremental) before
+// reading posteriors.
+func (m *Model) SetWorkerWeights(w map[tabular.WorkerID]float64) {
+	if len(w) == 0 {
+		m.wgt = nil
+		return
+	}
+	if cap(m.wgt) < len(m.WorkerIDs) {
+		m.wgt = make([]float64, len(m.WorkerIDs))
+	}
+	m.wgt = m.wgt[:len(m.WorkerIDs)]
+	allOne := true
+	for k, u := range m.WorkerIDs {
+		wt, ok := w[u]
+		if !ok {
+			wt = 1
+		}
+		if wt < 0 {
+			wt = 0
+		}
+		if wt != 1 {
+			allOne = false
+		}
+		m.wgt[k] = wt
+	}
+	if allOne {
+		// Bitwise-identical to the nil fast path anyway; keep it nil so
+		// the invariant "wgt == nil means unweighted" holds for tests.
+		m.wgt = nil
+	}
+}
+
+// WorkerWeight returns worker u's current likelihood multiplier (1 when
+// unweighted or unknown).
+func (m *Model) WorkerWeight(u tabular.WorkerID) float64 {
+	if m.wgt == nil {
+		return 1
+	}
+	if k, ok := m.workerIdx[u]; ok {
+		return m.wgt[k]
+	}
+	return 1
+}
+
+// weightOf returns the likelihood multiplier of worker index k. The nil
+// branch keeps the unweighted default alloc-free; multiplying by the
+// returned 1.0 is an IEEE identity, so weighted code paths stay bitwise
+// equal to their pre-weight forms when no weights are set.
+func (m *Model) weightOf(k int) float64 {
+	if m.wgt == nil {
+		return 1
+	}
+	return m.wgt[k]
 }
 
 // warmStart seeds posteriors from the empirical answer distribution

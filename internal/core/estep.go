@@ -84,6 +84,12 @@ func (m *Model) updateCatCell(i, j, lo, hi int) {
 			var lnNotQ float64
 			lnQ, lnNotQ = logQ(m.Opts.Eps, s)
 			lnWrong = lnNotQ - lnL1
+			// A worker's reputation weight tempers its evidence: the
+			// log-likelihood contribution scales by w (w=1 is an exact
+			// identity, so the unweighted path is bit-unchanged).
+			w := m.weightOf(a.W)
+			lnQ *= w
+			lnWrong *= w
 		}
 		for z := range post {
 			if z == a.Label {
@@ -104,8 +110,9 @@ func (m *Model) updateContCell(i, j, lo, hi int) {
 	for idx := lo; idx < hi; idx++ {
 		a := &m.ilog.Ans[idx]
 		s := m.cellVariance(i, j, a.W)
-		precision += 1 / s
-		weighted += a.Z / s
+		w := m.weightOf(a.W)
+		precision += w / s
+		weighted += w * a.Z / s
 	}
 	v := 1 / precision
 	m.ContVar[i][j] = v
@@ -144,7 +151,7 @@ func (m *Model) elboCatCell(i, j, lo, hi int) float64 {
 		s := m.cellVariance(i, j, a.W)
 		lnQ, lnNotQ := logQ(m.Opts.Eps, s)
 		pCorrect := post[a.Label]
-		q += pCorrect*lnQ + (1-pCorrect)*(lnNotQ-lnL1)
+		q += m.weightOf(a.W) * (pCorrect*lnQ + (1-pCorrect)*(lnNotQ-lnL1))
 	}
 	// Uniform prior term.
 	q += -math.Log(float64(l))
@@ -159,7 +166,7 @@ func (m *Model) elboContCell(i, j, lo, hi int) float64 {
 		a := &m.ilog.Ans[idx]
 		s := m.cellVariance(i, j, a.W)
 		d := a.Z - mu
-		q += -0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s)
+		q += m.weightOf(a.W) * (-0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s))
 	}
 	// Standard-normal prior: E[ln N(T; 0, 1)].
 	q += -0.5*math.Log(2*math.Pi) - (mu*mu+v)/2

@@ -133,14 +133,19 @@ func (m *Model) prepMStepConsts() {
 	for idx := range m.ilog.Groups {
 		g := &m.ilog.Groups[idx]
 		cnt := float64(g.Count)
-		scr.cnt[idx] = cnt
+		// A group's objective and gradient terms are all linear in these
+		// three constants, so scaling them by the worker's reputation
+		// weight weights the entire fused M-step without touching the
+		// hot loops (w=1 multiplies are exact identities).
+		w := m.weightOf(int(g.W))
+		scr.cnt[idx] = w * cnt
 		if g.IsCat {
-			scr.p[idx] = cnt * m.CatPost[g.I][g.J][g.Label]
+			scr.p[idx] = w * cnt * m.CatPost[g.I][g.J][g.Label]
 		} else {
 			mu, v := m.ContMu[g.I][g.J], m.ContVar[g.I][g.J]
 			// Mathematically Σ(z-μ)² + Count·v ≥ 0; the moment form can
 			// dip below zero by cancellation when residuals are tiny.
-			scr.dv[idx] = math.Max(0, g.SumZ2-2*mu*g.SumZ+cnt*(mu*mu+v))
+			scr.dv[idx] = w * math.Max(0, g.SumZ2-2*mu*g.SumZ+cnt*(mu*mu+v))
 		}
 	}
 }
@@ -509,16 +514,17 @@ func (m *Model) qValueRange(alpha, beta, phi []float64, lo, hi int) float64 {
 	for idx := lo; idx < hi; idx++ {
 		a := &m.ilog.Ans[idx]
 		s := stats.Clamp(alpha[a.I]*beta[a.J]*phi[a.W], minS, maxS)
+		w := m.weightOf(a.W)
 		if a.IsCat {
 			post := m.CatPost[a.I][a.J]
 			l := len(post)
 			lnQ, lnNotQ := logQ(m.Opts.Eps, s)
 			p := post[a.Label]
-			q += p*lnQ + (1-p)*(lnNotQ-math.Log(float64(l-1)))
+			q += w * (p*lnQ + (1-p)*(lnNotQ-math.Log(float64(l-1))))
 		} else {
 			mu, v := m.ContMu[a.I][a.J], m.ContVar[a.I][a.J]
 			d := a.Z - mu
-			q += -0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s)
+			q += w * (-0.5*math.Log(2*math.Pi*s) - (d*d+v)/(2*s))
 		}
 	}
 	return q
@@ -581,6 +587,7 @@ func (m *Model) qGradLogRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp
 			d := a.Z - mu
 			g = -0.5 + (d*d+v)/(2*s)
 		}
+		g *= m.weightOf(a.W)
 		if clamped {
 			// At the variance clamp the objective is flat; do not push
 			// parameters further out.

@@ -167,6 +167,48 @@ func ColumnDenominators(t *tabular.Table, log *tabular.AnswerLog) []float64 {
 	return out
 }
 
+// SpamDetection scores a spam-defense run: precision and recall of the
+// flagged worker set against the planted spammer set.
+type SpamDetection struct {
+	Precision, Recall           float64
+	TruePos, FalsePos, FalseNeg int
+}
+
+// EvaluateSpamDetection compares the workers a defense flagged (quarantined
+// or banned) against the planted spammers. Precision is NaN when nothing
+// was flagged; recall is NaN when nothing was planted.
+func EvaluateSpamDetection(spammers, flagged []tabular.WorkerID) SpamDetection {
+	planted := make(map[tabular.WorkerID]bool, len(spammers))
+	for _, u := range spammers {
+		planted[u] = true
+	}
+	var d SpamDetection
+	seen := make(map[tabular.WorkerID]bool, len(flagged))
+	for _, u := range flagged {
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		if planted[u] {
+			d.TruePos++
+		} else {
+			d.FalsePos++
+		}
+	}
+	d.FalseNeg = len(planted) - d.TruePos
+	if n := d.TruePos + d.FalsePos; n > 0 {
+		d.Precision = float64(d.TruePos) / float64(n)
+	} else {
+		d.Precision = math.NaN()
+	}
+	if n := d.TruePos + d.FalseNeg; n > 0 {
+		d.Recall = float64(d.TruePos) / float64(n)
+	} else {
+		d.Recall = math.NaN()
+	}
+	return d
+}
+
 // CurvePoint is one sample of a convergence curve: metrics after the crowd
 // has supplied avg answers per task (the x-axis of Figs. 2 and 5).
 type CurvePoint struct {

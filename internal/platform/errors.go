@@ -33,6 +33,8 @@ var errTable = []struct {
 	{ErrDuplicateID, errSpec{http.StatusConflict, api.CodeDuplicateProject, false}},
 	{ErrAlreadyAnswered, errSpec{http.StatusConflict, api.CodeAlreadyAnswered, false}},
 	{ErrDurability, errSpec{http.StatusServiceUnavailable, api.CodeDurabilityFailure, true}},
+	{ErrWorkerBanned, errSpec{http.StatusForbidden, api.CodeWorkerBanned, false}},
+	{ErrRateLimited, errSpec{http.StatusTooManyRequests, api.CodeRateLimited, true}},
 	{shard.ErrShardSaturated, errSpec{http.StatusTooManyRequests, api.CodeShardSaturated, true}},
 	{shard.ErrClosed, errSpec{http.StatusServiceUnavailable, api.CodeShuttingDown, true}},
 	{shard.ErrJobPanicked, errSpec{http.StatusInternalServerError, api.CodeInternal, false}},

@@ -47,6 +47,7 @@ import (
 	"tcrowd/internal/assign"
 	"tcrowd/internal/core"
 	"tcrowd/internal/metrics"
+	"tcrowd/internal/reputation"
 	"tcrowd/internal/shard"
 	"tcrowd/internal/stats"
 	"tcrowd/internal/tabular"
@@ -67,6 +68,13 @@ var (
 	// pinned read outlived the retention window and must restart from the
 	// latest generation.
 	ErrGenerationGone = errors.New("platform: generation evicted from retained ring")
+	// ErrWorkerBanned rejects submissions (and task requests) from a
+	// worker the project's reputation engine has auto-banned. Bans are
+	// sticky and survive crash recovery, so the error is not retryable.
+	ErrWorkerBanned = errors.New("platform: worker is banned")
+	// ErrRateLimited rejects a request that exceeded the server's
+	// per-worker token-bucket rate limit. Retryable after backoff.
+	ErrRateLimited = errors.New("platform: rate limit exceeded")
 )
 
 // Project is one crowdsourcing campaign: a table to fill plus its answers.
@@ -87,7 +95,18 @@ type Project struct {
 	// creation; recorded in the WAL create record so recovery reopens
 	// the log under the same policy.
 	fsyncPolicy string
-	rng         *rand.Rand
+	// rep is the project's worker-reputation engine (nil = defense off).
+	// Observations fold in under p.mu on the submission path; the engine
+	// has its own lock for the read paths (task gating, /workers).
+	rep *reputation.Engine
+	// polishFrac is the polish-cadence knob: the fraction of streaming
+	// refreshes that run a full EM polish (0 or 1 = every refresh).
+	// Immutable after creation; polishAcc is the running cadence
+	// accumulator, touched only by refreshProject (serialised on the
+	// project's home shard under inferMu).
+	polishFrac float64
+	polishAcc  float64
+	rng        *rand.Rand
 	// labelIdx[j] maps a categorical column's label strings to their
 	// indices (nil for continuous columns). Built once at project
 	// creation and immutable afterwards, so the HTTP layer resolves
@@ -266,6 +285,19 @@ type ProjectConfig struct {
 	// import scratch project skips fsyncs entirely, on the same
 	// platform. Ignored when durability is disabled.
 	FsyncPolicy string
+	// PolishFrac is the polish-cadence knob: the fraction of streaming
+	// inference refreshes that re-converge the model with a full EM
+	// polish; the rest run only the cheap dirty-cell pass (deferred
+	// polish). 0 and 1 both mean "polish every refresh"; values outside
+	// [0, 1] are rejected. Recorded in the WAL create record like
+	// FsyncPolicy, so recovery keeps the cadence.
+	PolishFrac float64
+	// Reputation enables the online worker-reputation engine: streaming
+	// trust scores per worker with graduated responses — E-step
+	// down-weighting, assignment quarantine, and a sticky auto-ban that
+	// rejects further submissions with ErrWorkerBanned. Reputation
+	// verdicts ride the WAL, so bans survive crash recovery.
+	Reputation bool
 }
 
 // CreateProject registers a new campaign. With durability enabled the
@@ -336,6 +368,9 @@ func (p *Platform) createProjectLocked(id string, schema tabular.Schema, cfg Pro
 			return nil, fmt.Errorf("platform: project %q: %w", id, err)
 		}
 	}
+	if cfg.PolishFrac < 0 || cfg.PolishFrac > 1 {
+		return nil, fmt.Errorf("platform: project %q: polish_frac %v outside [0, 1]", id, cfg.PolishFrac)
+	}
 	if _, dup := p.projects[id]; dup {
 		return nil, ErrDuplicateID
 	}
@@ -349,6 +384,7 @@ func (p *Platform) createProjectLocked(id string, schema tabular.Schema, cfg Pro
 		Log:          tabular.NewAnswerLog(),
 		refreshEvery: cfg.RefreshEvery,
 		fsyncPolicy:  cfg.FsyncPolicy,
+		polishFrac:   cfg.PolishFrac,
 		rng:          stats.NewRNG(p.seed + int64(len(p.projects))),
 		labelIdx:     buildLabelIndex(schema),
 		hub:          newWatchHub(),
@@ -360,8 +396,17 @@ func (p *Platform) createProjectLocked(id string, schema tabular.Schema, cfg Pro
 	if proj.refreshEvery <= 0 {
 		proj.refreshEvery = 25
 	}
+	if cfg.Reputation {
+		proj.rep = reputation.NewEngine(reputation.Config{})
+	}
 	if cfg.UseTCrowdAssignment {
-		proj.sys = assign.NewTCrowdSystem(p.seed)
+		sys := assign.NewTCrowdSystem(p.seed)
+		if proj.rep != nil {
+			// Quarantined and banned workers never receive tasks from the
+			// structure-aware selector (the fallback path checks too).
+			sys.SetWorkerGate(proj.rep.Assignable)
+		}
+		proj.sys = sys
 	}
 	p.projects[id] = proj
 	return proj, nil
@@ -465,6 +510,16 @@ func (p *Platform) RequestTasks(projectID string, u tabular.WorkerID, k int) ([]
 	if !ok {
 		p.mu.Unlock()
 		return nil, ErrNoProject
+	}
+	if proj.rep != nil && !proj.rep.Assignable(u) {
+		p.mu.Unlock()
+		if proj.rep.State(u) == reputation.Banned {
+			return nil, fmt.Errorf("%w: %s", ErrWorkerBanned, u)
+		}
+		// Quarantined: no tasks (from any selector, fallback included),
+		// but not an error — the worker may still redeem themselves on
+		// answers already held.
+		return []Task{}, nil
 	}
 	needRefresh := proj.sys != nil && proj.sinceRefresh == 0 // covers the very first request
 	logLen := proj.Log.Len()
@@ -638,6 +693,16 @@ type BatchResult struct {
 	RefreshErr error
 }
 
+// AnswerMeta carries optional per-answer submission metadata riding next
+// to the answer on the wire (api.Answer.WorkTimeMs / .Client).
+type AnswerMeta struct {
+	// WorkTimeMs is the client-reported time spent on the task in
+	// milliseconds (0 = not reported). Negative values fail validation.
+	WorkTimeMs int64
+	// Client identifies the submitting client software (diagnostics only).
+	Client string
+}
+
 // validateAnswer checks one answer against the project under p.mu; seen
 // holds (worker, cell) pairs earlier in the same batch.
 func validateAnswer(proj *Project, a tabular.Answer, seen map[tabular.Answer]bool) error {
@@ -682,6 +747,17 @@ func validateAnswer(proj *Project, a tabular.Answer, seen map[tabular.Answer]boo
 // Answers address cells directly (Cell.Col is a schema column index); the
 // HTTP layer resolves column names and labels via Project.LabelIndex.
 func (p *Platform) SubmitBatch(projectID string, answers []tabular.Answer) (BatchResult, error) {
+	return p.SubmitBatchMeta(projectID, answers, nil)
+}
+
+// SubmitBatchMeta is SubmitBatch with per-answer submission metadata:
+// meta[i] annotates answers[i] (nil meta = no metadata, identical to
+// SubmitBatch). On a project running the reputation engine each accepted
+// answer is also folded into the submitting worker's trust score — answers
+// from auto-banned workers are rejected per item with ErrWorkerBanned —
+// and any state-change verdicts are appended to the WAL so bans survive
+// crash recovery.
+func (p *Platform) SubmitBatchMeta(projectID string, answers []tabular.Answer, meta []AnswerMeta) (BatchResult, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	proj, ok := p.projects[projectID]
@@ -691,10 +767,20 @@ func (p *Platform) SubmitBatch(projectID string, answers []tabular.Answer) (Batc
 	if len(answers) == 0 {
 		return BatchResult{}, errors.New("platform: empty answer batch")
 	}
+	if meta != nil && len(meta) != len(answers) {
+		return BatchResult{}, fmt.Errorf("platform: %d metadata entries for %d answers", len(meta), len(answers))
+	}
 	seen := make(map[tabular.Answer]bool, len(answers))
 	var bad []BatchItemError
 	for i, a := range answers {
-		if err := validateAnswer(proj, a, seen); err != nil {
+		err := validateAnswer(proj, a, seen)
+		if err == nil && meta != nil && meta[i].WorkTimeMs < 0 {
+			err = fmt.Errorf("platform: negative work_time_ms %d", meta[i].WorkTimeMs)
+		}
+		if err == nil && proj.rep != nil && proj.rep.State(a.Worker) == reputation.Banned {
+			err = fmt.Errorf("%w: %s", ErrWorkerBanned, a.Worker)
+		}
+		if err != nil {
 			bad = append(bad, BatchItemError{Index: i, Err: err})
 		}
 	}
@@ -721,6 +807,30 @@ func (p *Platform) SubmitBatch(projectID string, answers []tabular.Answer) (Batc
 	}
 	for _, a := range answers {
 		proj.Log.Add(a)
+	}
+	if proj.rep != nil {
+		// Fold the accepted answers into the reputation engine — a pure
+		// left fold over the answer stream, so any batching of the same
+		// stream yields the same verdict sequence. Verdicts (state
+		// changes) are made durable as a WAL reputation record carrying
+		// the transitioning workers' full snapshots; a failure here is
+		// non-fatal (the answers are already durable, and a lost verdict
+		// is re-earned from the next few answers after recovery).
+		var changed []tabular.WorkerID
+		for i, a := range answers {
+			var ms int64
+			if meta != nil {
+				ms = meta[i].WorkTimeMs
+			}
+			if v, ok := proj.rep.Observe(reputation.Observation{Answer: a, WorkTimeMs: ms}); ok {
+				changed = append(changed, v.Worker)
+			}
+		}
+		if len(changed) > 0 && proj.wal != nil {
+			if rot, err := appendReputationRecord(proj, changed); err == nil && rot {
+				rotated = true
+			}
+		}
 	}
 	if rotated {
 		// The append sealed a segment: fold the history into a checkpoint
@@ -1020,7 +1130,11 @@ func (p *Platform) refreshProject(proj *Project) error {
 		// decoupling the old snapshot clone provided, minus the copy, and
 		// the fitted model keys on its pointer identity so every later
 		// refresh streams.
-		fit, err := core.Infer(tbl, shadow, core.Options{MaxIter: 50})
+		opts := core.Options{MaxIter: 50}
+		if proj.rep != nil {
+			opts.WorkerWeights = proj.rep.Weights()
+		}
+		fit, err := core.Infer(tbl, shadow, opts)
 		if err != nil {
 			return err
 		}
@@ -1029,18 +1143,26 @@ func (p *Platform) refreshProject(proj *Project) error {
 		proj.lastModel, proj.logAtModel = m, total
 		p.mu.Unlock()
 	case total > proj.logAtModel:
-		// Streaming refresh: absorb the shadow's new suffix in place. The
-		// polish keeps the full iteration budget — seeding at the previous
-		// optimum shortens the path to convergence, it must not lower the
-		// convergence guarantee of requester-facing estimates; runs that
-		// start near the optimum still stop after a couple of iterations
-		// via the tolerance.
+		// Streaming refresh: absorb the shadow's new suffix in place. A
+		// polished refresh keeps the full iteration budget — seeding at
+		// the previous optimum shortens the path to convergence, it must
+		// not lower the convergence guarantee of requester-facing
+		// estimates; runs that start near the optimum still stop after a
+		// couple of iterations via the tolerance. The polish-cadence knob
+		// (polishFrac) can thin polishes out to a fraction of refreshes,
+		// the rest running only the dirty-cell pass.
 		n, err := m.IngestFrom(shadow)
 		if err != nil {
 			return err
 		}
 		if n > 0 {
-			m.RefreshIncremental(50)
+			if proj.rep != nil {
+				// Refresh the per-worker trust weights before EM touches
+				// the new answers: quarantined/banned workers' evidence is
+				// scaled down (or out) of the sufficient statistics.
+				m.SetWorkerWeights(proj.rep.Weights())
+			}
+			m.RefreshIncremental(proj.nextPolishBudget())
 		}
 		p.mu.Lock()
 		proj.logAtModel = total
@@ -1063,8 +1185,66 @@ func (p *Platform) refreshProject(proj *Project) error {
 	for _, u := range m.WorkerIDs {
 		res.WorkerQuality[u] = m.WorkerQuality(u)
 	}
+	if proj.rep != nil {
+		// Close the loop: push the model's own worker-quality posteriors
+		// back into the reputation engine. Quality only modulates the
+		// weight of already-suspect workers — it never touches counters or
+		// states, so verdict sequences stay independent of refresh timing.
+		for _, u := range m.WorkerIDs {
+			proj.rep.ObserveModelQuality(u, m.WorkerQuality(u))
+		}
+	}
 	p.publishSnapshot(proj, res)
 	return nil
+}
+
+// nextPolishBudget resolves the polish-cadence knob for one streaming
+// refresh: the full iteration budget when a polish is due, 0 (dirty-cell
+// E-step plus deferred polish) otherwise. Runs only on the project's home
+// shard worker under inferMu, so the accumulator needs no lock.
+func (proj *Project) nextPolishBudget() int {
+	if proj.polishFrac <= 0 || proj.polishFrac >= 1 {
+		return 50
+	}
+	proj.polishAcc += proj.polishFrac
+	if proj.polishAcc >= 1 {
+		proj.polishAcc--
+		return 50
+	}
+	return 0
+}
+
+// WorkerReputationInfo is one worker's reputation snapshot plus the
+// derived serving-side values (suspicion score, E-step weight).
+type WorkerReputationInfo struct {
+	reputation.WorkerSnapshot
+	Score  float64
+	Weight float64
+}
+
+// WorkerReputations lists a project's per-worker reputation state sorted
+// by worker id. enabled reports whether the project runs the reputation
+// engine at all; when false the list is empty.
+func (p *Platform) WorkerReputations(projectID string) (infos []WorkerReputationInfo, enabled bool, err error) {
+	p.mu.Lock()
+	proj, ok := p.projects[projectID]
+	p.mu.Unlock()
+	if !ok {
+		return nil, false, ErrNoProject
+	}
+	if proj.rep == nil {
+		return nil, false, nil
+	}
+	snaps := proj.rep.Snapshot()
+	infos = make([]WorkerReputationInfo, len(snaps))
+	for i, s := range snaps {
+		infos[i] = WorkerReputationInfo{
+			WorkerSnapshot: s,
+			Score:          proj.rep.Score(s.Worker),
+			Weight:         proj.rep.Weight(s.Worker),
+		}
+	}
+	return infos, true, nil
 }
 
 // publishSnapshot is the copy-on-publish commit point, running on the
@@ -1187,6 +1367,12 @@ type projectJSON struct {
 	// FsyncPolicy persists the project's durability override (empty in
 	// state files predating the field decodes to the platform default).
 	FsyncPolicy string `json:"fsync_policy,omitempty"`
+	// PolishFrac persists the polish-cadence knob (0 = every refresh).
+	PolishFrac float64 `json:"polish_frac,omitempty"`
+	// Reputation persists whether the project runs the reputation engine.
+	// Only the flag is exported: trust state rebuilds from live traffic
+	// after an import (the WAL, not the export, is the durability story).
+	Reputation bool `json:"reputation,omitempty"`
 }
 
 type platformJSON struct {
@@ -1212,6 +1398,8 @@ func (p *Platform) Save(w io.Writer) error {
 			TCrowd:       proj.sys != nil,
 			RefreshEvery: proj.refreshEvery,
 			FsyncPolicy:  proj.fsyncPolicy,
+			PolishFrac:   proj.polishFrac,
+			Reputation:   proj.rep != nil,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -1274,6 +1462,8 @@ func (p *Platform) ImportProjects(r io.Reader) (int, error) {
 			UseTCrowdAssignment: pj.TCrowd,
 			RefreshEvery:        pj.RefreshEvery,
 			FsyncPolicy:         pj.FsyncPolicy,
+			PolishFrac:          pj.PolishFrac,
+			Reputation:          pj.Reputation,
 		})
 		if err != nil {
 			return n, err

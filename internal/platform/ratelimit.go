@@ -1,0 +1,112 @@
+package platform
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimiterConfig sizes the per-worker token buckets. One token is one
+// answer submitted or one task-request call; Rate is the steady-state
+// refill in tokens per second and Burst the bucket capacity (how much a
+// worker can front-load after an idle stretch).
+type RateLimiterConfig struct {
+	// Rate is the refill rate in tokens per second (required, > 0).
+	Rate float64
+	// Burst is the bucket capacity (default: max(Rate, 1)).
+	Burst float64
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+// RateLimiter is a per-worker token-bucket limiter: lazily created
+// buckets keyed by worker ID, refilled continuously at Rate tokens/sec up
+// to Burst. A nil *RateLimiter means no limiting (every check allows).
+//
+// Spam defense context: the reputation engine needs a handful of answers
+// before it can judge a worker, so a throwaway identity gets a free
+// burst. The rate limit bounds how fast that burst can be spent, which
+// bounds the damage-per-second of identity cycling — the two defenses
+// compose rather than overlap.
+type RateLimiter struct {
+	mu      sync.Mutex
+	cfg     RateLimiterConfig
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter; rate <= 0 returns nil (disabled).
+func NewRateLimiter(cfg RateLimiterConfig) *RateLimiter {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(cfg.Rate, 1)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &RateLimiter{cfg: cfg, buckets: make(map[string]*tokenBucket)}
+}
+
+// Allow takes one token from key's bucket. See TakeAll for semantics.
+func (l *RateLimiter) Allow(key string) (bool, time.Duration) {
+	return l.TakeAll(map[string]float64{key: 1})
+}
+
+// TakeAll atomically takes tokens from several buckets: either every
+// bucket has capacity and all tokens are deducted, or nothing is deducted
+// and the wait until the scarcest bucket could satisfy its demand is
+// returned (for Retry-After). All-or-nothing matches atomic batch
+// submission: a rejected batch records nothing, so it must charge
+// nothing. A demand above Burst can never be satisfied by waiting and is
+// always refused (the client must split the batch); the reported wait is
+// then the time to a full bucket rather than a nonsense duration.
+func (l *RateLimiter) TakeAll(demand map[string]float64) (bool, time.Duration) {
+	if l == nil || len(demand) == 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.cfg.Now()
+	var wait time.Duration
+	short := false
+	for key, n := range demand {
+		b := l.buckets[key]
+		if b == nil {
+			b = &tokenBucket{tokens: l.cfg.Burst, last: now}
+			l.buckets[key] = b
+		} else {
+			b.tokens = math.Min(l.cfg.Burst, b.tokens+now.Sub(b.last).Seconds()*l.cfg.Rate)
+			b.last = now
+		}
+		if n > l.cfg.Burst || b.tokens < n {
+			short = true
+			need := math.Min(n, l.cfg.Burst) - b.tokens
+			if w := time.Duration(need / l.cfg.Rate * float64(time.Second)); w > wait {
+				wait = w
+			}
+		}
+	}
+	if short {
+		return false, wait
+	}
+	for key, n := range demand {
+		l.buckets[key].tokens -= n
+	}
+	return true, 0
+}
+
+// retryAfterSecs rounds a wait up to whole seconds for the Retry-After
+// header, minimum 1.
+func retryAfterSecs(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package platform
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic bucket refill.
+type fakeClock struct{ at time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.at }
+func (c *fakeClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+func newTestLimiter(rate, burst float64) (*RateLimiter, *fakeClock) {
+	clk := &fakeClock{at: time.Unix(1000, 0)}
+	return NewRateLimiter(RateLimiterConfig{Rate: rate, Burst: burst, Now: clk.now}), clk
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	if l := NewRateLimiter(RateLimiterConfig{Rate: 0}); l != nil {
+		t.Fatalf("rate 0 should disable the limiter, got %+v", l)
+	}
+	var nilLimiter *RateLimiter
+	if ok, wait := nilLimiter.Allow("w"); !ok || wait != 0 {
+		t.Fatalf("nil limiter must allow everything: %v %v", ok, wait)
+	}
+	if ok, _ := nilLimiter.TakeAll(map[string]float64{"a": 1e9}); !ok {
+		t.Fatal("nil limiter must allow any demand")
+	}
+}
+
+func TestRateLimiterBurstThenRefuse(t *testing.T) {
+	l, _ := newTestLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("w"); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, wait := l.Allow("w")
+	if ok {
+		t.Fatal("4th token within burst window allowed")
+	}
+	if wait != time.Second {
+		t.Fatalf("wait = %v, want 1s (1 token at 1 token/sec)", wait)
+	}
+	// An unrelated worker has its own bucket.
+	if ok, _ := l.Allow("other"); !ok {
+		t.Fatal("independent worker throttled by someone else's spend")
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	l, clk := newTestLimiter(2, 2) // 2 tokens/sec, capacity 2
+	if ok, _ := l.TakeAll(map[string]float64{"w": 2}); !ok {
+		t.Fatal("full burst refused")
+	}
+	if ok, _ := l.Allow("w"); ok {
+		t.Fatal("empty bucket allowed")
+	}
+	clk.advance(500 * time.Millisecond) // +1 token
+	if ok, _ := l.Allow("w"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := l.Allow("w"); ok {
+		t.Fatal("bucket drained again but allowed")
+	}
+	// Idling far past capacity caps at Burst, not rate*elapsed.
+	clk.advance(time.Hour)
+	if ok, _ := l.TakeAll(map[string]float64{"w": 2}); !ok {
+		t.Fatal("capacity after long idle refused")
+	}
+	if ok, _ := l.Allow("w"); ok {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}
+
+// TestRateLimiterTakeAllAtomic pins the all-or-nothing contract that
+// matches atomic batch submission: when ANY worker in the demand map is
+// short, NO bucket is charged — a rejected batch records nothing, so it
+// must cost nothing.
+func TestRateLimiterTakeAllAtomic(t *testing.T) {
+	l, _ := newTestLimiter(1, 5)
+	// Drain "poor" down to 1 token; "rich" stays at 5.
+	if ok, _ := l.TakeAll(map[string]float64{"poor": 4}); !ok {
+		t.Fatal("setup drain refused")
+	}
+	ok, wait := l.TakeAll(map[string]float64{"rich": 3, "poor": 2})
+	if ok {
+		t.Fatal("mixed demand with a short bucket allowed")
+	}
+	if wait != time.Second {
+		t.Fatalf("wait = %v, want 1s (poor needs 1 more token at 1/sec)", wait)
+	}
+	// The failed call must not have charged the rich bucket: its full
+	// burst is still spendable.
+	if ok, _ := l.TakeAll(map[string]float64{"rich": 5}); !ok {
+		t.Fatal("failed TakeAll charged an uninvolved-at-fault bucket")
+	}
+	// And poor still has its 1 remaining token.
+	if ok, _ := l.Allow("poor"); !ok {
+		t.Fatal("failed TakeAll charged the short bucket")
+	}
+}
+
+func TestRateLimiterWaitIsScarcestBucket(t *testing.T) {
+	l, _ := newTestLimiter(1, 4)
+	if ok, _ := l.TakeAll(map[string]float64{"a": 4, "b": 2}); !ok {
+		t.Fatal("setup refused")
+	}
+	// a needs 3 more (3s wait), b needs 1 more (1s wait) → report 3s.
+	_, wait := l.TakeAll(map[string]float64{"a": 3, "b": 3})
+	if wait != 3*time.Second {
+		t.Fatalf("wait = %v, want 3s (scarcest bucket governs)", wait)
+	}
+}
+
+// Demand above Burst can never be satisfied by waiting; the reported
+// wait is the time to a FULL bucket, not a nonsense duration.
+func TestRateLimiterOversizeDemandWait(t *testing.T) {
+	l, _ := newTestLimiter(1, 2)
+	if ok, _ := l.TakeAll(map[string]float64{"w": 2}); !ok {
+		t.Fatal("setup refused")
+	}
+	ok, wait := l.TakeAll(map[string]float64{"w": 10})
+	if ok {
+		t.Fatal("demand above burst allowed from an empty bucket")
+	}
+	if wait != 2*time.Second {
+		t.Fatalf("wait = %v, want 2s (time to full bucket)", wait)
+	}
+	// Even a FULL bucket refuses a demand above its capacity — waiting
+	// can never help, so the batch must be split, and no debt is booked.
+	if ok, _ := l.TakeAll(map[string]float64{"fresh": 10}); ok {
+		t.Fatal("demand above burst allowed from a full bucket")
+	}
+	if ok, _ := l.TakeAll(map[string]float64{"fresh": 2}); !ok {
+		t.Fatal("refused oversize demand charged the bucket")
+	}
+}
+
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.d); got != c.want {
+			t.Errorf("retryAfterSecs(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ var routeTable = []routeDef{
 	{"GET", "/v1/projects/{id}/snapshot", (*Server).estimates},
 	{"GET", "/v1/projects/{id}/watch", (*Server).watch},
 	{"GET", "/v1/projects/{id}/stats", (*Server).stats},
+	{"GET", "/v1/projects/{id}/workers", (*Server).workers},
 	{"GET", "/v1/stats", (*Server).shardStats},
 }
 

@@ -50,8 +50,9 @@ import (
 // records the answers and reports a shed refresh in-body instead of
 // failing.
 type Server struct {
-	p   *Platform
-	mux *http.ServeMux
+	p       *Platform
+	mux     *http.ServeMux
+	limiter *RateLimiter
 }
 
 // NewServer wraps a platform with HTTP handlers.
@@ -59,6 +60,25 @@ func NewServer(p *Platform) *Server {
 	s := &Server{p: p, mux: http.NewServeMux()}
 	s.registerRoutes()
 	return s
+}
+
+// SetRateLimiter installs a per-worker token-bucket limiter on the
+// answer-submission and task-request paths (nil = unlimited, the
+// default). Call before serving traffic; the limiter itself is
+// goroutine-safe.
+func (s *Server) SetRateLimiter(l *RateLimiter) { s.limiter = l }
+
+// writeRateLimited renders the 429 rate_limited envelope with a computed
+// Retry-After (writeErr's blanket hint is a fixed 1s; the limiter knows
+// the actual refill time).
+func writeRateLimited(w http.ResponseWriter, wait time.Duration) {
+	spec := classifyErr(ErrRateLimited)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(wait)))
+	writeJSON(w, spec.status, api.ErrorEnvelope{Err: api.Error{
+		Code:      spec.code,
+		Message:   ErrRateLimited.Error(),
+		Retryable: spec.retryable,
+	}})
 }
 
 // ServeHTTP implements http.Handler.
@@ -119,6 +139,13 @@ type createProjectReq struct {
 	// FsyncPolicy overrides the server-wide WAL fsync policy for this
 	// project ("always", "interval", "never"; empty = server default).
 	FsyncPolicy string `json:"fsync_policy"`
+	// PolishFrac is the fraction of streaming refreshes that run a full
+	// EM polish instead of the O(batch) incremental pass ([0,1]; 0 and 1
+	// both mean every refresh polishes — the pre-knob behaviour).
+	PolishFrac float64 `json:"polish_frac"`
+	// Reputation enables the streaming worker-reputation engine (spam
+	// defense: down-weighting, quarantine, auto-ban).
+	Reputation bool `json:"reputation"`
 }
 
 func (s *Server) createProject(w http.ResponseWriter, r *http.Request) {
@@ -136,6 +163,8 @@ func (s *Server) createProject(w http.ResponseWriter, r *http.Request) {
 		UseTCrowdAssignment: req.TCrowd,
 		RefreshEvery:        req.RefreshEvery,
 		FsyncPolicy:         req.FsyncPolicy,
+		PolishFrac:          req.PolishFrac,
+		Reputation:          req.Reputation,
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -171,6 +200,10 @@ func (s *Server) tasks(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if ok, wait := s.limiter.Allow(worker); !ok {
+		writeRateLimited(w, wait)
+		return
+	}
 	tasks, err := s.p.RequestTasks(id, tabular.WorkerID(worker), count)
 	if err != nil {
 		writeErr(w, err)
@@ -198,54 +231,60 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 }
 
 // resolveAnswer converts one wire answer (column by name, label by string)
-// into a platform answer, using the project's precomputed label index.
-// Only immutable project state (schema, label maps) is touched, so it runs
-// without the platform lock.
-func resolveAnswer(proj *Project, a api.Answer) (tabular.Answer, error) {
+// into a platform answer plus its submission metadata, using the
+// project's precomputed label index. Only immutable project state
+// (schema, label maps) is touched, so it runs without the platform lock.
+func resolveAnswer(proj *Project, a api.Answer) (tabular.Answer, AnswerMeta, error) {
+	meta := AnswerMeta{WorkTimeMs: a.WorkTimeMs, Client: a.Client}
+	if a.WorkTimeMs < 0 {
+		return tabular.Answer{}, meta, fmt.Errorf("platform: negative work_time_ms %d", a.WorkTimeMs)
+	}
 	j := proj.Table.Schema.ColumnIndex(a.Column)
 	if j < 0 {
-		return tabular.Answer{}, fmt.Errorf("platform: unknown column %q", a.Column)
+		return tabular.Answer{}, meta, fmt.Errorf("platform: unknown column %q", a.Column)
 	}
 	if a.Row < 0 || a.Row >= proj.Table.NumRows() {
-		return tabular.Answer{}, fmt.Errorf("platform: row %d outside project (%d rows)", a.Row, proj.Table.NumRows())
+		return tabular.Answer{}, meta, fmt.Errorf("platform: row %d outside project (%d rows)", a.Row, proj.Table.NumRows())
 	}
 	var v tabular.Value
 	switch {
 	case a.Label != nil && a.Number != nil:
-		return tabular.Answer{}, errors.New("platform: answer sets both label and number")
+		return tabular.Answer{}, meta, errors.New("platform: answer sets both label and number")
 	case a.Label != nil:
 		idx, ok := proj.LabelIndex(j, *a.Label)
 		if !ok {
-			return tabular.Answer{}, fmt.Errorf("platform: unknown label %q", *a.Label)
+			return tabular.Answer{}, meta, fmt.Errorf("platform: unknown label %q", *a.Label)
 		}
 		v = tabular.LabelValue(idx)
 	case a.Number != nil:
 		v = tabular.NumberValue(*a.Number)
 	default:
-		return tabular.Answer{}, errors.New("platform: answer needs label or number")
+		return tabular.Answer{}, meta, errors.New("platform: answer needs label or number")
 	}
 	return tabular.Answer{
 		Worker: tabular.WorkerID(a.Worker),
 		Cell:   tabular.Cell{Row: a.Row, Col: j},
 		Value:  v,
-	}, nil
+	}, meta, nil
 }
 
 // resolveBatch resolves a slice of wire answers, collecting per-item
 // errors instead of stopping at the first (batch rejections report every
-// offending row at once).
-func resolveBatch(proj *Project, answers []api.Answer) ([]tabular.Answer, []BatchItemError) {
+// offending row at once). metas stays index-aligned with resolved.
+func resolveBatch(proj *Project, answers []api.Answer) ([]tabular.Answer, []AnswerMeta, []BatchItemError) {
 	resolved := make([]tabular.Answer, 0, len(answers))
+	metas := make([]AnswerMeta, 0, len(answers))
 	var bad []BatchItemError
 	for i, a := range answers {
-		ta, err := resolveAnswer(proj, a)
+		ta, meta, err := resolveAnswer(proj, a)
 		if err != nil {
 			bad = append(bad, BatchItemError{Index: i, Err: err})
 			continue
 		}
 		resolved = append(resolved, ta)
+		metas = append(metas, meta)
 	}
-	return resolved, bad
+	return resolved, metas, bad
 }
 
 // submitV1 handles POST /v1/projects/{id}/answers: one answer or an
@@ -280,10 +319,20 @@ func (s *Server) submitV1(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errors.New("platform: empty answer batch"))
 		return
 	}
-	resolved, bad := resolveBatch(proj, answers)
+	if s.limiter != nil {
+		demand := make(map[string]float64, 1)
+		for _, a := range answers {
+			demand[a.Worker]++
+		}
+		if ok, wait := s.limiter.TakeAll(demand); !ok {
+			writeRateLimited(w, wait)
+			return
+		}
+	}
+	resolved, metas, bad := resolveBatch(proj, answers)
 	if len(bad) == 0 {
 		var res BatchResult
-		res, err = s.p.SubmitBatch(id, resolved)
+		res, err = s.p.SubmitBatchMeta(id, resolved, metas)
 		if err == nil {
 			if res.Refresh == RefreshDeferred {
 				w.Header().Set("Retry-After", "1")
@@ -678,4 +727,29 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// workers serves GET /v1/projects/{id}/workers — the reputation roster.
+// With the defense off the response is {"defense": false} and an empty
+// list; with it on, one row per observed worker (state, score, counters,
+// current inference weight), sorted by worker ID.
+func (s *Server) workers(w http.ResponseWriter, r *http.Request) {
+	infos, enabled, err := s.p.WorkerReputations(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := api.WorkersResponse{Defense: enabled, Workers: []api.WorkerReputation{}}
+	for _, in := range infos {
+		resp.Workers = append(resp.Workers, api.WorkerReputation{
+			Worker: string(in.Worker),
+			State:  in.State.String(),
+			Score:  in.Score,
+			Seen:   in.Seen,
+			Judged: in.Judged,
+			Weight: in.Weight,
+			ModelQ: in.ModelQ,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -32,6 +32,8 @@ func TestErrorCodeTable(t *testing.T) {
 		{ErrDuplicateID, http.StatusConflict, api.CodeDuplicateProject, false},
 		{ErrAlreadyAnswered, http.StatusConflict, api.CodeAlreadyAnswered, false},
 		{ErrDurability, http.StatusServiceUnavailable, api.CodeDurabilityFailure, true},
+		{ErrWorkerBanned, http.StatusForbidden, api.CodeWorkerBanned, false},
+		{ErrRateLimited, http.StatusTooManyRequests, api.CodeRateLimited, true},
 		{shard.ErrShardSaturated, http.StatusTooManyRequests, api.CodeShardSaturated, true},
 		{shard.ErrClosed, http.StatusServiceUnavailable, api.CodeShuttingDown, true},
 		{shard.ErrJobPanicked, http.StatusInternalServerError, api.CodeInternal, false},

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"tcrowd/internal/reputation"
 	"tcrowd/internal/tabular"
 	"tcrowd/internal/wal"
 )
@@ -27,6 +28,11 @@ const (
 	walRecCheckpoint byte = 1 // full project state (compaction artifact)
 	walRecCreate     byte = 2 // project registration
 	walRecBatch      byte = 3 // one accepted answer batch
+	// walRecReputation carries the full reputation snapshots of workers
+	// whose state just changed (a graduated-response verdict). Replay
+	// applies the records in order, so the last snapshot per worker wins
+	// — a ban acknowledged before a crash is a ban after recovery.
+	walRecReputation byte = 4
 )
 
 // walTombstoneSuffix marks a project directory being deleted. The '#'
@@ -111,6 +117,12 @@ type walCreateJSON struct {
 	// recovery reopens the log under the same policy the project was
 	// created with.
 	FsyncPolicy string `json:"fsync_policy,omitempty"`
+	// PolishFrac records the polish-cadence knob so recovery keeps the
+	// refresh economics the project was created with.
+	PolishFrac float64 `json:"polish_frac,omitempty"`
+	// Reputation records whether the project runs the reputation engine
+	// (whose verdicts ride the log as walRecReputation records).
+	Reputation bool `json:"reputation,omitempty"`
 }
 
 // walCheckpointJSON is the payload of a checkpoint record. It embeds the
@@ -124,6 +136,10 @@ type walCheckpointJSON struct {
 	// the compaction artifact to the copy-on-publish lineage.
 	Generation int             `json:"generation"`
 	Answers    json.RawMessage `json:"answers"`
+	// Reputation is the full per-worker reputation state at checkpoint
+	// time. Compaction deletes the segments holding the verdict records,
+	// so the checkpoint must carry the folded state forward.
+	Reputation []reputation.WorkerSnapshot `json:"reputation,omitempty"`
 }
 
 // walCreateInfo captures proj's registration facts. Caller holds p.mu.
@@ -135,7 +151,25 @@ func walCreateInfo(proj *Project) walCreateJSON {
 		TCrowd:       proj.sys != nil,
 		RefreshEvery: proj.refreshEvery,
 		FsyncPolicy:  proj.fsyncPolicy,
+		PolishFrac:   proj.polishFrac,
+		Reputation:   proj.rep != nil,
 	}
+}
+
+// appendReputationRecord logs the current snapshots of the workers whose
+// reputation state just changed. Caller holds p.mu (so the record lands
+// in stream order relative to the answer batches that caused it). The
+// returned bool reports a segment rotation, like wal.Log.Append.
+func appendReputationRecord(proj *Project, workers []tabular.WorkerID) (bool, error) {
+	snaps := make([]reputation.WorkerSnapshot, 0, len(workers))
+	for _, u := range workers {
+		snaps = append(snaps, proj.rep.SnapshotOf(u))
+	}
+	payload, err := json.Marshal(snaps)
+	if err != nil {
+		return false, err
+	}
+	return proj.wal.Append(wal.Record{Type: walRecReputation, Data: payload})
 }
 
 // appendCreateRecord logs the project's registration and forces it to
@@ -179,10 +213,15 @@ func (p *Platform) compactProject(proj *Project) error {
 	if snap := proj.snapshot.Load(); snap != nil {
 		gen = snap.Generation
 	}
+	var repSnaps []reputation.WorkerSnapshot
+	if proj.rep != nil {
+		repSnaps = proj.rep.Snapshot()
+	}
 	payload, err := json.Marshal(walCheckpointJSON{
 		Create:     walCreateInfo(proj),
 		Generation: gen,
 		Answers:    blob,
+		Reputation: repSnaps,
 	})
 	if err != nil {
 		return err
@@ -284,6 +323,10 @@ func (p *Platform) recoverProject(dir string) (*Project, wal.Replay, error) {
 
 	var info walCreateJSON
 	var answerBlobs []json.RawMessage
+	// repBlobs collects reputation snapshots in log order (checkpoint
+	// state first, then every verdict record); applied last-wins per
+	// worker via Restore.
+	var repBlobs [][]reputation.WorkerSnapshot
 	first := replay.Records[0]
 	switch first.Type {
 	case walRecCreate:
@@ -299,14 +342,25 @@ func (p *Platform) recoverProject(dir string) (*Project, wal.Replay, error) {
 		if len(ck.Answers) > 0 {
 			answerBlobs = append(answerBlobs, ck.Answers)
 		}
+		if len(ck.Reputation) > 0 {
+			repBlobs = append(repBlobs, ck.Reputation)
+		}
 	default:
 		return nil, wal.Replay{}, fmt.Errorf("%w: log starts with record type %d, want create or checkpoint", wal.ErrWALCorrupt, first.Type)
 	}
 	for i, rec := range replay.Records[1:] {
-		if rec.Type != walRecBatch {
-			return nil, wal.Replay{}, fmt.Errorf("%w: record %d has type %d mid-log, want batch", wal.ErrWALCorrupt, i+1, rec.Type)
+		switch rec.Type {
+		case walRecBatch:
+			answerBlobs = append(answerBlobs, rec.Data)
+		case walRecReputation:
+			var snaps []reputation.WorkerSnapshot
+			if err := json.Unmarshal(rec.Data, &snaps); err != nil {
+				return nil, wal.Replay{}, fmt.Errorf("%w: undecodable reputation record %d: %v", wal.ErrWALCorrupt, i+1, err)
+			}
+			repBlobs = append(repBlobs, snaps)
+		default:
+			return nil, wal.Replay{}, fmt.Errorf("%w: record %d has type %d mid-log, want batch or reputation", wal.ErrWALCorrupt, i+1, rec.Type)
 		}
-		answerBlobs = append(answerBlobs, rec.Data)
 	}
 
 	// A project created with a per-project fsync override must keep it
@@ -335,6 +389,8 @@ func (p *Platform) recoverProject(dir string) (*Project, wal.Replay, error) {
 		UseTCrowdAssignment: info.TCrowd,
 		RefreshEvery:        info.RefreshEvery,
 		FsyncPolicy:         info.FsyncPolicy,
+		PolishFrac:          info.PolishFrac,
+		Reputation:          info.Reputation,
 	})
 	if err == nil {
 		for _, blob := range answerBlobs {
@@ -344,6 +400,11 @@ func (p *Platform) recoverProject(dir string) (*Project, wal.Replay, error) {
 				break
 			}
 			proj.Log.AddAll(as)
+		}
+	}
+	if err == nil && proj.rep != nil {
+		for _, snaps := range repBlobs {
+			proj.rep.Restore(snaps)
 		}
 	}
 	if err == nil {

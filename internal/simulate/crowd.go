@@ -23,6 +23,9 @@ type Crowd struct {
 	// rows memoises the sticky per-(worker,row) state: the confusion coin
 	// flip and the shared directional bias of continuous answers.
 	rows map[confKey]rowState
+	// answered counts answers drawn per worker (via Answer/AnswerMeta),
+	// which is what flips a Sleeper persona mid-stream.
+	answered map[tabular.WorkerID]int
 }
 
 type confKey struct {
@@ -37,7 +40,12 @@ type rowState struct {
 
 // NewCrowd builds a crowd with its own deterministic random stream.
 func NewCrowd(ds *Dataset, seed int64) *Crowd {
-	return &Crowd{DS: ds, rng: stats.NewRNG(seed), rows: make(map[confKey]rowState)}
+	return &Crowd{
+		DS:       ds,
+		rng:      stats.NewRNG(seed),
+		rows:     make(map[confKey]rowState),
+		answered: make(map[tabular.WorkerID]int),
+	}
 }
 
 // cellVariance returns the effective standardized variance of worker w on
@@ -72,8 +80,59 @@ func (cr *Crowd) rowState(w *Worker, row int) rowState {
 	return st
 }
 
+// personaOf resolves worker w's EFFECTIVE persona at its current answer
+// count: a Sleeper is Honest until TurnAfter answers, FastDeceiver after.
+func (cr *Crowd) personaOf(w *Worker) Persona {
+	if w.Persona == Sleeper {
+		if cr.answered[w.ID] < w.TurnAfter {
+			return Honest
+		}
+		return FastDeceiver
+	}
+	return w.Persona
+}
+
+// junkValue is RandomJunk behaviour: uniform over the column's labels or
+// domain, no relation to the truth.
+func (cr *Crowd) junkValue(c tabular.Cell) tabular.Value {
+	col := cr.DS.Table.Schema.Columns[c.Col]
+	if col.Type == tabular.Categorical {
+		return tabular.LabelValue(cr.rng.Intn(len(col.Labels)))
+	}
+	lo, hi := col.Min, col.Max
+	if hi <= lo {
+		truth := cr.DS.Table.TruthAt(c)
+		return tabular.NumberValue(truth.X + 10*cr.DS.ContScale[c.Col]*cr.rng.NormFloat64())
+	}
+	return tabular.NumberValue(lo + (hi-lo)*cr.rng.Float64())
+}
+
+// deceiveValue is FastDeceiver behaviour: the SAME deterministic wrong
+// answer per cell for every deceiver — a coordinated bloc that mutually
+// agrees, which is what makes the attack dangerous to agreement-only
+// defenses and to the inference itself.
+func (cr *Crowd) deceiveValue(c tabular.Cell) tabular.Value {
+	col := cr.DS.Table.Schema.Columns[c.Col]
+	truth := cr.DS.Table.TruthAt(c)
+	if col.Type == tabular.Categorical {
+		return tabular.LabelValue((truth.L + 1) % len(col.Labels))
+	}
+	dir := float64(((c.Row+c.Col)%2)*2 - 1)
+	x := truth.X + dir*5*cr.DS.ContScale[c.Col]
+	if col.Max > col.Min {
+		x = stats.Clamp(x, col.Min, col.Max)
+	}
+	return tabular.NumberValue(x)
+}
+
 // AnswerValue draws the value worker w would submit for cell c.
 func (cr *Crowd) AnswerValue(w *Worker, c tabular.Cell) tabular.Value {
+	switch cr.personaOf(w) {
+	case RandomJunk:
+		return cr.junkValue(c)
+	case FastDeceiver:
+		return cr.deceiveValue(c)
+	}
 	col := cr.DS.Table.Schema.Columns[c.Col]
 	truth := cr.DS.Table.TruthAt(c)
 	variance := cr.cellVariance(w, c)
@@ -111,7 +170,28 @@ func (cr *Crowd) AnswerValue(w *Worker, c tabular.Cell) tabular.Value {
 
 // Answer draws a full Answer record.
 func (cr *Crowd) Answer(w *Worker, c tabular.Cell) tabular.Answer {
-	return tabular.Answer{Worker: w.ID, Cell: c, Value: cr.AnswerValue(w, c)}
+	a := tabular.Answer{Worker: w.ID, Cell: c, Value: cr.AnswerValue(w, c)}
+	cr.answered[w.ID]++
+	return a
+}
+
+// WorkTimeMs draws the client-reported task time the worker's effective
+// persona would submit: honest workers take seconds, junk and deceiver
+// personas blast through in well under the plausibility floor.
+func (cr *Crowd) WorkTimeMs(w *Worker) int64 {
+	switch cr.personaOf(w) {
+	case RandomJunk, FastDeceiver:
+		return int64(40 + cr.rng.Intn(180))
+	default:
+		return int64(1200 + cr.rng.Intn(4800))
+	}
+}
+
+// AnswerMeta draws a full answer plus its persona-consistent work time —
+// the pair the adversarial scenarios submit over the /v1 wire.
+func (cr *Crowd) AnswerMeta(w *Worker, c tabular.Cell) (tabular.Answer, int64) {
+	ms := cr.WorkTimeMs(w)
+	return cr.Answer(w, c), ms
 }
 
 // FixedAssignment replays the AMT collection protocol of Sec. 6.1: each row

@@ -1,0 +1,129 @@
+package simulate
+
+import (
+	"testing"
+
+	"tcrowd/internal/stats"
+	"tcrowd/internal/tabular"
+)
+
+func personaCounts(ws []Worker) map[Persona]int {
+	out := make(map[Persona]int)
+	for _, w := range ws {
+		out[w.Persona]++
+	}
+	return out
+}
+
+func TestPopulationPersonaFractions(t *testing.T) {
+	ws := NewPopulation(stats.NewRNG(7), PopulationConfig{
+		N: 40, JunkFrac: 0.1, DeceiverFrac: 0.2, SleeperFrac: 0.05,
+	})
+	got := personaCounts(ws)
+	if got[RandomJunk] != 4 || got[FastDeceiver] != 8 || got[Sleeper] != 2 {
+		t.Fatalf("persona counts = %v", got)
+	}
+	if got[Honest] != 26 {
+		t.Fatalf("honest count = %d, want 26", got[Honest])
+	}
+	for _, w := range ws {
+		if w.Persona == Sleeper && w.TurnAfter != 30 {
+			t.Fatalf("sleeper TurnAfter = %d, want default 30", w.TurnAfter)
+		}
+	}
+}
+
+func TestDeceiversCoordinate(t *testing.T) {
+	ds := Generate(stats.NewRNG(31), TableConfig{
+		Rows: 10, Cols: 6, CatRatio: 0.5,
+		Population: PopulationConfig{N: 10, DeceiverFrac: 0.4},
+	})
+	cr := NewCrowd(ds, 32)
+	var deceivers []*Worker
+	for i := range ds.Workers {
+		if ds.Workers[i].Persona == FastDeceiver {
+			deceivers = append(deceivers, &ds.Workers[i])
+		}
+	}
+	if len(deceivers) < 2 {
+		t.Fatalf("setup: %d deceivers", len(deceivers))
+	}
+	for i := 0; i < ds.Table.NumRows(); i++ {
+		for j := 0; j < ds.Table.NumCols(); j++ {
+			c := tabular.Cell{Row: i, Col: j}
+			truth := ds.Table.TruthAt(c)
+			v0 := cr.AnswerValue(deceivers[0], c)
+			for _, w := range deceivers[1:] {
+				if !cr.AnswerValue(w, c).Equal(v0) {
+					t.Fatalf("deceivers disagree at %v", c)
+				}
+			}
+			if v0.Equal(truth) && ds.Table.Schema.Columns[j].Type == tabular.Categorical {
+				t.Fatalf("deceiver told the truth at %v", c)
+			}
+		}
+	}
+}
+
+func TestSleeperTurns(t *testing.T) {
+	ds := Generate(stats.NewRNG(41), TableConfig{
+		Rows: 30, Cols: 4, CatRatio: 1,
+		Population: PopulationConfig{N: 5, SleeperFrac: 0.2, SleeperTurnAfter: 10},
+	})
+	cr := NewCrowd(ds, 42)
+	var sleeper *Worker
+	for i := range ds.Workers {
+		if ds.Workers[i].Persona == Sleeper {
+			sleeper = &ds.Workers[i]
+		}
+	}
+	if sleeper == nil {
+		t.Fatal("setup: no sleeper in population")
+	}
+	// Honest phase: work times are plausible.
+	for k := 0; k < sleeper.TurnAfter; k++ {
+		a, ms := cr.AnswerMeta(sleeper, tabular.Cell{Row: k % ds.Table.NumRows(), Col: 0})
+		if ms < 500 {
+			t.Fatalf("sleeper answered fast (%dms) during honest phase (answer %d)", ms, k)
+		}
+		if a.Value.Kind != tabular.Label {
+			t.Fatalf("unexpected value kind %v", a.Value.Kind)
+		}
+	}
+	// Turned: coordinated wrong answers at junk speed.
+	for k := 0; k < 10; k++ {
+		c := tabular.Cell{Row: k, Col: 1}
+		a, ms := cr.AnswerMeta(sleeper, c)
+		if ms >= 500 {
+			t.Fatalf("turned sleeper answered slow (%dms)", ms)
+		}
+		if a.Value.Equal(ds.Table.TruthAt(c)) {
+			t.Fatalf("turned sleeper told the truth at %v", c)
+		}
+	}
+}
+
+func TestJunkCoversDomain(t *testing.T) {
+	ds := Generate(stats.NewRNG(51), TableConfig{
+		Rows: 40, Cols: 2, CatRatio: 1,
+		Population: PopulationConfig{N: 4, JunkFrac: 0.25},
+	})
+	cr := NewCrowd(ds, 52)
+	var junk *Worker
+	for i := range ds.Workers {
+		if ds.Workers[i].Persona == RandomJunk {
+			junk = &ds.Workers[i]
+		}
+	}
+	if junk == nil {
+		t.Fatal("setup: no junk worker")
+	}
+	seen := make(map[int]bool)
+	for k := 0; k < 200; k++ {
+		v := cr.AnswerValue(junk, tabular.Cell{Row: k % ds.Table.NumRows(), Col: 0})
+		seen[v.L] = true
+	}
+	if nl := ds.Table.Schema.Columns[0].NumLabels(); len(seen) != nl {
+		t.Fatalf("junk labels covered %d of %d", len(seen), nl)
+	}
+}

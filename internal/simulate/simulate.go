@@ -33,7 +33,37 @@ type Worker struct {
 	// ConfusionProneness in [0,1] scales the probability that the worker
 	// is confused by a given row (0 = never).
 	ConfusionProneness float64
+	// Persona is the worker's behavioural archetype (default Honest).
+	// Adversarial personas ignore the generative model: their answers are
+	// synthesised by behaviour, not drawn from Eq. 1/3.
+	Persona Persona
+	// TurnAfter is the answer count at which a Sleeper turns malicious.
+	TurnAfter int
 }
+
+// Persona classifies a simulated worker's behaviour for the adversarial
+// (spam-defense) scenarios. The zero value is Honest, so existing
+// workloads are unchanged.
+type Persona int
+
+const (
+	// Honest workers follow the paper's generative model (Eqs. 1 and 3).
+	Honest Persona = iota
+	// RandomJunk workers ignore the truth entirely: uniform random labels
+	// and uniform random numbers over the column domain, submitted
+	// implausibly fast.
+	RandomJunk
+	// FastDeceiver workers coordinate: every deceiver gives the SAME
+	// deterministic wrong answer per cell (truth shifted by one label /
+	// a fixed offset), so to the model they look like a consistent,
+	// mutually-agreeing bloc — the attack that actually flips estimates
+	// when their coverage is thick enough. They also answer fast.
+	FastDeceiver
+	// Sleeper workers behave honestly for their first TurnAfter answers,
+	// then switch to FastDeceiver behaviour — the persona that defeats
+	// any reputation scheme without recency weighting.
+	Sleeper
+)
 
 // Quality returns the unified worker quality q_u = erf(eps/sqrt(2 phi_u))
 // of Eq. 2.
@@ -55,6 +85,14 @@ type PopulationConfig struct {
 	SpammerPhi float64
 	// ConfusionProneness is the mean row-confusion proneness (default 0.5).
 	ConfusionProneness float64
+	// JunkFrac/DeceiverFrac/SleeperFrac assign adversarial personas to
+	// disjoint fractions of the population (defaults 0). Unlike
+	// SpammerFrac's honest-but-hopeless workers, persona workers actively
+	// misbehave; see Persona.
+	JunkFrac, DeceiverFrac, SleeperFrac float64
+	// SleeperTurnAfter is the per-sleeper answer count before turning
+	// (default 30).
+	SleeperTurnAfter int
 }
 
 func (c PopulationConfig) withDefaults() PopulationConfig {
@@ -75,6 +113,9 @@ func (c PopulationConfig) withDefaults() PopulationConfig {
 	}
 	if c.ConfusionProneness <= 0 {
 		c.ConfusionProneness = 0.5
+	}
+	if c.SleeperTurnAfter <= 0 {
+		c.SleeperTurnAfter = 30
 	}
 	return c
 }
@@ -97,6 +138,22 @@ func NewPopulation(rng *rand.Rand, cfg PopulationConfig) []Worker {
 			ConfusionProneness: stats.Clamp(c.ConfusionProneness+0.3*rng.NormFloat64(), 0, 1),
 		}
 	}
+	// Adversarial personas claim disjoint segments after the statistical
+	// spammers; the shuffle below mixes everyone into arrival order.
+	at := nSpam
+	assign := func(frac float64, p Persona) {
+		n := int(math.Round(frac * float64(c.N)))
+		for i := 0; i < n && at < len(ws); i++ {
+			ws[at].Persona = p
+			if p == Sleeper {
+				ws[at].TurnAfter = c.SleeperTurnAfter
+			}
+			at++
+		}
+	}
+	assign(c.JunkFrac, RandomJunk)
+	assign(c.DeceiverFrac, FastDeceiver)
+	assign(c.SleeperFrac, Sleeper)
 	// Spammers should not cluster at the head of arrival order.
 	rng.Shuffle(len(ws), func(i, j int) { ws[i], ws[j] = ws[j], ws[i] })
 	return ws
