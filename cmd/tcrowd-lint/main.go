@@ -1,0 +1,91 @@
+// Command tcrowd-lint runs the project's static-analysis suite
+// (internal/lint) over the given package patterns: lockcheck, detfold,
+// noalloc and errtable — the comment-only invariants of the codebase
+// turned into machine-checked contracts.
+//
+// Usage:
+//
+//	go run ./cmd/tcrowd-lint ./...
+//
+// Must run from inside the module (it resolves packages with `go list`
+// and type-checks from source). Exit status is 1 when any unwaived
+// finding or stale waiver exists, 0 otherwise. Waived findings
+// (suppressed with "//lint:allow <analyzer> <reason>") never fail the
+// run but are always printed, so every standing exception stays visible
+// in CI logs and reviews.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcrowd/internal/lint"
+)
+
+func main() {
+	var only string
+	flag.StringVar(&only, "only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tcrowd-lint [-only lockcheck,detfold,...] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "tcrowd-lint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	pkgs, err := lint.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcrowd-lint: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcrowd-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	for _, d := range res.Unwaived() {
+		fmt.Println(d)
+		failures++
+	}
+	for _, d := range res.UnusedWaivers {
+		fmt.Printf("%s:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		failures++
+	}
+	if waived := res.Waived(); len(waived) > 0 {
+		fmt.Printf("\n%d waived finding(s) — standing exceptions, re-justify when touching these lines:\n", len(waived))
+		for _, d := range waived {
+			reason := d.WaiveReason
+			if reason == "" {
+				reason = "no reason given"
+			}
+			fmt.Printf("  %s [waived: %s]\n", d, reason)
+		}
+	}
+	fmt.Printf("\ntcrowd-lint: %d package(s), %d finding(s) (%d unwaived, %d waived), %d stale waiver(s)\n",
+		len(pkgs), len(res.Findings), len(res.Unwaived()), len(res.Waived()), len(res.UnusedWaivers))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -238,6 +238,8 @@ func (em *ErrorModel) answerError(a tabular.Answer, guess tabular.Value, clamp b
 // fits. Every buffer is arena-reused, so a steady-state rebuild performs no
 // allocations. This is the polish-anchor path; between polishes use
 // UpdateCells.
+//
+//tcrowd:noalloc
 func (em *ErrorModel) Rebuild(est metrics.Estimates) {
 	// Reset the per-(worker, row) vectors and accumulators.
 	for i := range em.rowVec {
@@ -275,6 +277,7 @@ func (em *ErrorModel) Rebuild(est metrics.Estimates) {
 		v := em.errArena[off : off+int32(em.nCols)]
 		for j := 0; j < em.nCols; j++ {
 			if !em.isCat[j] && !math.IsNaN(v[j]) {
+				//lint:allow noalloc colScratch is truncated to :0 above and regrows inside the capacity the first Rebuild sized; the AllocsPerRun pin proves steady-state appends stay in-arena
 				em.colScratch[j] = append(em.colScratch[j], v[j])
 			}
 		}
@@ -320,6 +323,8 @@ func (em *ErrorModel) Rebuild(est metrics.Estimates) {
 // the O(batch) maintenance path of a streaming refresh whose polish was
 // deferred (cells come from core.RefreshStats.Cells). Winsorization bounds
 // stay frozen at their last Rebuild values.
+//
+//tcrowd:noalloc
 func (em *ErrorModel) UpdateCells(est metrics.Estimates, cells []int) {
 	log := em.m.Log
 	for _, key := range cells {

@@ -74,6 +74,17 @@
 // tracks dirty cells) and then RefreshIncremental re-runs the E-step on the
 // dirty posteriors only before a short warm EM polish. Ingestion cost is
 // O(batch), not O(log); see stream.go.
+//
+// # Determinism contract
+//
+// Every fold in this package runs in canonical CSR order: streamed
+// refreshes are pinned BITWISE equal to cold rebuilds across arbitrary
+// batch splits, which is only possible because no accumulation ever
+// depends on map iteration order, the wall clock, or the globally seeded
+// rand source. The directive below makes tcrowd-lint (detfold) reject
+// those constructs in this package.
+//
+//tcrowd:deterministic
 package core
 
 import (

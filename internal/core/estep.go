@@ -68,6 +68,8 @@ func (m *Model) eStepCells(loKey, hiKey int) {
 // Log-probabilities accumulate directly in the cell's posterior slice and
 // are normalised in place; answers are sorted by worker, so repeated
 // answers from one worker reuse the variance triple's erf/log work.
+//
+//tcrowd:noalloc
 func (m *Model) updateCatCell(i, j, lo, hi int) {
 	post := m.CatPost[i][j]
 	for z := range post {
@@ -104,6 +106,8 @@ func (m *Model) updateCatCell(i, j, lo, hi int) {
 
 // updateContCell computes the Gaussian posterior of Eq. 4 in standardized
 // units, with the N(0,1) column prior (mu0=0, phi0=1 after z-scoring).
+//
+//tcrowd:noalloc
 func (m *Model) updateContCell(i, j, lo, hi int) {
 	precision := 1.0 // prior 1/phi0
 	weighted := 0.0  // prior mu0/phi0 = 0

@@ -24,6 +24,8 @@ func (m *Model) Estimates() metrics.Estimates {
 // metrics.NewEstimates) with the current point estimates, allocating
 // nothing. This is the steady-state path of the assignment engine's
 // per-refresh state rebuild.
+//
+//tcrowd:noalloc
 func (m *Model) EstimatesInto(est metrics.Estimates) {
 	for i := 0; i < m.Table.NumRows(); i++ {
 		row := est[i]
@@ -35,6 +37,8 @@ func (m *Model) EstimatesInto(est metrics.Estimates) {
 
 // EstimateCell returns the current point estimate of one cell (None when
 // unanswered).
+//
+//tcrowd:noalloc
 func (m *Model) EstimateCell(i, j int) tabular.Value {
 	if !m.Answered[i][j] {
 		return tabular.Value{}

@@ -224,6 +224,8 @@ func (m *Model) qValueFast(alpha, beta, phi []float64) float64 {
 
 // qValueFastRange mirrors qFusedRange's value accumulation exactly, minus
 // the gradient work.
+//
+//tcrowd:noalloc
 func (m *Model) qValueFastRange(alpha, beta, phi []float64, lo, hi int) float64 {
 	scr := &m.scr
 	eps := m.Opts.Eps
@@ -333,6 +335,8 @@ func catTerms(eps, s float64) (lnQ, lnNotQ, dOverQ, dOverNotQ float64) {
 // per variance triple and shared between value and gradient; consecutive
 // groups with the same (row, column, worker) triple (adjacent label runs)
 // reuse them outright.
+//
+//tcrowd:noalloc
 func (m *Model) qFusedRange(alpha, beta, phi []float64, lo, hi int, ga, gb, gp []float64) float64 {
 	scr := &m.scr
 	eps := m.Opts.Eps

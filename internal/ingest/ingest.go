@@ -13,6 +13,12 @@
 // tracked as dirty, so the caller can re-run the E-step on exactly the
 // posteriors that changed.
 //
+// Determinism: the sufficient-statistics groups are always re-accumulated
+// in canonical CSR order so the float sums are bitwise batch-split
+// invariant — tcrowd-lint (detfold) enforces that no fold here picks up
+// map-order, clock or global-rand dependence (//tcrowd:deterministic at
+// the end of this comment).
+//
 // Layout. Ans holds every decoded answer sorted by (cell key, worker,
 // label, z) where key = row*cols + col; CellOff is the CSR index: cell key
 // k owns Ans[CellOff[k]:CellOff[k+1]]. The sort order guarantees two
@@ -38,6 +44,8 @@
 // Concurrency. A Log is not safe for concurrent mutation; the owning model
 // serialises Append against the EM loops. Read-only access from parallel
 // E/M-step shards is safe because shards never mutate the store.
+//
+//tcrowd:deterministic
 package ingest
 
 import (

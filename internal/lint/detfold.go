@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetFold enforces accumulation-order determinism in packages whose
+// package comment carries the //tcrowd:deterministic directive.
+//
+// The EM inference is reproducible only because every float fold runs in
+// canonical (CSR) order: the sufficient-statistics refresh is pinned
+// bitwise batch-split invariant, and the reputation verdict fold is a
+// pure left-fold over arrival order. Three construct classes silently
+// break that:
+//
+//   - ranging over a map while accumulating floats or appending to a
+//     slice (map iteration order is randomized per run);
+//   - time.Now / time.Since / time.Until (wall-clock input into state);
+//   - math/rand's package-level functions (globally, nondeterministically
+//     seeded — per-instance *rand.Rand with an explicit seed is fine and
+//     is not flagged).
+var DetFold = &Analyzer{
+	Name: "detfold",
+	Doc:  "reports order- and clock-dependent constructs in //tcrowd:deterministic packages",
+	Run:  runDetFold,
+}
+
+func runDetFold(pass *Pass) error {
+	if !pass.hasPackageDirective("deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.SelectorExpr:
+				checkClockAndRand(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags float accumulation and slice appends inside a
+// range over a map.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if !isCompoundArith(n) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if isFloat(pass.TypesInfo.TypeOf(lhs)) {
+					pass.Reportf(n.Pos(), "float accumulation inside map range: iteration order is randomized, breaking the bitwise batch-split invariant")
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.TypesInfo, n.Fun, "append") {
+				pass.Reportf(n.Pos(), "append inside map range: element order is randomized, breaking replay determinism")
+			}
+		}
+		return true
+	})
+}
+
+func isCompoundArith(a *ast.AssignStmt) bool {
+	switch a.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+		return true
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if u, uok := t.Underlying().(*types.Basic); uok {
+			b = u
+		} else {
+			return false
+		}
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// checkClockAndRand flags wall-clock reads and globally seeded random
+// draws.
+func checkClockAndRand(pass *Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		switch sel.Sel.Name {
+		case "Now", "Since", "Until":
+			pass.Reportf(sel.Pos(), "time.%s in a deterministic package: wall-clock input makes replay nondeterministic (thread timestamps in as data)", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors build explicitly seeded instances — fine. Every
+		// other package-level function draws from the global source.
+		if strings.HasPrefix(sel.Sel.Name, "New") {
+			return
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			pass.Reportf(sel.Pos(), "%s.%s uses the globally seeded source: draw from an explicitly seeded *rand.Rand instead", pkgName.Imported().Name(), fn.Name())
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package lint implements tcrowd's project-specific static analyzers:
+// the comment-only invariants the system's correctness rests on, turned
+// into machine-checked contracts that run on every PR.
+//
+// The suite contains four analyzers (see Analyzers):
+//
+//   - lockcheck: lock contracts. Struct fields annotated
+//     "//tcrowd:guardedby <mu>" (or the legacy prose "guarded by <mu>")
+//     may only be accessed on paths that hold that mutex; functions
+//     annotated "//tcrowd:locked <mu>" (or "Caller holds <mu>") may only
+//     be called with the mutex held, and themselves start with it held.
+//     Package-level "//tcrowd:lockorder A.x < B.y" directives declare the
+//     documented acquisition order; taking A.x while B.y is held is a
+//     violation.
+//
+//   - detfold: accumulation-order determinism. In packages whose package
+//     comment carries "//tcrowd:deterministic", ranging over a map while
+//     accumulating floats or appending to a slice is flagged (map order
+//     is randomized — the construct silently breaks the bitwise
+//     batch-split invariants), as is any use of time.Now/Since/Until and
+//     of math/rand's package-level (globally seeded) functions.
+//
+//   - noalloc: zero-allocation hot paths. Functions annotated
+//     "//tcrowd:noalloc" are flagged for allocating constructs: append,
+//     make, new, map/slice literals, variable-capturing closures,
+//     fmt calls, and concrete-value-to-interface boxing. The AllocsPerRun
+//     pins in the benchmarks stay, but they sample one code path; the
+//     analyzer covers every branch.
+//
+//   - errtable: exhaustiveness. A composite-literal table annotated
+//     "//tcrowd:errtable" must contain a row for every exported Err*
+//     sentinel in its package; a const group annotated "//tcrowd:enum"
+//     defines an enum whose switches (in that package) must list every
+//     member, default clause or not; and any switch over a named
+//     integer "enum-like" type that has no default clause must cover
+//     every declared constant of that type.
+//
+// Findings are suppressed with a waiver comment on the flagged line or
+// the line directly above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Waived findings are not silent: the driver (cmd/tcrowd-lint) surfaces
+// every waiver in its report, so intentional exceptions stay reviewable.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is built on the standard library
+// only — go/parser + go/types with the source importer — so the lint
+// gate needs nothing outside the repository and the Go toolchain.
+package lint

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrTable enforces the exhaustiveness contracts:
+//
+//  1. A package-level composite-literal table annotated //tcrowd:errtable
+//     must reference every exported Err* sentinel declared in the same
+//     package — the sentinel→(status,code,retryable) wire table cannot
+//     silently miss a sentinel (PR 4's contract).
+//
+//  2. A const group annotated "//tcrowd:enum <name>" defines an enum.
+//     Any switch in the package whose tag has the enum's named type, or
+//     whose cases mention one of its members, must list every member —
+//     a default clause does not excuse a missing member, because the
+//     contract is that every WAL record type and reputation state is
+//     handled explicitly (defaults exist for corruption, not coverage).
+//
+//  3. Generically: a switch with no default clause over a named integer
+//     type that has declared constants (in the type's own package, which
+//     may be an import) must cover all of them — the shape that rots
+//     when CrowdER-style pluggable task types multiply the enums.
+var ErrTable = &Analyzer{
+	Name: "errtable",
+	Doc:  "reports sentinel errors missing from the wire table and non-exhaustive switches over enums",
+	Run:  runErrTable,
+}
+
+func runErrTable(pass *Pass) error {
+	checkSentinelTable(pass)
+	enums := collectEnums(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, sw, enums)
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- sentinel table ----
+
+// checkSentinelTable finds the //tcrowd:errtable-annotated var and
+// verifies every exported same-package Err* sentinel appears inside its
+// composite literal.
+func checkSentinelTable(pass *Pass) {
+	var tableLit *ast.CompositeLit
+	var tablePos token.Pos
+	var tableName string
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc, "errtable") && !hasDirective(vs.Doc, "errtable") {
+					continue
+				}
+				if len(vs.Values) == 1 {
+					if cl, ok := vs.Values[0].(*ast.CompositeLit); ok {
+						tableLit, tablePos, tableName = cl, vs.Pos(), vs.Names[0].Name
+					}
+				}
+			}
+		}
+	}
+	if tableLit == nil {
+		return
+	}
+
+	referenced := map[types.Object]bool{}
+	ast.Inspect(tableLit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				referenced[obj] = true
+			}
+		}
+		return true
+	})
+
+	errType := types.Universe.Lookup("error").Type()
+	scope := pass.Pkg.Scope()
+	var missing []string
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") || !token.IsExported(name) {
+			continue
+		}
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !types.Implements(v.Type(), errType.Underlying().(*types.Interface)) {
+			continue
+		}
+		if !referenced[v] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(tablePos, "exported sentinel %s has no row in %s: every sentinel must map to a wire (status, code, retryable) spec", name, tableName)
+	}
+}
+
+// ---- enums and switch exhaustiveness ----
+
+// enumSet is one //tcrowd:enum const group: its display name, member
+// constant objects, and (when the constants share one) the named type.
+type enumSet struct {
+	name    string
+	typ     *types.Named
+	members []types.Object
+}
+
+func collectEnums(pass *Pass) []*enumSet {
+	var out []*enumSet
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			var dirName string
+			found := false
+			for _, d := range parseDirectives(gd.Doc) {
+				if d.Name == "enum" {
+					found = true
+					if len(d.Args) > 0 {
+						dirName = d.Args[0]
+					}
+				}
+			}
+			if !found {
+				continue
+			}
+			e := &enumSet{name: dirName}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					e.members = append(e.members, obj)
+					if n, ok := obj.Type().(*types.Named); ok {
+						e.typ = n
+					}
+				}
+			}
+			if e.name == "" && e.typ != nil {
+				e.name = e.typ.Obj().Name()
+			}
+			if e.name == "" {
+				e.name = "enum"
+			}
+			if len(e.members) > 0 {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt, enums []*enumSet) {
+	if sw.Tag == nil {
+		return
+	}
+	covered := map[types.Object]bool{}
+	hasDefault := false
+	for _, cc := range sw.Body.List {
+		clause, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		for _, e := range clause.List {
+			if obj := caseObject(pass, e); obj != nil {
+				covered[obj] = true
+			}
+		}
+	}
+
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+
+	// Rule 2: directive-declared enums, strict (default does not excuse).
+	for _, e := range enums {
+		if !switchTargetsEnum(tagType, covered, e) {
+			continue
+		}
+		reportMissing(pass, sw.Pos(), e.name, e.members, covered)
+		return
+	}
+
+	// Rule 3: generic named-integer enum types, lenient (a default
+	// clause marks the open-ended switches as intentional).
+	if hasDefault {
+		return
+	}
+	named, ok := tagType.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	members := constantsOfType(named)
+	if len(members) < 2 {
+		return
+	}
+	reportMissing(pass, sw.Pos(), named.Obj().Name(), members, covered)
+}
+
+func switchTargetsEnum(tagType types.Type, covered map[types.Object]bool, e *enumSet) bool {
+	if e.typ != nil && tagType != nil {
+		if named, ok := tagType.(*types.Named); ok && named.Obj() == e.typ.Obj() {
+			return true
+		}
+	}
+	for _, m := range e.members {
+		if covered[m] {
+			return true
+		}
+	}
+	return false
+}
+
+func caseObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// constantsOfType returns the package-level constants of the named type,
+// looked up in the type's defining package (works across imports).
+func constantsOfType(named *types.Named) []types.Object {
+	scope := named.Obj().Pkg().Scope()
+	var out []types.Object
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if cn, ok := c.Type().(*types.Named); ok && cn.Obj() == named.Obj() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func reportMissing(pass *Pass, pos token.Pos, enumName string, members []types.Object, covered map[types.Object]bool) {
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(pos, "switch over %s is not exhaustive: missing %s", enumName, strings.Join(missing, ", "))
+}

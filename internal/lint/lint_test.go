@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcrowd/internal/lint"
+	"tcrowd/internal/lint/linttest"
+)
+
+// Each analyzer gets a golden-file package under testdata/src/<name>
+// with seeded violations (`// want`), clean idioms (no comment), and
+// waived findings (`// waived`), so annotation parsing, the checks
+// themselves and the //lint:allow machinery are all pinned.
+
+func TestLockCheckGolden(t *testing.T) {
+	linttest.Run(t, ".", "lockcheck", lint.LockCheck)
+}
+
+func TestDetFoldGolden(t *testing.T) {
+	linttest.Run(t, ".", "detfold", lint.DetFold)
+}
+
+func TestNoAllocGolden(t *testing.T) {
+	linttest.Run(t, ".", "noalloc", lint.NoAlloc)
+}
+
+func TestErrTableGolden(t *testing.T) {
+	linttest.Run(t, ".", "errtable", lint.ErrTable)
+}

@@ -1,0 +1,134 @@
+// Package linttest is a self-contained analogue of
+// golang.org/x/tools/go/analysis/analysistest for the tcrowd lint suite:
+// it loads a golden-file package from a testdata directory, runs one or
+// more analyzers over it, and checks the reported diagnostics against
+// "// want `regexp`" comments in the sources.
+//
+// Layout mirrors analysistest: testdata/src/<pkg>/ holds one package of
+// ordinary Go files (stdlib imports only). A line that should be flagged
+// carries a trailing comment:
+//
+//	p.count++ // want `guarded by`
+//
+// Every want must be matched by a diagnostic of the analyzer under test
+// on that line, and every diagnostic must be matched by a want; waived
+// diagnostics (covered by //lint:allow) are checked with "// waived
+// `regexp`" wants instead, so waiver behaviour itself is golden-tested.
+package linttest
+
+import (
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tcrowd/internal/lint"
+)
+
+// wantRe matches one expectation comment: // want `re` or // waived `re`.
+var wantRe = regexp.MustCompile("//\\s*(want|waived)\\s+`([^`]+)`")
+
+type expectation struct {
+	file   string
+	line   int
+	re     *regexp.Regexp
+	waived bool
+	hit    bool
+}
+
+// Run loads testdata/src/<pkgname> relative to dir, applies the
+// analyzers, and reports any mismatch between diagnostics and the
+// sources' want comments.
+func Run(t *testing.T, dir, pkgname string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "testdata", "src", pkgname)
+	pkg, err := loadDir(pkgdir, pkgname)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgdir, err)
+	}
+	res, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	expects := collectExpectations(t, pkgdir)
+	for _, d := range res.Findings {
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != filepath.Base(d.Pos.Filename) || e.line != d.Pos.Line {
+				continue
+			}
+			if e.waived != d.Waived || !e.re.MatchString(d.Message) {
+				continue
+			}
+			e.hit = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic (waived=%v): %s", d.Waived, d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			kind := "want"
+			if e.waived {
+				kind = "waived"
+			}
+			t.Errorf("%s:%d: no diagnostic matched // %s `%s`", e.file, e.line, kind, e.re)
+		}
+	}
+}
+
+// loadDir parses and type-checks one testdata package with the source
+// importer (stdlib imports only).
+func loadDir(dir, name string) (*lint.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	return lint.CheckDir(fset, importer.ForCompiler(fset, "source", nil), name, dir, files)
+}
+
+func collectExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, m[2], err)
+				}
+				out = append(out, &expectation{
+					file:   e.Name(),
+					line:   i + 1,
+					re:     re,
+					waived: m[1] == "waived",
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// Load expands the package patterns with `go list` (so build constraints
+// and testdata/vendor exclusions match the toolchain exactly), parses the
+// non-test sources and type-checks them with the standard library's
+// source importer. It must run from inside the module, like the go tool
+// itself. Test files are deliberately excluded: the contracts the suite
+// enforces live in production code, and test scaffolding (fmt in
+// helpers, maps in fixtures) would drown the signal.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// One shared source importer: stdlib and intra-module dependencies
+	// are checked once per process, not once per analyzed package.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var out []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := CheckDir(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(outPipe)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return listed, nil
+}
+
+// CheckDir parses and type-checks one package's files. It is exported
+// for the linttest golden-file harness, which loads testdata packages
+// that `go list` deliberately cannot see.
+func CheckDir(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Result is the outcome of running the suite over a set of packages.
+type Result struct {
+	// Findings holds every diagnostic, waived or not, in stable order.
+	Findings []Diagnostic
+	// UnusedWaivers are //lint:allow comments that matched no finding —
+	// stale waivers that should be deleted.
+	UnusedWaivers []Diagnostic
+}
+
+// Unwaived returns the findings not covered by a waiver: the ones that
+// fail the build.
+func (r *Result) Unwaived() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Findings {
+		if !d.Waived {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Waived returns the findings suppressed by a //lint:allow comment, for
+// the driver's waiver report.
+func (r *Result) Waived() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Findings {
+		if d.Waived {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages and applies waivers.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		unused := applyWaivers(diags, collectWaivers(pkg.Fset, pkg.Files))
+		res.Findings = append(res.Findings, diags...)
+		for _, w := range unused {
+			// A waiver can only be judged stale by the analyzer it names:
+			// under a filtered run (-only) the other analyzers produced no
+			// findings for it to match, which proves nothing.
+			if !ran[w.analyzer] {
+				continue
+			}
+			res.UnusedWaivers = append(res.UnusedWaivers, Diagnostic{
+				Analyzer: w.analyzer,
+				Pos:      token.Position{Filename: w.file, Line: w.line},
+				Message:  "unused //lint:allow waiver (matches no finding)",
+			})
+		}
+	}
+	sortDiags(res.Findings)
+	sortDiags(res.UnusedWaivers)
+	res.Findings = dedupe(res.Findings)
+	return res, nil
+}
+
+// dedupe drops findings identical in (analyzer, file, line, message) —
+// one source line that trips a rule twice (e.g. a guarded field read and
+// written in one statement) is one finding.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if n := len(out); n > 0 {
+			p := out[n-1]
+			if p.Analyzer == d.Analyzer && p.Pos.Filename == d.Pos.Filename && p.Pos.Line == d.Pos.Line && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc flags allocating constructs in functions annotated
+// //tcrowd:noalloc — the steady-state hot paths whose AllocsPerRun
+// benchmark pins promise zero allocations. The pins sample one code
+// path per run; the analyzer covers every branch of the annotated
+// function, so an allocating construct on a rarely taken branch cannot
+// hide behind a green benchmark.
+//
+// Flagged constructs: append and make (growth), new, map/slice composite
+// literals, variable-capturing closures, calls into package fmt, and
+// boxing a concrete non-pointer value into an interface. Amortized cold
+// paths inside a hot function (arena growth, first-call setup) are real
+// and intentional — waive them line by line with
+// "//lint:allow noalloc <reason>" so the exception is visible in the
+// lint report instead of silent.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "reports allocating constructs in //tcrowd:noalloc functions",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasDirective(fd.Doc, "noalloc") {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	for _, d := range parseDirectives(doc) {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n.Fun, "append"):
+				pass.Reportf(n.Pos(), "append in a //tcrowd:noalloc function: growth past capacity allocates")
+			case isBuiltin(info, n.Fun, "make"):
+				pass.Reportf(n.Pos(), "make in a //tcrowd:noalloc function allocates")
+			case isBuiltin(info, n.Fun, "new"):
+				pass.Reportf(n.Pos(), "new in a //tcrowd:noalloc function allocates")
+			case isFmtCall(info, n.Fun):
+				pass.Reportf(n.Pos(), "fmt call in a //tcrowd:noalloc function: formatting allocates")
+			default:
+				checkBoxedArgs(pass, n)
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in a //tcrowd:noalloc function allocates")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in a //tcrowd:noalloc function allocates")
+			}
+		case *ast.FuncLit:
+			if free := capturedVars(info, n); len(free) > 0 {
+				pass.Reportf(n.Pos(), "closure capturing %s in a //tcrowd:noalloc function allocates", free[0].Name())
+			}
+		}
+		return true
+	})
+}
+
+func isFmtCall(info *types.Info, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "fmt"
+}
+
+// checkBoxedArgs flags concrete non-pointer values passed to
+// interface-typed parameters: the conversion boxes the value on the
+// heap (pointers ride in the interface word directly and are exempt).
+func checkBoxedArgs(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // f(xs...) passes the slice through, no boxing
+		}
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || boxFree(at) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants box into static data, not per-call heap
+		}
+		pass.Reportf(arg.Pos(), "passing %s to an interface parameter boxes it on the heap in a //tcrowd:noalloc function", at.String())
+	}
+}
+
+// boxFree reports whether converting a value of type t to an interface
+// never allocates: interfaces, pointers, channels, maps, funcs, and
+// unsafe pointers all fit the interface data word.
+func boxFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// capturedVars returns variables referenced by the closure body but
+// declared outside it (and not at package scope) — the captures that
+// force a heap-allocated closure context.
+func capturedVars(info *types.Info, fl *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level: no capture needed
+		}
+		if v.Pos() == 0 || (v.Pos() >= fl.Pos() && v.Pos() <= fl.End()) {
+			return true // declared inside the closure (params, locals)
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,68 @@
+// Package detfold exercises the detfold analyzer: map-range folds,
+// wall-clock reads and globally seeded randomness in a package marked
+// deterministic.
+//
+//tcrowd:deterministic
+package detfold
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sumMap(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation inside map range`
+	}
+	return total
+}
+
+func collectMap(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `append inside map range`
+	}
+	return keys
+}
+
+func sumSlice(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v // slice order is canonical: fine
+	}
+	return total
+}
+
+func intCountMap(m map[int]int) int {
+	n := 0
+	for range m {
+		n++ // integer adds commute bitwise: fine
+	}
+	return n
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since`
+}
+
+func draw() float64 {
+	return rand.Float64() // want `globally seeded`
+}
+
+func seeded(rng *rand.Rand) float64 {
+	return rng.Float64() // per-instance seeded source: fine
+}
+
+func construct() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // constructors are fine
+}
+
+func waivedClock() time.Time {
+	//lint:allow detfold diagnostics only, never folded into model state
+	return time.Now() // waived `time.Now`
+}

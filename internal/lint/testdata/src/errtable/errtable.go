@@ -1,0 +1,87 @@
+// Package errtable exercises the errtable analyzer: sentinel-table
+// completeness, directive-declared enum switches (strict: default does
+// not excuse), and the generic no-default named-integer rule.
+package errtable
+
+import (
+	"errors"
+	"net/http"
+)
+
+var (
+	ErrMissing = errors.New("missing")
+	ErrBroken  = errors.New("broken")
+	ErrSkipped = errors.New("skipped")
+)
+
+type spec struct {
+	err    error
+	status int
+}
+
+//tcrowd:errtable
+var wireTable = []spec{ // want `ErrSkipped has no row`
+	{ErrMissing, http.StatusNotFound},
+	{ErrBroken, http.StatusInternalServerError},
+}
+
+type recKind byte
+
+//tcrowd:enum walrec
+const (
+	recCheckpoint recKind = 1
+	recCreate     recKind = 2
+	recBatch      recKind = 3
+)
+
+func handle(k recKind) int {
+	switch k { // want `switch over walrec is not exhaustive: missing recBatch`
+	case recCheckpoint:
+		return 1
+	case recCreate:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func handleAll(k recKind) int {
+	switch k {
+	case recCheckpoint, recCreate, recBatch:
+		return 1
+	}
+	return 0
+}
+
+type state int
+
+const (
+	active state = iota
+	banned
+)
+
+func lenient(s state) bool {
+	switch s { // want `switch over state is not exhaustive: missing banned`
+	case active:
+		return true
+	}
+	return false
+}
+
+func lenientDefault(s state) bool {
+	switch s { // default clause marks the open-ended switch intentional
+	case active:
+		return true
+	default:
+		return false
+	}
+}
+
+func waivedSwitch(s state) bool {
+	//lint:allow errtable boolean projection, banned handled upstream
+	switch s { // waived `not exhaustive`
+	case active:
+		return true
+	}
+	return false
+}

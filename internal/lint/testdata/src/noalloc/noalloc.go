@@ -1,0 +1,59 @@
+// Package noalloc exercises the noalloc analyzer: allocating constructs
+// in annotated hot paths, with unannotated functions left alone.
+package noalloc
+
+import "fmt"
+
+type buf struct {
+	xs []float64
+}
+
+//tcrowd:noalloc
+func (b *buf) fill(vs []float64) {
+	for i, v := range vs {
+		b.xs[i] = v
+	}
+}
+
+//tcrowd:noalloc
+func (b *buf) grow(vs []float64) {
+	b.xs = append(b.xs, vs...) // want `append`
+	m := make(map[int]int)     // want `make`
+	_ = m
+	s := []int{1, 2} // want `slice literal`
+	_ = s
+	fmt.Println(len(vs)) // want `fmt call`
+}
+
+//tcrowd:noalloc
+func capture(n int) func() int {
+	return func() int { return n } // want `closure capturing n`
+}
+
+//tcrowd:noalloc
+func pure(n int) func() int {
+	return func() int { return 0 } // captures nothing: fine
+}
+
+//tcrowd:noalloc
+func box(v float64) any {
+	return sink(v) // want `boxes`
+}
+
+//tcrowd:noalloc
+func pointerRides(b *buf) any {
+	return sink(b) // pointers fit the interface word: fine
+}
+
+func sink(v any) any { return v }
+
+// unannotated functions allocate freely.
+func unannotated() []int {
+	return append([]int(nil), 1, 2)
+}
+
+//tcrowd:noalloc
+func waivedGrow(b *buf, v float64) {
+	//lint:allow noalloc amortized arena growth, cold path
+	b.xs = append(b.xs, v) // waived `append`
+}

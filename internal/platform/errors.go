@@ -23,6 +23,11 @@ type errSpec struct {
 // Order matters only for documentation; classification uses errors.Is, and
 // the sentinels are disjoint. Errors matching no row are client mistakes
 // (validation failures, malformed bodies) and fall back to badRequestSpec.
+// The directive makes tcrowd-lint fail the build if an exported Err*
+// sentinel in this package has no row here (the table-driven test checks
+// the rows are RIGHT; the analyzer checks none are MISSING).
+//
+//tcrowd:errtable
 var errTable = []struct {
 	err  error
 	spec errSpec

@@ -29,6 +29,16 @@
 // running EM per answer. RunInference is the strongly consistent read: it
 // routes through the same per-shard queue and waits, returning estimates
 // that reflect every answer recorded before the call.
+//
+// # Lock order
+//
+// When both are needed, a project's assignMu is acquired before the
+// platform mutex (refreshAssign and RequestTasks hold assignMu while
+// growShadow/Select briefly take p.mu to copy the delta); the reverse
+// order would deadlock against them. The directive below makes
+// tcrowd-lint enforce it.
+//
+//tcrowd:lockorder Project.assignMu < Platform.mu
 package platform
 
 import (
@@ -89,6 +99,8 @@ type Project struct {
 	// refreshEvery controls how many submissions may elapse between
 	// inference refreshes of sys.
 	refreshEvery int
+	// sinceRefresh counts submissions since the last enqueued refresh.
+	//tcrowd:guardedby Platform.mu
 	sinceRefresh int
 	// fsyncPolicy is the project's durability override ("always",
 	// "interval", "never"; empty = platform default). Immutable after
@@ -105,8 +117,9 @@ type Project struct {
 	// accumulator, touched only by refreshProject (serialised on the
 	// project's home shard under inferMu).
 	polishFrac float64
-	polishAcc  float64
-	rng        *rand.Rand
+	//tcrowd:guardedby inferMu
+	polishAcc float64
+	rng       *rand.Rand
 	// labelIdx[j] maps a categorical column's label strings to their
 	// indices (nil for continuous columns). Built once at project
 	// creation and immutable afterwards, so the HTTP layer resolves
@@ -123,8 +136,10 @@ type Project struct {
 	// into it). Growth happens only on the project's home shard worker
 	// (which serialises the two refresh kinds) and under assignMu
 	// (concurrent RequestTasks iterate the log while holding it).
+	//tcrowd:guardedby assignMu
 	shadow *tabular.AnswerLog
 	// shadowAt is the main-log length absorbed into shadow.
+	//tcrowd:guardedby assignMu
 	shadowAt int
 	// assignAt is the main-log length the assignment engine has refreshed
 	// against (<= shadowAt when an inference refresh grew the shadow
@@ -139,7 +154,9 @@ type Project struct {
 	// cold fit, refreshes stream the answer delta into it
 	// (core.Ingest + RefreshIncremental) instead of re-decoding the log.
 	// logAtModel is the log length the model has absorbed.
-	lastModel  *core.Model
+	//tcrowd:guardedby inferMu
+	lastModel *core.Model
+	//tcrowd:guardedby inferMu
 	logAtModel int
 	// snapshot is the copy-on-publish estimate snapshot: every completed
 	// refresh builds a fresh immutable InferenceResult and swaps the
@@ -154,9 +171,11 @@ type Project struct {
 	// retained holds the most recent published results, oldest first
 	// (including the latest), so generation-pinned paged walks and
 	// ?generation= re-reads survive a bounded number of publishes.
+	//tcrowd:guardedby genMu
 	retained []*InferenceResult
 	// lastEvent is the watch event of the latest publish, replayed to
 	// watchers that connect (or long-poll) with a stale ?after=.
+	//tcrowd:guardedby genMu
 	lastEvent api.WatchEvent
 	// hub fans published generation bumps out to watchers.
 	hub *watchHub
@@ -168,7 +187,8 @@ type Project struct {
 
 // Platform hosts projects and is safe for concurrent use.
 type Platform struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//tcrowd:guardedby mu
 	projects map[string]*Project
 	seed     int64
 	// retain is the per-project retained-generation ring capacity.
@@ -1061,9 +1081,13 @@ func (proj *Project) assignUpToDate(logLen int) bool {
 }
 
 // growShadow appends the main log's unabsorbed delta to the project's
-// shared shadow log and returns the table. Callers must hold assignMu and
-// run on the project's home shard worker; the platform lock is taken only
-// to copy the delta.
+// shared shadow log and returns the table. Callers must hold the
+// project's assignMu (the machine-readable contract below — the prose
+// alone was ambiguous, since assignMu lives on proj, not the receiver)
+// and run on the project's home shard worker; the platform lock is taken
+// only to copy the delta.
+//
+//tcrowd:locked Project.assignMu
 func (p *Platform) growShadow(proj *Project) *tabular.Table {
 	p.mu.Lock()
 	tbl := proj.Table
@@ -1116,8 +1140,8 @@ func (p *Platform) refreshProject(proj *Project) error {
 	proj.assignMu.Lock()
 	tbl := p.growShadow(proj)
 	proj.assignMu.Unlock()
-	shadow := proj.shadow
-	total := proj.shadowAt
+	//lint:allow lockcheck lock-free read per the comment above: refreshes are serialised on the project's home shard worker, so nothing grows the shadow concurrently
+	shadow, total := proj.shadow, proj.shadowAt
 
 	p.mu.Lock()
 	m := proj.lastModel
@@ -1202,6 +1226,8 @@ func (p *Platform) refreshProject(proj *Project) error {
 // refresh: the full iteration budget when a polish is due, 0 (dirty-cell
 // E-step plus deferred polish) otherwise. Runs only on the project's home
 // shard worker under inferMu, so the accumulator needs no lock.
+//
+//tcrowd:locked Project.inferMu
 func (proj *Project) nextPolishBudget() int {
 	if proj.polishFrac <= 0 || proj.polishFrac >= 1 {
 		return 50
@@ -1407,6 +1433,9 @@ func (p *Platform) Save(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// projectIDsLocked lists project IDs in sorted order.
+//
+//tcrowd:locked Platform.mu
 func (p *Platform) projectIDsLocked() []string {
 	out := make([]string, 0, len(p.projects))
 	for id := range p.projects {
@@ -1508,6 +1537,7 @@ func (p *Platform) importAnswers(proj *Project, log *tabular.AnswerLog) error {
 	// cursors are reset for the same reason — defensively, since a cached
 	// fit cannot exist yet.
 	proj.Log = log
+	//lint:allow lockcheck imports target freshly created projects that have never refreshed, so no inference holds inferMu yet; the reset is defensive (see the comment above)
 	proj.lastModel, proj.logAtModel = nil, 0
 	if rotated {
 		p.scheduleCompaction(proj.ID, proj)

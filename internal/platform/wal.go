@@ -23,7 +23,12 @@ import (
 var ErrDurability = errors.New("platform: durability failure")
 
 // WAL record types. walRecCheckpoint must stay distinct from every other
-// type forever: replay locates its starting segment by it.
+// type forever: replay locates its starting segment by it. The enum
+// directive makes tcrowd-lint require every switch mentioning one of
+// these to handle all of them — a new record type cannot silently skip a
+// replay path.
+//
+//tcrowd:enum walrec
 const (
 	walRecCheckpoint byte = 1 // full project state (compaction artifact)
 	walRecCreate     byte = 2 // project registration
@@ -328,6 +333,7 @@ func (p *Platform) recoverProject(dir string) (*Project, wal.Replay, error) {
 	// worker via Restore.
 	var repBlobs [][]reputation.WorkerSnapshot
 	first := replay.Records[0]
+	//lint:allow errtable the switch partitions the enum on purpose: batch/reputation records at log head are corruption, rejected (with the raw byte) by the default arm
 	switch first.Type {
 	case walRecCreate:
 		if err := json.Unmarshal(first.Data, &info); err != nil {
@@ -349,6 +355,7 @@ func (p *Platform) recoverProject(dir string) (*Project, wal.Replay, error) {
 		return nil, wal.Replay{}, fmt.Errorf("%w: log starts with record type %d, want create or checkpoint", wal.ErrWALCorrupt, first.Type)
 	}
 	for i, rec := range replay.Records[1:] {
+		//lint:allow errtable the switch partitions the enum on purpose: create/checkpoint records mid-log are corruption, rejected (with the raw byte) by the default arm
 		switch rec.Type {
 		case walRecBatch:
 			answerBlobs = append(answerBlobs, rec.Data)

@@ -45,6 +45,8 @@
 // fold: ObserveModelQuality only updates the weight modulation, never the
 // counters or the state machine. The platform relies on this to keep
 // reputation replay deterministic (see the batch-split property test).
+//
+//tcrowd:deterministic
 package reputation
 
 import (
@@ -59,6 +61,11 @@ import (
 // states are more restricted.
 type State int
 
+// The enum directive makes every switch over State in this package
+// exhaustive under tcrowd-lint: a new state cannot silently skip the
+// transition or serialization paths.
+//
+//tcrowd:enum State
 const (
 	// Active workers are in good standing: full weight, assignable.
 	Active State = iota
@@ -224,10 +231,12 @@ func (c *cellAgg) plurality() int {
 
 // Engine is the streaming reputation fold. Safe for concurrent use.
 type Engine struct {
-	mu      sync.Mutex
-	cfg     Config
+	mu  sync.Mutex
+	cfg Config
+	//tcrowd:guardedby mu
 	workers map[tabular.WorkerID]*workerState
-	cells   map[tabular.Cell]*cellAgg
+	//tcrowd:guardedby mu
+	cells map[tabular.Cell]*cellAgg
 }
 
 // NewEngine returns an empty engine with cfg's thresholds (zero fields
@@ -281,6 +290,10 @@ func (e *Engine) Observe(o Observation) (Verdict, bool) {
 			// jitter.
 			tol := 3*sd + 0.05*(math.Abs(cell.mean)+1)
 			disagree = math.Abs(o.Answer.Value.X-cell.mean) > tol
+		case tabular.None:
+			// Kind-less answers are rejected upstream by validation; an
+			// empty value that slips through is never held against the
+			// worker.
 		}
 		w.judged++
 		ind := 0.0
@@ -324,6 +337,9 @@ func (e *Engine) foldCell(c *cellAgg, v tabular.Value) {
 		d := v.X - c.mean
 		c.mean += d / float64(c.n)
 		c.m2 += d * (v.X - c.mean)
+	case tabular.None:
+		// An empty value carries no information; folding it in would only
+		// inflate n and dilute the plurality baseline.
 	}
 }
 
@@ -364,6 +380,9 @@ func (e *Engine) nextState(w *workerState) State {
 		if s < e.cfg.WatchScore-hysteresis {
 			return Active
 		}
+	case Active, Banned:
+		// Active has nowhere to step down to, and bans are sticky — the
+		// early return above means Banned never reaches this switch.
 	}
 	return w.state
 }
@@ -393,9 +412,11 @@ func stateWeight(s State) float64 {
 		return 0.35
 	case Quarantined:
 		return 0.05
-	default:
+	case Banned:
 		return 0
 	}
+	// Out-of-range states (a corrupt checkpoint snapshot) carry no weight.
+	return 0
 }
 
 // Weight returns worker u's E-step likelihood multiplier: the state weight
@@ -475,6 +496,7 @@ func (e *Engine) Snapshot() []WorkerSnapshot {
 	defer e.mu.Unlock()
 	out := make([]WorkerSnapshot, 0, len(e.workers))
 	for u, w := range e.workers {
+		//lint:allow detfold collection order is irrelevant: the slice is sorted by worker ID immediately below
 		out = append(out, snap(u, w))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })

@@ -108,6 +108,8 @@ type job struct {
 
 // shardQueue is one worker's bounded FIFO plus its metrics. All fields are
 // guarded by mu.
+//
+//tcrowd:guardedby mu
 type shardQueue struct {
 	mu       sync.Mutex
 	nonEmpty *sync.Cond

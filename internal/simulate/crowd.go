@@ -132,6 +132,10 @@ func (cr *Crowd) AnswerValue(w *Worker, c tabular.Cell) tabular.Value {
 		return cr.junkValue(c)
 	case FastDeceiver:
 		return cr.deceiveValue(c)
+	case Honest, Sleeper:
+		// Fall through to the honest generative draw below. personaOf
+		// already resolves Sleeper to Honest or FastDeceiver, so the
+		// Sleeper arm is unreachable but keeps the switch exhaustive.
 	}
 	col := cr.DS.Table.Schema.Columns[c.Col]
 	truth := cr.DS.Table.TruthAt(c)

@@ -7,6 +7,12 @@
 // chi-square quantiles for CATD, bivariate normal conditionals for the
 // attribute-correlation model) are implemented here and pinned by golden
 // tests against published reference values.
+//
+// Everything here is deterministic by contract (tcrowd-lint detfold):
+// sampling goes through explicitly seeded RNG instances, never the
+// globally seeded math/rand source or the wall clock.
+//
+//tcrowd:deterministic
 package stats
 
 import (

@@ -204,6 +204,10 @@ func WriteAnswersCSV(w io.Writer, s Schema, l *AnswerLog) error {
 			val = col.Labels[a.Value.L]
 		case Number:
 			val = strconv.FormatFloat(a.Value.X, 'g', -1, 64)
+		case None:
+			// A kind-less value exports as an empty field; ReadAnswersCSV
+			// rejects it on the way back in, keeping the round trip honest.
+			val = ""
 		}
 		rec := []string{string(a.Worker), strconv.Itoa(a.Cell.Row), col.Name, val}
 		if err := cw.Write(rec); err != nil {

@@ -166,13 +166,20 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu       sync.Mutex
-	file     File   // current segment, open for append
-	name     string // current segment path
-	index    int    // current segment index
-	size     int64  // bytes written to current segment (all good frames)
-	dirty    bool   // unsynced appends outstanding (SyncInterval/Never)
-	sticky   error  // unrecoverable fault; all further mutations fail
+	mu sync.Mutex
+	//tcrowd:guardedby mu
+	file File // current segment, open for append
+	//tcrowd:guardedby mu
+	name string // current segment path
+	//tcrowd:guardedby mu
+	index int // current segment index
+	//tcrowd:guardedby mu
+	size int64 // bytes written to current segment (all good frames)
+	//tcrowd:guardedby mu
+	dirty bool // unsynced appends outstanding (SyncInterval/Never)
+	//tcrowd:guardedby mu
+	sticky error // unrecoverable fault; all further mutations fail
+	//tcrowd:guardedby mu
 	closed   bool
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -217,6 +224,7 @@ func Open(dir string, opts Options) (*Log, Replay, error) {
 	l := &Log{dir: dir, opts: opts, stop: make(chan struct{})}
 
 	if len(indices) == 0 {
+		//lint:allow lockcheck the Log is still being constructed: no other goroutine can hold a reference before Open returns
 		if err := l.openSegment(1, true); err != nil {
 			return nil, Replay{}, err
 		}
@@ -261,11 +269,12 @@ func Open(dir string, opts Options) (*Log, Replay, error) {
 			rep.TornBytes = int64(len(data)) - good
 		}
 		if i == len(indices)-1 {
-			l.index = idx
-			l.size = good
+			//lint:allow lockcheck the Log is still being constructed: no other goroutine can hold a reference before Open returns
+			l.index, l.size = idx, good
 		}
 	}
 
+	//lint:allow lockcheck the Log is still being constructed: no other goroutine can hold a reference before Open returns
 	if err := l.openSegment(l.index, false); err != nil {
 		return nil, Replay{}, err
 	}
@@ -391,6 +400,8 @@ func (l *Log) startFlusher() {
 // flushLocked fsyncs outstanding appends. A failed fsync is sticky: the
 // kernel may have dropped the dirty pages, so no later success can prove
 // those records durable.
+//
+//tcrowd:locked Log.mu
 func (l *Log) flushLocked() {
 	if !l.dirty || l.file == nil || l.sticky != nil {
 		return
@@ -461,6 +472,8 @@ func (l *Log) Append(rec Record) (rotated bool, err error) {
 // healLocked truncates the current segment back to the last good frame
 // after a failed write. If that fails, the log is wedged (sticky error):
 // better to refuse new appends than to ack records replay will drop.
+//
+//tcrowd:locked Log.mu
 func (l *Log) healLocked(cause error) {
 	_ = l.file.Close()
 	if err := l.opts.FS.Truncate(l.name, l.size); err != nil {
@@ -476,6 +489,8 @@ func (l *Log) healLocked(cause error) {
 }
 
 // sealLocked makes the current segment durable and closes it.
+//
+//tcrowd:locked Log.mu
 func (l *Log) sealLocked() error {
 	if err := l.file.Sync(); err != nil {
 		l.sticky = fmt.Errorf("wal: fsync %s at seal: %w", l.name, err)
