@@ -67,6 +67,17 @@ const (
 	// exceeded. Retryable — back off per the Retry-After header (the SDK
 	// does this automatically).
 	CodeRateLimited = "rate_limited"
+	// CodeNotHome: in a multi-node cluster, this node is not the
+	// addressed project's home and will not accept the request (writes
+	// always land on the home node). Error.Home carries the home node's
+	// base URL; the SDK re-issues the request against it automatically.
+	// Not retryable AS ISSUED — the identical request to the same node
+	// keeps failing; the retry must go to Home.
+	CodeNotHome = "not_home"
+	// CodeReplicaStale: a generation-pinned read addressed a replica
+	// that has not received the requested generation yet. Retryable —
+	// replication delivers it shortly (or read the home node).
+	CodeReplicaStale = "replica_stale"
 )
 
 // Error is the typed error payload carried by every non-2xx response.
@@ -80,6 +91,9 @@ type Error struct {
 	Retryable bool `json:"retryable"`
 	// Items carries per-answer failures for CodeBatchRejected.
 	Items []ItemError `json:"items,omitempty"`
+	// Home is the base URL of the project's home node, set on
+	// CodeNotHome responses so clients re-issue the request there.
+	Home string `json:"home,omitempty"`
 }
 
 // Error implements the error interface.

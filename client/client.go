@@ -125,6 +125,11 @@ type APIError struct {
 	Items []api.ItemError
 	// RetryAfter is the server's Retry-After hint (0 when absent).
 	RetryAfter time.Duration
+	// Home is the project's home node base URL, set on api.CodeNotHome
+	// (421) responses from a cluster node that does not own the project.
+	// The client follows it automatically; it is surfaced for callers that
+	// want to re-point themselves at the home node for future requests.
+	Home string
 }
 
 // Error implements the error interface.
@@ -132,9 +137,17 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("tcrowd: %d %s: %s", e.Status, e.Code, e.Message)
 }
 
+// maxHomeFollows bounds how many 421 not_home referrals one logical call
+// follows — enough for one stale hop plus the fresh answer, while a
+// misconfigured cluster bouncing a project between nodes fails fast
+// instead of looping.
+const maxHomeFollows = 2
+
 // do issues one request (with 429 backoff) and decodes a 2xx body into
 // out (skipped when out is nil). hdr carries extra request headers (nil
-// for none); a 304 response surfaces as ErrNotModified.
+// for none); a 304 response surfaces as ErrNotModified. A 421 not_home
+// from a cluster node is followed transparently to the home node named in
+// the envelope.
 func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -143,9 +156,16 @@ func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, i
 			return fmt.Errorf("tcrowd: encoding request: %w", err)
 		}
 	}
+	base := c.base
+	follows := 0
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, method, path, hdr, body, out)
+		err := c.doOnce(ctx, method, base+path, hdr, body, out)
 		ae, ok := err.(*APIError)
+		if ok && ae.Code == api.CodeNotHome && ae.Home != "" && follows < maxHomeFollows {
+			follows++
+			base = trimSlash(ae.Home)
+			continue
+		}
 		if !ok || !ae.Retryable || ae.Status != http.StatusTooManyRequests || attempt >= c.maxRetries {
 			return err
 		}
@@ -166,12 +186,12 @@ func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, i
 	}
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Header, body []byte, out any) error {
+func (c *Client) doOnce(ctx context.Context, method, url string, hdr http.Header, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return err
 	}
@@ -209,6 +229,7 @@ func decodeErr(resp *http.Response) error {
 		ae.Message = env.Err.Message
 		ae.Retryable = env.Err.Retryable
 		ae.Items = env.Err.Items
+		ae.Home = env.Err.Home
 	} else {
 		ae.Code = api.CodeBadRequest
 		ae.Message = string(raw)
@@ -390,26 +411,38 @@ func (c *Client) Watch(ctx context.Context, project string, after int, timeout t
 	if len(v) > 0 {
 		path += "?" + v.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, err
+	base := c.base
+	for follows := 0; ; follows++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.streamHC().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusNoContent:
+			resp.Body.Close()
+			return nil, nil
+		case resp.StatusCode >= 300:
+			err := decodeErr(resp)
+			resp.Body.Close()
+			var ae *APIError
+			if errors.As(err, &ae) && ae.Code == api.CodeNotHome && ae.Home != "" && follows < maxHomeFollows {
+				base = trimSlash(ae.Home)
+				continue
+			}
+			return nil, err
+		}
+		var ev api.WatchEvent
+		decErr := json.NewDecoder(resp.Body).Decode(&ev)
+		resp.Body.Close()
+		if decErr != nil {
+			return nil, decErr
+		}
+		return &ev, nil
 	}
-	resp, err := c.streamHC().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	switch {
-	case resp.StatusCode == http.StatusNoContent:
-		return nil, nil
-	case resp.StatusCode >= 300:
-		return nil, decodeErr(resp)
-	}
-	var ev api.WatchEvent
-	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
-		return nil, err
-	}
-	return &ev, nil
 }
 
 // WatchStream opens the SSE variant of /watch and streams generation
@@ -438,22 +471,34 @@ func (c *Client) watchStream(ctx context.Context, project string, after int, eve
 	if len(v) > 0 {
 		path += "?" + v.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Accept", "text/event-stream")
-	resp, err := c.streamHC().Do(req)
-	if err != nil {
-		if ctx.Err() != nil {
-			return ctx.Err()
+	base := c.base
+	var resp *http.Response
+	for follows := 0; ; follows++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return err
 		}
-		return err
+		req.Header.Set("Accept", "text/event-stream")
+		resp, err = c.streamHC().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if resp.StatusCode >= 300 {
+			err := decodeErr(resp)
+			resp.Body.Close()
+			var ae *APIError
+			if errors.As(err, &ae) && ae.Code == api.CodeNotHome && ae.Home != "" && follows < maxHomeFollows {
+				base = trimSlash(ae.Home)
+				continue
+			}
+			return err
+		}
+		break
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return decodeErr(resp)
-	}
 	// Minimal SSE reader: collect data: lines, dispatch on blank line.
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)

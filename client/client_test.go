@@ -285,3 +285,62 @@ func writeJSONBody(w http.ResponseWriter, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	return json.NewEncoder(w).Encode(v)
 }
+
+// TestClientFollowsNotHome pins the cluster referral contract: a 421
+// not_home envelope carrying a home address makes the client transparently
+// re-issue the request there, and a referral loop gives up with the typed
+// error instead of bouncing forever.
+func TestClientFollowsNotHome(t *testing.T) {
+	var homeCalls int
+	homeMux := http.NewServeMux()
+	homeMux.HandleFunc("GET /v1/projects/p/estimates", func(w http.ResponseWriter, r *http.Request) {
+		homeCalls++
+		_ = writeJSONBody(w, api.EstimatesResponse{AnswersSeen: 7, Fresh: true})
+	})
+	home := httptest.NewServer(homeMux)
+	defer home.Close()
+
+	writeNotHome := func(homeURL string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			_ = writeJSONBody(w, api.ErrorEnvelope{Err: api.Error{
+				Code: api.CodeNotHome, Message: "project p lives elsewhere", Home: homeURL}})
+		}
+	}
+	edge := httptest.NewServer(writeNotHome(home.URL))
+	defer edge.Close()
+
+	// Pointed at the wrong node, the client lands on the home and succeeds.
+	c := New(edge.URL)
+	est, err := c.Estimates(context.Background(), "p", EstimatesQuery{})
+	if err != nil {
+		t.Fatalf("follow failed: %v", err)
+	}
+	if est.AnswersSeen != 7 || homeCalls != 1 {
+		t.Fatalf("followed read = %+v after %d home calls", est, homeCalls)
+	}
+
+	// Two nodes referring to each other (stale membership on both sides)
+	// must terminate: the typed 421 surfaces once the follow budget is
+	// spent, with the last referral's home preserved for the caller.
+	var a, b *httptest.Server
+	a = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeNotHome(b.URL)(w, r)
+	}))
+	defer a.Close()
+	b = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeNotHome(a.URL)(w, r)
+	}))
+	defer b.Close()
+
+	cLoop := New(a.URL)
+	_, err = cLoop.Estimates(context.Background(), "p", EstimatesQuery{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeNotHome || ae.Status != http.StatusMisdirectedRequest {
+		t.Fatalf("referral loop: %v, want typed not_home", err)
+	}
+	if ae.Home == "" {
+		t.Fatalf("loop error lost the Home referral: %+v", ae)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"tcrowd/api"
 	"tcrowd/client"
@@ -100,6 +101,7 @@ func hotBenches() []struct {
 		{"wal/append-batch-1-never", benchWALAppendBatch(1, wal.SyncNever)},
 		{"wal/append-batch-50-never", benchWALAppendBatch(50, wal.SyncNever)},
 		{"wal/append-batch-200-never", benchWALAppendBatch(200, wal.SyncNever)},
+		{"wal/group-commit-16proj", benchWALGroupCommit(16, 50)},
 		{"server/submit-batch-1", benchServerSubmitBatch(1, false)},
 		{"server/submit-batch-50", benchServerSubmitBatch(50, false)},
 		{"server/submit-batch-200", benchServerSubmitBatch(200, false)},
@@ -432,6 +434,85 @@ func benchWALAppendBatch(batch int, policy wal.SyncPolicy) func(b *testing.B) {
 			}
 			ops++
 			if _, err := l.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchWALGroupCommit measures the -fsync=interval append path with many
+// live project logs: nproj SyncInterval logs share ONE background flusher
+// (the group-commit registry), so an append is frame + CRC + buffered
+// write only — the fsyncs happen off the hot path, batched across every
+// dirty log per interval tick. One op is one batch append on one of the
+// logs, round-robin, which is the many-projects-one-server shape the
+// cluster serves. Compare against wal/append-batch-50-always to see the
+// latency the shared flusher buys.
+func benchWALGroupCommit(nproj, batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		schema := tabular.Schema{
+			Key: "item",
+			Columns: []tabular.Column{
+				{Name: "c0", Type: tabular.Categorical, Labels: []string{"a", "b", "c"}},
+				{Name: "c1", Type: tabular.Continuous, Min: 0, Max: 100},
+			},
+		}
+		answers := make([]tabular.Answer, batch)
+		for i := range answers {
+			answers[i] = tabular.Answer{
+				Worker: tabular.WorkerID(fmt.Sprintf("w%04d", i)),
+				Cell:   tabular.Cell{Row: i, Col: i % 2},
+				Value:  tabular.NumberValue(float64(i % 100)),
+			}
+		}
+		blob, err := tabular.MarshalAnswers(schema, answers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root, err := os.MkdirTemp("", "tcrowd-wal-group-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(root)
+		var (
+			logs []*wal.Log
+			gen  int
+			ops  int
+		)
+		closeAll := func() {
+			for _, l := range logs {
+				l.Close()
+			}
+			logs = nil
+		}
+		reset := func() {
+			closeAll()
+			os.RemoveAll(fmt.Sprintf("%s/gen%d", root, gen))
+			gen++
+			for i := 0; i < nproj; i++ {
+				l, _, err := wal.Open(fmt.Sprintf("%s/gen%d/p%02d", root, gen, i), wal.Options{
+					Policy: wal.SyncInterval, Interval: 10 * time.Millisecond, CheckpointType: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				logs = append(logs, l)
+			}
+			ops = 0
+		}
+		reset()
+		defer closeAll()
+		rec := wal.Record{Type: 3, Data: blob}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ops > 2000*nproj {
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+			}
+			ops++
+			if _, err := logs[i%nproj].Append(rec); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -10,6 +10,8 @@
 //	tcrowd-server -addr :8080 -state platform.json   # import/export snapshot
 //	tcrowd-server -workers 8 -queue-depth 128        # explicit shard sizing
 //	tcrowd-server -retain-generations 16             # deeper pinned-read window
+//	tcrowd-server -node-id n1 -peers n1=http://a:8080,n2=http://b:8080 -wal-dir ./wal
+//	                                                 # static-membership cluster node
 //
 // Endpoints — the versioned /v1 wire API (full reference: README.md next
 // to this file; wire types: package api; official Go SDK: package client;
@@ -82,6 +84,21 @@
 // into an empty platform, exported atomically (temp file + fsync +
 // rename) on shutdown. The WAL is the source of truth.
 //
+// # Cluster mode
+//
+// -node-id plus -peers (a static id=url membership list including this
+// node) turn the process into one node of a cluster (internal/cluster):
+// the same consistent-hash ring that spreads projects over in-process
+// shards now spreads them over nodes. Every project has one home node —
+// writes always execute there — and every published snapshot generation
+// replicates to the other nodes, which serve the full read surface
+// (pinned estimates, ETag/304, watch) from local state. Requests arriving
+// at the wrong node are forwarded (default), redirected with 307, or
+// rejected with a typed 421 not_home envelope per -route; the Go SDK
+// follows not_home referrals automatically. Cluster mode requires
+// -wal-dir: membership changes hand projects off by shipping the WAL to
+// the new home. See ARCHITECTURE.md, "Cluster layer".
+//
 // On SIGINT/SIGTERM the server stops accepting HTTP, exports -state if
 // set, drains the shard queues, and flushes + fsyncs every WAL regardless
 // of policy. At startup, every recovered or imported project with answers
@@ -99,28 +116,48 @@ import (
 	"syscall"
 	"time"
 
+	"tcrowd/internal/cluster"
+	"tcrowd/internal/cluster/member"
 	"tcrowd/internal/platform"
 	"tcrowd/internal/wal"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		state     = flag.String("state", "", "optional JSON export file (imported at start when the platform is empty, exported atomically on SIGINT/SIGTERM); durability lives in -wal-dir")
-		seed      = flag.Int64("seed", 1, "assignment tie-breaking seed")
-		workers   = flag.Int("workers", 0, "inference shard workers (0 = GOMAXPROCS-derived)")
-		depth     = flag.Int("queue-depth", 0, "per-shard refresh queue bound (0 = default 64)")
-		retain    = flag.Int("retain-generations", 0, "published snapshot generations kept addressable per project for pinned reads (0 = default 8)")
-		walDir    = flag.String("wal-dir", "", "write-ahead log directory: answers are persisted before acknowledgement and replayed at boot (empty = no durability)")
-		fsync     = flag.String("fsync", "always", "WAL fsync policy: always (ack = durable), interval (bounded loss, background flush), never (OS-paced)")
-		walSeg    = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes; rotation triggers checkpoint compaction (0 = default 4 MiB)")
-		fsyncInt  = flag.Duration("fsync-interval", 0, "flush cadence for -fsync=interval (0 = default 100ms)")
-		rateLimit = flag.Float64("rate-limit", 0, "per-worker request rate limit in tokens/sec (1 token = 1 answer or task request; 0 = unlimited); exceeding it answers 429 rate_limited with Retry-After")
-		rateBurst = flag.Float64("rate-burst", 0, "per-worker token-bucket capacity for -rate-limit (0 = max(rate, 1))")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		state       = flag.String("state", "", "optional JSON export file (imported at start when the platform is empty, exported atomically on SIGINT/SIGTERM); durability lives in -wal-dir")
+		seed        = flag.Int64("seed", 1, "assignment tie-breaking seed")
+		workers     = flag.Int("workers", 0, "inference shard workers (0 = GOMAXPROCS-derived)")
+		depth       = flag.Int("queue-depth", 0, "per-shard refresh queue bound (0 = default 64)")
+		retain      = flag.Int("retain-generations", 0, "published snapshot generations kept addressable per project for pinned reads (0 = default 8)")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory: answers are persisted before acknowledgement and replayed at boot (empty = no durability)")
+		fsync       = flag.String("fsync", "always", "WAL fsync policy: always (ack = durable), interval (bounded loss, background flush), never (OS-paced)")
+		walSeg      = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes; rotation triggers checkpoint compaction (0 = default 4 MiB)")
+		fsyncInt    = flag.Duration("fsync-interval", 0, "flush cadence for -fsync=interval (0 = default 100ms)")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-worker request rate limit in tokens/sec (1 token = 1 answer or task request; 0 = unlimited); exceeding it answers 429 rate_limited with Retry-After")
+		rateBurst   = flag.Float64("rate-burst", 0, "per-worker token-bucket capacity for -rate-limit (0 = max(rate, 1))")
+		retainBytes = flag.Int64("retain-bytes", 0, "byte budget for retained snapshot generations per project: old generations evict early when the ring exceeds it (0 = count cap only; the latest generation always survives)")
+		nodeID      = flag.String("node-id", "", "this node's id in -peers; both flags together enable cluster mode")
+		peers       = flag.String("peers", "", "static cluster membership as id=url,id=url,... including this node; projects are consistent-hashed to their home node, writes route there, reads replicate everywhere")
+		routeMode   = flag.String("route", "forward", "what the edge does with a request for a project homed elsewhere: forward (transparent proxy), redirect (307 + Location), reject (421 not_home envelope the SDK follows)")
 	)
 	flag.Parse()
 
-	opts := platform.Options{Workers: *workers, QueueDepth: *depth, RetainGenerations: *retain}
+	members, err := member.Parse(*nodeID, *peers)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := cluster.ParseRouteMode(*routeMode)
+	if err != nil {
+		fatal(err)
+	}
+	if members != nil && *walDir == "" {
+		// Handoff ships the WAL; without one a membership change would
+		// orphan recorded answers on the old home.
+		fatal(fmt.Errorf("cluster mode (-peers) requires -wal-dir"))
+	}
+
+	opts := platform.Options{Workers: *workers, QueueDepth: *depth, RetainGenerations: *retain, RetainBytes: *retainBytes}
 	var p *platform.Platform
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsync)
@@ -179,7 +216,21 @@ func main() {
 		}))
 		fmt.Printf("per-worker rate limit: %.3g tokens/sec (burst %.3g)\n", *rateLimit, *rateBurst)
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	var root http.Handler = handler
+	var node *cluster.Node
+	if members != nil {
+		node, err = cluster.New(cluster.Options{Members: members, Platform: p, Local: handler, Mode: mode})
+		if err != nil {
+			fatal(err)
+		}
+		// Boot rebalance: with static membership the only way ownership
+		// moved is an operator editing -peers across a restart, so hand off
+		// anything no longer homed here (retrying until every peer is up).
+		node.StartRebalance()
+		root = node
+		fmt.Printf("cluster node %s of %d members (route=%s)\n", members.Self().ID, members.Size(), *routeMode)
+	}
+	srv := &http.Server{Addr: *addr, Handler: root}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
@@ -201,10 +252,14 @@ func main() {
 		fatal(err)
 	}
 
-	// HTTP is stopped: export state while the WAL is still open (Close
-	// wedges late appends), then drain queued refreshes and fsync the
-	// logs. The export is atomic — temp file, fsync, rename — so a crash
-	// mid-save can never destroy the previous export.
+	// HTTP is stopped: detach the cluster layer first (its shippers hold
+	// the publish hook), then export state while the WAL is still open
+	// (Close wedges late appends), then drain queued refreshes and fsync
+	// the logs. The export is atomic — temp file, fsync, rename — so a
+	// crash mid-save can never destroy the previous export.
+	if node != nil {
+		node.Close()
+	}
 	if *state != "" {
 		if err := p.SaveToFile(*state); err != nil {
 			fmt.Fprintf(os.Stderr, "tcrowd-server: saving state: %v\n", err)

@@ -1,0 +1,96 @@
+package member
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const threeNodes = "n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082,n3=http://127.0.0.1:8083"
+
+// TestParseRoundTrip pins the flag grammar: whitespace tolerated,
+// trailing slash trimmed, self resolved from the spec.
+func TestParseRoundTrip(t *testing.T) {
+	s, err := Parse("n2", " n1 = http://a:1 , n2=http://b:2/ ,n3=https://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Self() != (Member{ID: "n2", Addr: "http://b:2"}) {
+		t.Fatalf("self = %+v", s.Self())
+	}
+	if s.Size() != 3 {
+		t.Fatalf("size %d", s.Size())
+	}
+	if got := s.Members(); got[0].ID != "n1" || got[2].Addr != "https://c:3" {
+		t.Fatalf("members %+v", got)
+	}
+	if peers := s.Peers(); len(peers) != 2 || peers[0].ID != "n1" || peers[1].ID != "n3" {
+		t.Fatalf("peers %+v", peers)
+	}
+}
+
+// TestParseOff pins the cluster-off configuration: both flags empty.
+func TestParseOff(t *testing.T) {
+	s, err := Parse("", "")
+	if err != nil || s != nil {
+		t.Fatalf("Parse(\"\", \"\") = %v, %v; want nil, nil", s, err)
+	}
+}
+
+// TestParseRejects pins the validation table.
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ self, spec, want string }{
+		{"n1", "", "without -peers"},
+		{"", threeNodes, "without -node-id"},
+		{"nx", threeNodes, "does not appear"},
+		{"n1", "n1=http://a:1,n1=http://b:2", "duplicate"},
+		{"n1", "n1-http://a:1", "not id=url"},
+		{"n1", "=http://a:1", "empty node id"},
+		{"n1", "n1=ftp://a:1", "http(s)"},
+		{"n1", "n1=http://", "http(s)"},
+		{"n1", "n1=http://a:1/v1", "only"},
+		{"n1", "n1=http://a:1?x=1", "only"},
+		{"n1", " , ,", "no nodes"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.self, c.spec); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q, %q) err = %v, want mention of %q", c.self, c.spec, err, c.want)
+		}
+	}
+}
+
+// TestHomeOfAgreement pins the zero-coordination placement contract:
+// every node parsing the same spec (whatever its own identity) computes
+// the same home for every project, and each home is a real member.
+func TestHomeOfAgreement(t *testing.T) {
+	views := make([]*Set, 0, 3)
+	for _, self := range []string{"n1", "n2", "n3"} {
+		s, err := Parse(self, threeNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, s)
+	}
+	owned := map[string]int{}
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("project-%d", i)
+		home := views[0].HomeOf(id)
+		if _, ok := views[0].Lookup(home.ID); !ok {
+			t.Fatalf("HomeOf(%q) = %+v, not a member", id, home)
+		}
+		owned[home.ID]++
+		for _, v := range views[1:] {
+			if got := v.HomeOf(id); got != home {
+				t.Fatalf("views disagree on %q: %+v vs %+v", id, got, home)
+			}
+		}
+		if views[0].IsHome(id) != (home.ID == "n1") {
+			t.Fatalf("IsHome(%q) disagrees with HomeOf", id)
+		}
+	}
+	for _, n := range []string{"n1", "n2", "n3"} {
+		if owned[n] == 0 {
+			t.Fatalf("node %s homes no projects out of 300", n)
+		}
+	}
+}

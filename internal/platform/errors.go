@@ -40,6 +40,11 @@ var errTable = []struct {
 	{ErrDurability, errSpec{http.StatusServiceUnavailable, api.CodeDurabilityFailure, true}},
 	{ErrWorkerBanned, errSpec{http.StatusForbidden, api.CodeWorkerBanned, false}},
 	{ErrRateLimited, errSpec{http.StatusTooManyRequests, api.CodeRateLimited, true}},
+	// 421 Misdirected Request: the request reached a node the cluster
+	// ring does not make responsible for the project. Not retryable as
+	// issued — the envelope's Home field says where to go instead.
+	{ErrNotHome, errSpec{http.StatusMisdirectedRequest, api.CodeNotHome, false}},
+	{ErrReplicaStale, errSpec{http.StatusServiceUnavailable, api.CodeReplicaStale, true}},
 	{shard.ErrShardSaturated, errSpec{http.StatusTooManyRequests, api.CodeShardSaturated, true}},
 	{shard.ErrClosed, errSpec{http.StatusServiceUnavailable, api.CodeShuttingDown, true}},
 	{shard.ErrJobPanicked, errSpec{http.StatusInternalServerError, api.CodeInternal, false}},

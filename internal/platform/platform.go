@@ -183,6 +183,23 @@ type Project struct {
 	// runs without durability). Appends are serialised under the platform
 	// mutex so WAL order is exactly in-memory log order.
 	wal *wal.Log
+	// follower marks a replica-mode project: its published generations
+	// arrive from the project's home node via ApplyReplicatedGeneration,
+	// the whole pinned-read surface serves them locally, and every write
+	// path rejects with a NotHomeError carrying homeAddr. Set at replica
+	// creation or DemoteToReplica.
+	//tcrowd:guardedby Platform.mu
+	follower bool
+	//tcrowd:guardedby Platform.mu
+	homeAddr string
+	// replicaAnswers/replicaWorkers mirror the newest replicated
+	// generation's AnswersSeen and worker count — the follower's stand-in
+	// for its (empty or lagging) local answer log in Stats and freshness
+	// checks.
+	//tcrowd:guardedby Platform.mu
+	replicaAnswers int
+	//tcrowd:guardedby Platform.mu
+	replicaWorkers int
 }
 
 // Platform hosts projects and is safe for concurrent use.
@@ -193,6 +210,16 @@ type Platform struct {
 	seed     int64
 	// retain is the per-project retained-generation ring capacity.
 	retain int
+	// retainBytes optionally caps the retained ring by estimated result
+	// bytes (0 = count-only): after each publish the oldest generations
+	// are evicted until the ring's estimated footprint fits. The latest
+	// generation is always retained whatever its size.
+	retainBytes int64
+	// pubHook, when set, observes every snapshot publish on home (non-
+	// follower) projects — the cluster layer's replication tap. Stored
+	// behind an atomic pointer so publishes (shard workers) never race
+	// SetPublishHook.
+	pubHook atomic.Pointer[PublishHook]
 	// sched partitions per-project refresh work across shard workers; all
 	// model mutation funnels through it (see the package comment).
 	sched *shard.Scheduler
@@ -217,6 +244,12 @@ type Options struct {
 	// after they stop being the latest. Default 8; the latest generation
 	// is always retained.
 	RetainGenerations int
+	// RetainBytes additionally caps each project's retained ring by
+	// estimated in-memory bytes (estimate cells plus worker-quality
+	// entries): generations are evicted oldest-first once the ring's
+	// footprint exceeds the cap, whatever RetainGenerations allows. 0
+	// disables the byte cap. The latest generation is always retained.
+	RetainBytes int64
 	// WAL enables the durable write-ahead log: answers are persisted
 	// before acknowledgement and the platform recovers them at boot (see
 	// Recover). Nil keeps the platform purely in-memory.
@@ -234,10 +267,11 @@ func NewWithOptions(seed int64, opts Options) *Platform {
 		opts.RetainGenerations = 8
 	}
 	return &Platform{
-		projects: make(map[string]*Project),
-		seed:     seed,
-		retain:   opts.RetainGenerations,
-		walOpts:  opts.WAL,
+		projects:    make(map[string]*Project),
+		seed:        seed,
+		retain:      opts.RetainGenerations,
+		retainBytes: opts.RetainBytes,
+		walOpts:     opts.WAL,
 		sched: shard.New(shard.Options{
 			Workers:    opts.Workers,
 			QueueDepth: opts.QueueDepth,
@@ -531,6 +565,11 @@ func (p *Platform) RequestTasks(projectID string, u tabular.WorkerID, k int) ([]
 		p.mu.Unlock()
 		return nil, ErrNoProject
 	}
+	if proj.follower {
+		home := proj.homeAddr
+		p.mu.Unlock()
+		return nil, &NotHomeError{Project: projectID, Home: home}
+	}
 	if proj.rep != nil && !proj.rep.Assignable(u) {
 		p.mu.Unlock()
 		if proj.rep.State(u) == reputation.Banned {
@@ -784,6 +823,9 @@ func (p *Platform) SubmitBatchMeta(projectID string, answers []tabular.Answer, m
 	if !ok {
 		return BatchResult{}, ErrNoProject
 	}
+	if proj.follower {
+		return BatchResult{}, &NotHomeError{Project: projectID, Home: proj.homeAddr}
+	}
 	if len(answers) == 0 {
 		return BatchResult{}, errors.New("platform: empty answer batch")
 	}
@@ -946,6 +988,26 @@ type InferenceResult struct {
 	// AnswersSeen is the number of log answers these estimates reflect
 	// (compare with Stats.Answers for staleness).
 	AnswersSeen int
+	// memSize is the result's estimated in-memory footprint, computed once
+	// at install time and consulted by the retained ring's byte-cap
+	// eviction (Options.RetainBytes). Immutable after install.
+	memSize int64
+}
+
+// estimateMemSize approximates the result's resident footprint: 24 bytes
+// per estimate cell (tabular.Value: kind + int + float64) and the map
+// entry cost per worker (hash bucket share + key header/bytes + float64).
+// An estimate is all the byte cap needs — it only has to rank generations
+// of the SAME project against each other consistently.
+func (r *InferenceResult) estimateMemSize() int64 {
+	var n int64
+	for _, row := range r.Estimates {
+		n += int64(len(row)) * 24
+	}
+	for u := range r.WorkerQuality {
+		n += int64(len(u)) + 56
+	}
+	return n
 }
 
 // RunInference runs T-Crowd truth inference over the project's answers and
@@ -965,10 +1027,18 @@ type InferenceResult struct {
 func (p *Platform) RunInference(projectID string) (*InferenceResult, error) {
 	p.mu.Lock()
 	proj, ok := p.projects[projectID]
-	p.mu.Unlock()
 	if !ok {
+		p.mu.Unlock()
 		return nil, ErrNoProject
 	}
+	if proj.follower {
+		// A strongly consistent read needs the home node's log; the
+		// replica can only serve what has been shipped to it.
+		home := proj.homeAddr
+		p.mu.Unlock()
+		return nil, &NotHomeError{Project: projectID, Home: home}
+	}
+	p.mu.Unlock()
 	if err := p.sched.SubmitWait(projectID, func() error { return p.refreshProject(proj) }); err != nil {
 		return nil, err
 	}
@@ -1008,18 +1078,30 @@ func (p *Platform) Snapshot(projectID string) (*InferenceResult, error) {
 func (p *Platform) SnapshotAt(projectID string, generation int) (*InferenceResult, error) {
 	p.mu.Lock()
 	proj, ok := p.projects[projectID]
+	follower := ok && proj.follower
 	p.mu.Unlock()
 	if !ok {
 		return nil, ErrNoProject
 	}
 	latest := proj.snapshot.Load()
 	if latest == nil {
+		if follower {
+			return nil, fmt.Errorf("%w (no generation replicated yet)", ErrReplicaStale)
+		}
 		return nil, ErrNoSnapshot
 	}
 	if generation == latest.Generation {
 		return latest, nil
 	}
 	if generation > latest.Generation {
+		if follower {
+			// On a replica a future generation is a replication-lag
+			// condition, not "never published": the home node has (or soon
+			// will have) it, and the stream will deliver it here. 503 +
+			// retryable tells the pinned reader to back off briefly.
+			return nil, fmt.Errorf("%w (generation %d not replicated yet, replica has %d)",
+				ErrReplicaStale, generation, latest.Generation)
+		}
 		return nil, fmt.Errorf("%w (generation %d not yet published, latest is %d)",
 			ErrNoSnapshot, generation, latest.Generation)
 	}
@@ -1128,6 +1210,15 @@ func (p *Platform) refreshAssign(proj *Project) error {
 // project's shard worker; inferMu additionally serialises it against any
 // direct callers so the in-place model mutation is never concurrent.
 func (p *Platform) refreshProject(proj *Project) error {
+	p.mu.Lock()
+	follower := proj.follower
+	p.mu.Unlock()
+	if follower {
+		// A refresh enqueued before a DemoteToReplica may still drain
+		// through the shard; a follower never publishes locally (its
+		// generations arrive from the home node), so skip quietly.
+		return nil
+	}
 	proj.inferMu.Lock()
 	defer proj.inferMu.Unlock()
 
@@ -1275,9 +1366,9 @@ func (p *Platform) WorkerReputations(projectID string) (infos []WorkerReputation
 
 // publishSnapshot is the copy-on-publish commit point, running on the
 // project's shard worker at the end of a refresh: it assigns the next
-// generation, enters the result into the retained ring (evicting past the
-// retention cap), swaps the latest-snapshot pointer, and fans the
-// generation-bump event out to watchers.
+// generation, installs the result (retained ring, snapshot pointer, watch
+// fan-out — shared with replication apply via installResult), and hands
+// the publish to the cluster replication hook when one is registered.
 func (p *Platform) publishSnapshot(proj *Project, res *InferenceResult) {
 	prev := proj.snapshot.Load()
 	res.Generation = 1
@@ -1298,6 +1389,20 @@ func (p *Platform) publishSnapshot(proj *Project, res *InferenceResult) {
 		Workers:       len(res.WorkerQuality),
 		Converged:     res.Converged,
 	}
+	p.installResult(proj, res, ev)
+	if hook := p.pubHook.Load(); hook != nil {
+		(*hook)(ProjectMeta{ID: proj.ID, Schema: proj.Table.Schema, Entities: proj.Table.Entities}, res, ev)
+	}
+}
+
+// installResult enters a numbered result into the project's serving state:
+// the retained ring (count cap, then the optional byte cap), the
+// latest-event slot, the atomic snapshot pointer, and the watch fan-out.
+// It is the half of a publish shared by home refreshes (publishSnapshot)
+// and follower replication (ApplyReplicatedGeneration). Callers guarantee
+// res.Generation exceeds the currently installed generation.
+func (p *Platform) installResult(proj *Project, res *InferenceResult, ev api.WatchEvent) {
+	res.memSize = res.estimateMemSize()
 	proj.genMu.Lock()
 	if len(proj.retained) < p.retain {
 		proj.retained = append(proj.retained, res)
@@ -1308,6 +1413,22 @@ func (p *Platform) publishSnapshot(proj *Project, res *InferenceResult) {
 		// publishes as the trimmed capacity runs out).
 		copy(proj.retained, proj.retained[1:])
 		proj.retained[len(proj.retained)-1] = res
+	}
+	if p.retainBytes > 0 {
+		var total int64
+		for _, r := range proj.retained {
+			total += r.memSize
+		}
+		// Evict oldest-first past the byte cap; the latest generation is
+		// always retained, however large. The backing array keeps its
+		// capacity (nil-out then reslice), so the count-cap fast path
+		// above stays allocation-free.
+		for total > p.retainBytes && len(proj.retained) > 1 {
+			total -= proj.retained[0].memSize
+			copy(proj.retained, proj.retained[1:])
+			proj.retained[len(proj.retained)-1] = nil
+			proj.retained = proj.retained[:len(proj.retained)-1]
+		}
 	}
 	proj.lastEvent = ev
 	proj.genMu.Unlock()
@@ -1370,13 +1491,21 @@ func (p *Platform) Stats(projectID string) (Stats, error) {
 	if !ok {
 		return Stats{}, ErrNoProject
 	}
+	answers, workers := proj.Log.Len(), proj.Log.NumWorkers()
+	if proj.follower {
+		// A follower's local log lags (or is empty): report the counters of
+		// the newest replicated generation instead, so freshness checks
+		// (Fresh = AnswersSeen == Stats.Answers) agree with the home node
+		// once replication has quiesced.
+		answers, workers = proj.replicaAnswers, proj.replicaWorkers
+	}
 	return Stats{
 		Rows:           proj.Table.NumRows(),
 		Columns:        proj.Table.NumCols(),
 		Cells:          proj.Table.NumCells(),
-		Answers:        proj.Log.Len(),
-		Workers:        proj.Log.NumWorkers(),
-		AnswersPerTask: float64(proj.Log.Len()) / float64(proj.Table.NumCells()),
+		Answers:        answers,
+		Workers:        workers,
+		AnswersPerTask: float64(answers) / float64(proj.Table.NumCells()),
 	}, nil
 }
 

@@ -84,6 +84,13 @@ func writeRateLimited(w http.ResponseWriter, wait time.Duration) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// WriteError renders any error as the typed wire envelope through the
+// exhaustive sentinel table — the renderer the cluster edge shares with
+// the in-process handlers, so a routing rejection (421 not_home with the
+// envelope Home field) is byte-compatible with every other error the
+// server emits.
+func WriteError(w http.ResponseWriter, err error) { writeErr(w, err) }
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -103,11 +110,18 @@ func writeErr(w http.ResponseWriter, err error) {
 	if spec.status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, spec.status, api.ErrorEnvelope{Err: api.Error{
+	env := api.ErrorEnvelope{Err: api.Error{
 		Code:      spec.code,
 		Message:   err.Error(),
 		Retryable: spec.retryable,
-	}})
+	}}
+	// A not_home rejection carries the home node's base URL so clients
+	// (and the SDK automatically) re-issue the request there.
+	var nh *NotHomeError
+	if errors.As(err, &nh) {
+		env.Err.Home = nh.Home
+	}
+	writeJSON(w, spec.status, env)
 }
 
 // writeBatchErr renders an atomic batch rejection: 400, CodeBatchRejected,

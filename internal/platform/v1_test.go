@@ -34,6 +34,8 @@ func TestErrorCodeTable(t *testing.T) {
 		{ErrDurability, http.StatusServiceUnavailable, api.CodeDurabilityFailure, true},
 		{ErrWorkerBanned, http.StatusForbidden, api.CodeWorkerBanned, false},
 		{ErrRateLimited, http.StatusTooManyRequests, api.CodeRateLimited, true},
+		{ErrNotHome, http.StatusMisdirectedRequest, api.CodeNotHome, false},
+		{ErrReplicaStale, http.StatusServiceUnavailable, api.CodeReplicaStale, true},
 		{shard.ErrShardSaturated, http.StatusTooManyRequests, api.CodeShardSaturated, true},
 		{shard.ErrClosed, http.StatusServiceUnavailable, api.CodeShuttingDown, true},
 		{shard.ErrJobPanicked, http.StatusInternalServerError, api.CodeInternal, false},
@@ -68,6 +70,45 @@ func TestErrorCodeTable(t *testing.T) {
 		if seen[extra] != 1 {
 			t.Errorf("code %s appears %d times in ErrorCodes", extra, seen[extra])
 		}
+	}
+}
+
+// TestNotHomeEnvelope pins the cluster-routing error contract: a
+// *NotHomeError renders as 421 not_home with the home node's base URL in
+// the envelope's Home field (what the SDK follows), wrapped or not.
+func TestNotHomeEnvelope(t *testing.T) {
+	for _, err := range []error{
+		&NotHomeError{Project: "p1", Home: "http://peer-2:8080"},
+		fmt.Errorf("edge: %w", &NotHomeError{Project: "p1", Home: "http://peer-2:8080"}),
+	} {
+		rec := httptest.NewRecorder()
+		writeErr(rec, err)
+		if rec.Code != http.StatusMisdirectedRequest {
+			t.Fatalf("status %d, want 421", rec.Code)
+		}
+		var env api.ErrorEnvelope
+		if derr := json.NewDecoder(rec.Body).Decode(&env); derr != nil {
+			t.Fatal(derr)
+		}
+		if env.Err.Code != api.CodeNotHome || env.Err.Retryable {
+			t.Fatalf("envelope %+v, want not_home non-retryable", env.Err)
+		}
+		if env.Err.Home != "http://peer-2:8080" {
+			t.Fatalf("envelope Home %q, want the home base URL", env.Err.Home)
+		}
+	}
+	// A bare sentinel (no concrete NotHomeError) must not invent a Home.
+	rec := httptest.NewRecorder()
+	writeErr(rec, ErrReplicaStale)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("replica_stale status %d, want 503", rec.Code)
+	}
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Code != api.CodeReplicaStale || !env.Err.Retryable || env.Err.Home != "" {
+		t.Fatalf("envelope %+v, want retryable replica_stale without Home", env.Err)
 	}
 }
 

@@ -443,6 +443,13 @@ func (p *Platform) DeleteProject(id string) error {
 		p.mu.Unlock()
 		return ErrNoProject
 	}
+	if proj.follower {
+		// Deletion is a write: it must land on the home node (which then
+		// fans replica removal out via RemoveReplica).
+		home := proj.homeAddr
+		p.mu.Unlock()
+		return &NotHomeError{Project: id, Home: home}
+	}
 	delete(p.projects, id)
 	p.mu.Unlock()
 

@@ -89,3 +89,93 @@ func (r ring) locate(key string) int {
 	}
 	return r.owner[i]
 }
+
+// DefaultRingVnodes is the virtual-node count NewRing uses when vnodes
+// is zero — the same density the in-process shard ring runs with, so
+// cluster-level placement inherits the measured ownership uniformity.
+const DefaultRingVnodes = 128
+
+// Ring is the exported, string-keyed consistent-hash ring: the same
+// FNV-1a+fmix64 circle the in-process shard scheduler places projects
+// with, promoted to arbitrary node keys so a cluster layer can make
+// every project's home NODE stable-by-key exactly like its home shard.
+// Stability is the point: restarting a cluster with one peer added or
+// removed moves only ~1/(N+1) of the projects, so handoff transfers the
+// moved projects' state and nothing else.
+//
+// A Ring is immutable after NewRing and safe for concurrent use.
+type Ring struct {
+	points []uint64 // sorted virtual-node positions
+	owner  []string // owner[i] is the node owning points[i]
+	nodes  []string // distinct node keys, sorted
+}
+
+// NewRing builds a ring over the given node keys with vnodes virtual
+// points per node (0 = DefaultRingVnodes). Duplicate node keys collapse
+// to one; an empty node set yields a ring whose Locate returns "".
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultRingVnodes
+	}
+	distinct := append([]string(nil), nodes...)
+	sort.Strings(distinct)
+	distinct = slicesCompact(distinct)
+	r := &Ring{
+		points: make([]uint64, 0, len(distinct)*vnodes),
+		owner:  make([]string, 0, len(distinct)*vnodes),
+		nodes:  distinct,
+	}
+	type vnode struct {
+		point uint64
+		node  string
+	}
+	vs := make([]vnode, 0, len(distinct)*vnodes)
+	for _, n := range distinct {
+		for v := 0; v < vnodes; v++ {
+			vs = append(vs, vnode{hashKey(fmt.Sprintf("node-%s-vnode-%d", n, v)), n})
+		}
+	}
+	// Ties (64-bit collisions are ~never, but determinism must not depend
+	// on luck) break toward the lexically lower node key, mirroring the
+	// lower-shard-index rule of the in-process ring.
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].point != vs[j].point {
+			return vs[i].point < vs[j].point
+		}
+		return vs[i].node < vs[j].node
+	})
+	for _, v := range vs {
+		r.points = append(r.points, v.point)
+		r.owner = append(r.owner, v.node)
+	}
+	return r
+}
+
+// slicesCompact deduplicates a sorted slice in place (stdlib
+// slices.Compact spelled out to keep the package's import surface flat).
+func slicesCompact(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Locate returns the node owning key ("" on an empty ring): the node
+// owning the first virtual point clockwise of the key's hash.
+func (r *Ring) Locate(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) { // wrap past the highest point
+		i = 0
+	}
+	return r.owner[i]
+}
+
+// Nodes returns the distinct node keys, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }

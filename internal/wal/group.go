@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// Group commit for SyncInterval logs.
+//
+// A platform hosting N interval-policy projects used to run N flusher
+// goroutines, each with its own ticker, each fsyncing its own log on its
+// own cadence — N wakeups and up to N scattered fsyncs per interval even
+// when most logs were clean. The shared flusher replaces them with ONE
+// goroutine for the whole process: every SyncInterval log registers on
+// Open and deregisters on Close, and the flusher walks the registered set
+// on the shortest registered cadence, fsyncing only the logs with dirty
+// appends outstanding. Durability is unchanged (at most one interval of
+// acknowledged-but-unsynced data per log, exactly as before); what
+// changes is the cost shape — one timer wheel entry and one batched walk
+// instead of a goroutine-per-project stampede. See the
+// wal/group-commit-16proj benchmark series.
+
+// flusherGroup is the process-wide registry of SyncInterval logs. The
+// mutex guards the map and the running flag; the walk itself snapshots
+// the membership and releases the lock before touching any Log.mu, so
+// a slow fsync never blocks Open/Close of other logs.
+type flusherGroup struct {
+	mu sync.Mutex
+	//tcrowd:guardedby mu
+	logs map[*Log]struct{}
+	// running is true while the flusher goroutine is alive. The goroutine
+	// exits (and clears it) when it wakes to an empty registry, so an idle
+	// process carries no flusher at all.
+	//tcrowd:guardedby mu
+	running bool
+}
+
+var group = &flusherGroup{logs: make(map[*Log]struct{})}
+
+// registerFlusher enrols a SyncInterval log with the shared flusher,
+// starting the flusher goroutine if it is not running. No-op for other
+// policies.
+func registerFlusher(l *Log) {
+	if l.opts.Policy != SyncInterval {
+		return
+	}
+	group.mu.Lock()
+	group.logs[l] = struct{}{}
+	if !group.running {
+		group.running = true
+		go group.run()
+	}
+	group.mu.Unlock()
+}
+
+// unregisterFlusher removes a log from the shared flusher. Safe to call
+// for logs that never registered (non-interval policies, double Close).
+func unregisterFlusher(l *Log) {
+	group.mu.Lock()
+	delete(group.logs, l)
+	group.mu.Unlock()
+}
+
+// run is the shared flusher loop: sleep the shortest registered interval,
+// then flush every dirty registered log. Exits when the registry drains.
+func (g *flusherGroup) run() {
+	for {
+		g.mu.Lock()
+		if len(g.logs) == 0 {
+			g.running = false
+			g.mu.Unlock()
+			return
+		}
+		interval := time.Duration(0)
+		batch := make([]*Log, 0, len(g.logs))
+		for l := range g.logs {
+			batch = append(batch, l)
+			if interval == 0 || l.opts.Interval < interval {
+				interval = l.opts.Interval
+			}
+		}
+		g.mu.Unlock()
+
+		time.Sleep(interval)
+		for _, l := range batch {
+			// flushLocked is a no-op for clean, closed or wedged logs, so
+			// racing a concurrent Close is benign: the snapshot may hold a
+			// just-closed log once, and flushing it does nothing.
+			l.mu.Lock()
+			l.flushLocked()
+			l.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// flusherCount reports the shared flusher's registry size and whether its
+// goroutine is running.
+func flusherCount() (int, bool) {
+	group.mu.Lock()
+	defer group.mu.Unlock()
+	return len(group.logs), group.running
+}
+
+// TestGroupCommitSharedFlusher pins the group-commit satellite: N
+// SyncInterval logs share ONE background flusher (the registry holds them
+// all and one goroutine drains them), dirty appends reach Sync within the
+// interval, and the flusher terminates once the last log closes.
+func TestGroupCommitSharedFlusher(t *testing.T) {
+	const interval = 5 * time.Millisecond
+	fs := NewMemFS()
+	var logs []*Log
+	for i := 0; i < 16; i++ {
+		l, _, err := Open(fmt.Sprintf("proj/p%02d", i), Options{
+			FS: fs, CheckpointType: ckptType, Policy: SyncInterval, Interval: interval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, l)
+	}
+	if n, running := flusherCount(); n != 16 || !running {
+		t.Fatalf("registry after 16 opens: %d logs, running=%v; want 16, true", n, running)
+	}
+
+	for i, l := range logs {
+		if _, err := l.Append(rec(3, fmt.Sprintf("batch-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The shared flusher must clear every dirty flag within a few
+	// intervals — that is the durability contract of -fsync=interval.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		clean := true
+		for _, l := range logs {
+			l.mu.Lock()
+			if l.dirty {
+				clean = false
+			}
+			l.mu.Unlock()
+		}
+		if clean {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dirty logs not flushed by the shared flusher")
+		}
+		time.Sleep(interval)
+	}
+
+	// Appends survive a hard crash once the flusher ran: the crash seam
+	// drops unsynced bytes, so surviving data proves Sync happened.
+	for i, l := range logs {
+		crashed := fs.Recovered()
+		_, rep, err := Open(l.Dir(), Options{FS: crashed, CheckpointType: ckptType})
+		if err != nil {
+			t.Fatalf("reopen %d: %v", i, err)
+		}
+		if len(rep.Records) != 1 {
+			t.Fatalf("log %d: %d records survived the crash, want 1", i, len(rep.Records))
+		}
+	}
+
+	// Closing every log empties the registry and stops the goroutine.
+	for _, l := range logs {
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		n, running := flusherCount()
+		if n == 0 && !running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flusher still has %d logs (running=%v) after all closes", n, running)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// TestGroupCommitOnlyIntervalLogs pins that SyncAlways and SyncNever logs
+// never register with the shared flusher — they need no background
+// flushing, and registering them would keep the goroutine alive for
+// nothing.
+func TestGroupCommitOnlyIntervalLogs(t *testing.T) {
+	fs := NewMemFS()
+	before, _ := flusherCount()
+	a, _, err := Open("proj/always", Options{FS: fs, CheckpointType: ckptType, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, _, err := Open("proj/never", Options{FS: fs, CheckpointType: ckptType, Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := flusherCount(); after != before {
+		t.Fatalf("registry grew from %d to %d on SyncAlways/SyncNever opens", before, after)
+	}
+	// Double-close must stay safe with the shared registry.
+	a.Close()
+	if err := nv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nv.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil (idempotent)", err)
+	}
+}

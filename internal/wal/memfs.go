@@ -167,7 +167,17 @@ func (m *MemFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
 			m.dirs[d] = true
 		}
 	}
-	return &memHandle{fs: m, name: name, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}, nil
+	writable := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	if writable && flag&os.O_TRUNC != 0 {
+		// Truncation mutates the file, so it obeys the crash seam like any
+		// write (segment shipping rewrites mirrored segments with O_TRUNC).
+		if m.crashed {
+			return nil, ErrCrashed
+		}
+		f.durable = f.durable[:0]
+		f.pending = f.pending[:0]
+	}
+	return &memHandle{fs: m, name: name, writable: writable}, nil
 }
 
 func (m *MemFS) ReadDir(name string) ([]os.DirEntry, error) {

@@ -180,10 +180,7 @@ type Log struct {
 	//tcrowd:guardedby mu
 	sticky error // unrecoverable fault; all further mutations fail
 	//tcrowd:guardedby mu
-	closed   bool
-	stopOnce sync.Once
-	stop     chan struct{}
-	flushed  sync.WaitGroup
+	closed bool
 }
 
 var segmentRE = regexp.MustCompile(`^(\d{8})\.wal$`)
@@ -221,14 +218,14 @@ func Open(dir string, opts Options) (*Log, Replay, error) {
 	}
 	sort.Ints(indices)
 
-	l := &Log{dir: dir, opts: opts, stop: make(chan struct{})}
+	l := &Log{dir: dir, opts: opts}
 
 	if len(indices) == 0 {
 		//lint:allow lockcheck the Log is still being constructed: no other goroutine can hold a reference before Open returns
 		if err := l.openSegment(1, true); err != nil {
 			return nil, Replay{}, err
 		}
-		l.startFlusher()
+		registerFlusher(l)
 		return l, Replay{}, nil
 	}
 
@@ -278,7 +275,7 @@ func Open(dir string, opts Options) (*Log, Replay, error) {
 	if err := l.openSegment(l.index, false); err != nil {
 		return nil, Replay{}, err
 	}
-	l.startFlusher()
+	registerFlusher(l)
 	return l, rep, nil
 }
 
@@ -373,28 +370,6 @@ func (l *Log) openSegment(idx int, fresh bool) error {
 		_ = l.opts.FS.SyncDir(l.dir)
 	}
 	return nil
-}
-
-func (l *Log) startFlusher() {
-	if l.opts.Policy != SyncInterval {
-		return
-	}
-	l.flushed.Add(1)
-	go func() {
-		defer l.flushed.Done()
-		t := time.NewTicker(l.opts.Interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-l.stop:
-				return
-			case <-t.C:
-				l.mu.Lock()
-				l.flushLocked()
-				l.mu.Unlock()
-			}
-		}
-	}()
 }
 
 // flushLocked fsyncs outstanding appends. A failed fsync is sticky: the
@@ -619,10 +594,10 @@ func (l *Log) Segments() ([]string, error) {
 func (l *Log) Dir() string { return l.dir }
 
 // Close flushes and fsyncs outstanding appends regardless of policy,
-// stops the interval flusher, and closes the segment. It is idempotent.
+// deregisters the log from the shared group-commit flusher, and closes
+// the segment. It is idempotent.
 func (l *Log) Close() error {
-	l.stopOnce.Do(func() { close(l.stop) })
-	l.flushed.Wait()
+	unregisterFlusher(l)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
